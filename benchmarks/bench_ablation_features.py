@@ -1,0 +1,34 @@
+"""Ablation — contribution of the static vs. dynamic node attributes.
+
+The paper's embedding concatenates structural/functional *static* features
+with per-sample *dynamic* features.  This ablation trains the predictor with
+the full embedding, with static features only, and with dynamic features only.
+The dynamic features are the ones that distinguish samples of the same design,
+so the dynamic-only and full variants are expected to retain ranking power
+while the static-only variant collapses (all samples of a design look alike).
+"""
+
+from benchmarks.conftest import run_once, scaled
+from repro.experiments.ablations import format_ablation, run_feature_ablation
+from repro.flow.config import fast_config
+
+
+def test_ablation_static_vs_dynamic_features(benchmark):
+    config = fast_config(num_samples=scaled(14), epochs=60, seed=5)
+    result = run_once(
+        benchmark,
+        run_feature_ablation,
+        design="b10",
+        num_train_samples=scaled(14),
+        num_test_samples=scaled(8),
+        config=config,
+        seed=5,
+    )
+    print()
+    print(format_ablation(result, "Feature ablation"))
+    full = result.reports["static + dynamic"]
+    dynamic_only = result.reports["dynamic only"]
+    static_only = result.reports["static only"]
+    assert full["mse"] >= 0.0 and dynamic_only["mse"] >= 0.0 and static_only["mse"] >= 0.0
+    # The full embedding must not be dramatically worse than dynamic-only.
+    assert full["mse"] <= dynamic_only["mse"] * 3 + 0.05

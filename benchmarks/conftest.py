@@ -1,0 +1,42 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The default
+scale (samples per design, training epochs, model width) is chosen so that the
+full harness finishes in well under an hour on a laptop CPU while still
+exhibiting the qualitative results the paper reports; the environment variable
+``REPRO_BENCH_SCALE`` multiplies the sample counts for larger runs (e.g.
+``REPRO_BENCH_SCALE=10 pytest benchmarks/ --benchmark-only`` gets much closer
+to the paper's 600-samples-per-design setting).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.flow.config import fast_config
+
+
+def bench_scale() -> float:
+    """Multiplier applied to sample counts (``REPRO_BENCH_SCALE``, default 1)."""
+    try:
+        return max(0.25, float(os.environ.get("REPRO_BENCH_SCALE", "1")))
+    except ValueError:
+        return 1.0
+
+
+def scaled(count: int) -> int:
+    """Scale a sample count by :func:`bench_scale` (at least 4)."""
+    return max(4, int(round(count * bench_scale())))
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """The CPU-sized flow configuration shared by all benchmarks."""
+    return fast_config(num_samples=scaled(12), top_k=5, epochs=40, seed=0)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

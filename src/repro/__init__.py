@@ -1,0 +1,48 @@
+"""BoolGebra reproduction: attributed graph-learning for Boolean algebraic manipulation.
+
+This package re-implements, in pure Python (numpy/scipy/networkx only), the
+complete system described in *"BoolGebra: Attributed Graph-Learning for Boolean
+Algebraic Manipulation"* (DATE 2024):
+
+* an And-Inverter-Graph (AIG) logic-network substrate with structural hashing,
+  cut enumeration, truth tables and equivalence checking (:mod:`repro.aig`),
+* the three classic DAG-aware optimizations ``rewrite``, ``resub`` and
+  ``refactor`` plus supporting Boolean algebra (ISOP, algebraic factoring)
+  (:mod:`repro.synth`),
+* the orchestrated single-traversal optimizer of the paper's Algorithm 1 with
+  random and priority-guided decision sampling (:mod:`repro.orchestration`),
+* the attributed-graph feature embedding (static + dynamic node features) and
+  dataset construction (:mod:`repro.features`),
+* a from-scratch GraphSAGE + MLP regression model with Adam training
+  (:mod:`repro.nn`),
+* the end-to-end BoolGebra flow (sample, prune with the predictor, evaluate the
+  top candidates) and the stand-alone SOTA baselines (:mod:`repro.flow`),
+* synthetic benchmark circuits standing in for the ISCAS'85/ITC'99 designs
+  (:mod:`repro.circuits`) and the experiment harness regenerating every table
+  and figure of the paper (:mod:`repro.experiments`).
+"""
+
+from repro.aig.aig import Aig
+from repro.flow.baselines import run_baselines
+from repro.flow.boolgebra import BoolGebraFlow, BoolGebraResult
+from repro.flow.config import FlowConfig, fast_config, paper_config
+from repro.orchestration.decision import DecisionVector, Operation
+from repro.orchestration.orchestrate import orchestrate
+from repro.orchestration.sampling import PriorityGuidedSampler, RandomSampler
+
+__all__ = [
+    "Aig",
+    "BoolGebraFlow",
+    "BoolGebraResult",
+    "DecisionVector",
+    "FlowConfig",
+    "Operation",
+    "PriorityGuidedSampler",
+    "RandomSampler",
+    "fast_config",
+    "orchestrate",
+    "paper_config",
+    "run_baselines",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,58 @@
+"""Literal encoding for AIG edges.
+
+An AIG edge is a *literal*: an integer ``2 * variable + complement`` exactly as
+in the AIGER format.  Variable ``0`` is reserved for the constant node, so
+literal ``0`` is constant false and literal ``1`` is constant true.  All other
+variables are primary inputs or AND nodes.
+"""
+
+from __future__ import annotations
+
+#: Literal of the constant-false function.
+CONST0 = 0
+
+#: Literal of the constant-true function.
+CONST1 = 1
+
+
+def lit(var: int, compl: bool = False) -> int:
+    """Return the literal for ``var`` with the given complement flag."""
+    if var < 0:
+        raise ValueError(f"variable index must be non-negative, got {var}")
+    return (var << 1) | int(bool(compl))
+
+
+def lit_var(literal: int) -> int:
+    """Return the variable index of ``literal``."""
+    return literal >> 1
+
+
+def lit_is_compl(literal: int) -> bool:
+    """Return ``True`` when the literal carries an inverter."""
+    return bool(literal & 1)
+
+
+def lit_not(literal: int) -> int:
+    """Return the complement of ``literal``."""
+    return literal ^ 1
+
+
+def lit_regular(literal: int) -> int:
+    """Return the positive-polarity literal of the same variable."""
+    return literal & ~1
+
+
+def lit_compl(literal: int, compl: bool) -> int:
+    """Complement ``literal`` if ``compl`` is true, otherwise return it unchanged."""
+    return literal ^ int(bool(compl))
+
+
+def lit_pair_key(lit0: int, lit1: int) -> tuple:
+    """Return the canonical (sorted) key of an AND gate's fanin literals.
+
+    Structural hashing stores AND nodes under this key so that ``AND(a, b)``
+    and ``AND(b, a)`` map to the same node.
+    """
+    if lit0 > lit1:
+        lit0, lit1 = lit1, lit0
+    return (lit0, lit1)

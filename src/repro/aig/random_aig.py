@@ -1,0 +1,119 @@
+"""Seeded random AIG generation.
+
+Random networks are used in two places:
+
+* property-based tests (hypothesis strategies draw structural parameters and
+  the generator builds a deterministic network from them), and
+* the synthetic stand-ins for the ISCAS'85 / ITC'99 benchmark circuits, where
+  redundancy-rich multi-level networks of a prescribed size are needed (see
+  :mod:`repro.circuits`).
+
+The generator deliberately produces *redundant* logic — it combines random
+existing literals with a bias toward re-deriving functions of nearby nodes —
+so that rewriting / refactoring / resubstitution have genuine optimization
+opportunities, as real RTL-derived AIGs do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_not
+
+
+@dataclass
+class RandomAigSpec:
+    """Parameters controlling random AIG generation."""
+
+    num_pis: int = 8
+    num_pos: int = 4
+    num_ands: int = 64
+    redundancy: float = 0.35
+    xor_fraction: float = 0.15
+    mux_fraction: float = 0.10
+    seed: int = 0
+    name: str = "random"
+
+
+def random_aig(spec: RandomAigSpec) -> Aig:
+    """Generate a random combinational AIG according to ``spec``.
+
+    The network is built bottom-up: each new gate picks operands among the
+    already created literals (with random complementation).  A configurable
+    fraction of gates are XOR/MUX macro-gates, which expand to several AND
+    nodes and create reconvergence.  With probability ``redundancy`` a gate
+    re-combines operands drawn from a small recent window, producing
+    structurally different but functionally overlapping logic — the raw
+    material for resubstitution and refactoring.
+    """
+    if spec.num_pis < 1:
+        raise ValueError("a random AIG needs at least one PI")
+    rng = random.Random(spec.seed)
+    aig = Aig(spec.name)
+    literals: List[int] = [aig.add_pi(f"pi{i}") for i in range(spec.num_pis)]
+
+    def pick(window: Optional[int] = None) -> int:
+        pool = literals if window is None else literals[-window:]
+        literal = rng.choice(pool)
+        return lit_not(literal) if rng.random() < 0.5 else literal
+
+    target = spec.num_ands
+    attempts = 0
+    max_attempts = 50 * max(target, 1) + 1000
+    while aig.size < target and attempts < max_attempts:
+        attempts += 1
+        roll = rng.random()
+        use_window = 8 if rng.random() < spec.redundancy else None
+        if roll < spec.xor_fraction:
+            new_lit = aig.make_xor(pick(use_window), pick(use_window))
+        elif roll < spec.xor_fraction + spec.mux_fraction:
+            new_lit = aig.make_mux(pick(use_window), pick(use_window), pick(use_window))
+        else:
+            new_lit = aig.add_and(pick(use_window), pick(use_window))
+        literals.append(new_lit)
+
+    # Every dangling root must feed a PO (otherwise cleanup would drop it and
+    # the generated size would undershoot the request).  Dangling roots are
+    # partitioned round-robin into ``num_pos`` groups and each group is
+    # XOR-reduced into one output: unlike an OR-reduction, the parity of many
+    # pseudo-random functions stays balanced instead of saturating to a
+    # constant, so the outputs remain functionally meaningful.
+    num_pos = max(1, spec.num_pos)
+    dangling = [node for node in aig.nodes() if aig.fanout_count(node) == 0]
+    if not dangling:
+        dangling = [literals[-1] >> 1]
+    groups: List[List[int]] = [[] for _ in range(num_pos)]
+    for index, node in enumerate(dangling):
+        literal = node * 2
+        if rng.random() < 0.5:
+            literal = lit_not(literal)
+        groups[index % num_pos].append(literal)
+    for index, group in enumerate(groups):
+        if not group:
+            group = [literals[rng.randrange(len(literals))]]
+        driver = aig.make_xor_n(group)
+        aig.add_po(driver, f"po{index}")
+    aig.cleanup()
+    return aig
+
+
+def random_aig_simple(
+    num_pis: int,
+    num_ands: int,
+    num_pos: int = 2,
+    seed: int = 0,
+    name: str = "random",
+) -> Aig:
+    """Shorthand for :func:`random_aig` with the default structural mix."""
+    return random_aig(
+        RandomAigSpec(
+            num_pis=num_pis,
+            num_pos=num_pos,
+            num_ands=num_ands,
+            seed=seed,
+            name=name,
+        )
+    )

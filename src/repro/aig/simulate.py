@@ -1,0 +1,118 @@
+"""Bit-parallel simulation of AIGs.
+
+Simulation assigns a vector of Boolean values to every primary input and
+propagates 64 patterns per machine word through the network with numpy
+``uint64`` arithmetic.  It is the workhorse behind equivalence checking,
+resubstitution divisor filtering and several tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_is_compl, lit_var
+
+
+def _as_words(bits_per_pattern: int) -> int:
+    return (bits_per_pattern + 63) // 64
+
+
+def random_patterns(num_pis: int, num_patterns: int, seed: int = 0) -> np.ndarray:
+    """Return a ``(num_pis, num_words)`` uint64 array of random input patterns."""
+    rng = np.random.default_rng(seed)
+    num_words = _as_words(num_patterns)
+    return rng.integers(0, 2 ** 64, size=(num_pis, num_words), dtype=np.uint64)
+
+
+def exhaustive_patterns(num_pis: int) -> np.ndarray:
+    """Return patterns enumerating all ``2 ** num_pis`` input combinations.
+
+    Pattern ``i`` (bit position ``i`` across the words) assigns to input ``k``
+    the ``k``-th bit of ``i``.  Only sensible for a moderate number of inputs
+    (the caller guards the limit).
+    """
+    num_patterns = 1 << num_pis
+    num_words = _as_words(num_patterns)
+    patterns = np.zeros((num_pis, num_words), dtype=np.uint64)
+    indices = np.arange(num_patterns, dtype=np.uint64)
+    for k in range(num_pis):
+        bits = (indices >> np.uint64(k)) & np.uint64(1)
+        for word in range(num_words):
+            chunk = bits[word * 64 : (word + 1) * 64]
+            value = np.uint64(0)
+            for offset, bit in enumerate(chunk):
+                value |= np.uint64(int(bit)) << np.uint64(offset)
+            patterns[k, word] = value
+    return patterns
+
+
+def simulate(
+    aig: Aig,
+    pi_patterns: np.ndarray,
+    nodes: Optional[Iterable[int]] = None,
+) -> Dict[int, np.ndarray]:
+    """Simulate the AIG under ``pi_patterns`` and return node signatures.
+
+    Parameters
+    ----------
+    aig:
+        The network to simulate.
+    pi_patterns:
+        ``(num_pis, num_words)`` uint64 array, one row per primary input in
+        creation order.
+    nodes:
+        Restrict the returned dictionary to these node ids (all live nodes by
+        default).  The simulation itself always covers the full network.
+
+    Returns
+    -------
+    dict
+        Mapping from node id to its uint64 signature array.
+    """
+    if pi_patterns.ndim != 2 or pi_patterns.shape[0] != aig.num_pis():
+        raise ValueError(
+            f"expected patterns of shape ({aig.num_pis()}, words), got {pi_patterns.shape}"
+        )
+    num_words = pi_patterns.shape[1]
+    full_mask = np.full(num_words, np.iinfo(np.uint64).max, dtype=np.uint64)
+    values: Dict[int, np.ndarray] = {0: np.zeros(num_words, dtype=np.uint64)}
+    for row, pi_node in enumerate(aig.pis()):
+        values[pi_node] = pi_patterns[row].astype(np.uint64)
+    for node in aig.topological_order():
+        f0, f1 = aig.fanins(node)
+        v0 = values[lit_var(f0)]
+        v1 = values[lit_var(f1)]
+        if lit_is_compl(f0):
+            v0 = v0 ^ full_mask
+        if lit_is_compl(f1):
+            v1 = v1 ^ full_mask
+        values[node] = v0 & v1
+    if nodes is None:
+        return values
+    return {node: values[node] for node in nodes}
+
+
+def simulate_outputs(aig: Aig, pi_patterns: np.ndarray) -> List[np.ndarray]:
+    """Simulate and return one signature per primary output (complements applied)."""
+    values = simulate(aig, pi_patterns)
+    num_words = pi_patterns.shape[1]
+    full_mask = np.full(num_words, np.iinfo(np.uint64).max, dtype=np.uint64)
+    outputs = []
+    for driver in aig.pos():
+        signature = values[lit_var(driver)]
+        if lit_is_compl(driver):
+            signature = signature ^ full_mask
+        outputs.append(signature)
+    return outputs
+
+
+def output_bits(aig: Aig, assignment: Sequence[int]) -> List[int]:
+    """Evaluate the AIG on a single input assignment (list of 0/1 per PI)."""
+    if len(assignment) != aig.num_pis():
+        raise ValueError("assignment length must equal the number of PIs")
+    patterns = np.array([[np.uint64(bit & 1)] for bit in assignment], dtype=np.uint64)
+    outputs = simulate_outputs(aig, patterns)
+    return [int(signature[0] & np.uint64(1)) for signature in outputs]

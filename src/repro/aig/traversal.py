@@ -1,0 +1,75 @@
+"""Traversal helpers layered on top of :class:`repro.aig.aig.Aig`.
+
+The :class:`~repro.aig.aig.Aig` class already provides the fundamental
+traversals (topological order, transitive fanin/fanout).  This module adds the
+free-standing helpers used by the optimization passes and the feature
+embedding: cone collection over a set of leaves, support computation and
+per-node fanout-reference snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_var
+
+
+def cone_nodes(aig: Aig, root: int, leaves: Iterable[int]) -> List[int]:
+    """Return the AND nodes in the cone of ``root`` bounded by ``leaves``.
+
+    The result is in topological order (fanins first) and includes ``root``
+    itself when it is an AND node.  Nodes in ``leaves`` are treated as cone
+    boundaries and are never included.
+    """
+    leaf_set = set(leaves)
+    ordered: List[int] = []
+    visited: Set[int] = set()
+
+    def visit(node: int) -> None:
+        stack = [(node, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if expanded:
+                ordered.append(current)
+                continue
+            if current in visited or current in leaf_set or not aig.is_and(current):
+                continue
+            visited.add(current)
+            stack.append((current, True))
+            stack.append((lit_var(aig.fanin1(current)), False))
+            stack.append((lit_var(aig.fanin0(current)), False))
+
+    visit(root)
+    return ordered
+
+
+def support(aig: Aig, root: int) -> Set[int]:
+    """Return the set of PI node ids that the function of ``root`` depends on
+    structurally (i.e. the PIs in its transitive fanin cone)."""
+    if aig.is_pi(root):
+        return {root}
+    pis = set()
+    for node in aig.transitive_fanin(root, include_node=True):
+        if aig.is_pi(node):
+            pis.add(node)
+    return pis
+
+
+def reference_counts(aig: Aig) -> Dict[int, int]:
+    """Return a snapshot of the total reference count of every live node.
+
+    The count includes both AND-node fanouts and primary-output references and
+    is the quantity that MFFC computation decrements.
+    """
+    return {node: aig.fanout_count(node) for node in aig.all_live_nodes()}
+
+
+def collect_tfo_set(aig: Aig, roots: Sequence[int]) -> Set[int]:
+    """Return the union of the transitive fanout cones of ``roots`` (roots included)."""
+    result: Set[int] = set()
+    for root in roots:
+        if root not in result:
+            result.add(root)
+            result |= aig.transitive_fanout(root)
+    return result

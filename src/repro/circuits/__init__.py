@@ -1,0 +1,58 @@
+"""Benchmark circuits.
+
+The paper evaluates on ISCAS'85 and ITC/ISCAS'99 designs distributed with ABC
+(``b07``–``b12``, ``c2670``, ``c5315``, plus ``voter`` from the EPFL suite).
+Those netlists are not redistributable inside this offline repository, so this
+package provides two things instead:
+
+* parameterized *structured* generators (adders, multipliers, comparators,
+  parity trees, multiplexer trees, decoders, ALU slices) and a redundant
+  random-logic generator — all producing functionally meaningful AIGs, and
+* a registry of **synthetic stand-ins** registered under the paper's design
+  names, calibrated to approximately the same AIG sizes, so that every
+  experiment harness runs against workloads of the same scale and character
+  (see DESIGN.md for the substitution rationale).
+
+Reading the original ``.bench`` files with :mod:`repro.io.bench` is fully
+supported: point :func:`repro.circuits.benchmarks.load_benchmark` at a
+directory containing them and the real designs are used instead of the
+synthetic stand-ins.
+"""
+
+from repro.circuits.benchmarks import (
+    BENCHMARK_SPECS,
+    available_benchmarks,
+    load_benchmark,
+    paper_table1_benchmarks,
+)
+from repro.circuits.generators import (
+    alu_slice,
+    carry_lookahead_adder,
+    comparator,
+    decoder,
+    multiplexer_tree,
+    multiplier,
+    paper_example_aig,
+    parity_tree,
+    priority_encoder,
+    ripple_carry_adder,
+)
+from repro.circuits.random_logic import random_logic_network
+
+__all__ = [
+    "BENCHMARK_SPECS",
+    "alu_slice",
+    "available_benchmarks",
+    "carry_lookahead_adder",
+    "comparator",
+    "decoder",
+    "load_benchmark",
+    "multiplexer_tree",
+    "multiplier",
+    "paper_example_aig",
+    "paper_table1_benchmarks",
+    "parity_tree",
+    "priority_encoder",
+    "random_logic_network",
+    "ripple_carry_adder",
+]

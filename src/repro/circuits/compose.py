@@ -1,0 +1,51 @@
+"""Hierarchical composition of AIGs.
+
+:func:`append_aig` instantiates one AIG inside another (like instantiating a
+sub-module in RTL): the source's primary inputs are bound to caller-supplied
+literals of the target network and the source's primary-output functions are
+returned as literals of the target.  The synthetic benchmark circuits are
+assembled this way from structured blocks plus random glue logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_is_compl, lit_var
+
+
+def append_aig(target: Aig, source: Aig, input_literals: Sequence[int]) -> List[int]:
+    """Instantiate ``source`` inside ``target``.
+
+    Parameters
+    ----------
+    target:
+        The network being built.
+    source:
+        The block to instantiate (left unmodified).
+    input_literals:
+        One target literal per primary input of ``source`` (in order).
+
+    Returns
+    -------
+    list of int
+        The target literals implementing each primary output of ``source``.
+    """
+    if len(input_literals) != source.num_pis():
+        raise ValueError(
+            f"block {source.name!r} has {source.num_pis()} inputs, "
+            f"got {len(input_literals)} bindings"
+        )
+    mapping: Dict[int, int] = {0: 0}
+    for index, pi in enumerate(source.pis()):
+        mapping[pi] = input_literals[index]
+    for node in source.topological_order():
+        f0, f1 = source.fanins(node)
+        lit0 = mapping[lit_var(f0)] ^ int(lit_is_compl(f0))
+        lit1 = mapping[lit_var(f1)] ^ int(lit_is_compl(f1))
+        mapping[node] = target.add_and(lit0, lit1)
+    outputs = []
+    for driver in source.pos():
+        outputs.append(mapping[lit_var(driver)] ^ int(lit_is_compl(driver)))
+    return outputs

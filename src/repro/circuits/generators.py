@@ -1,0 +1,258 @@
+"""Structured circuit generators.
+
+Each generator builds a functionally meaningful block directly as an AIG.  The
+implementations are deliberately *naive* (ripple carries, flat comparators,
+unshared sums of products): real RTL synthesized without optimization looks
+the same way, and it leaves genuine work for rewriting, refactoring and
+resubstitution — exactly the situation the paper's optimizations target.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_not
+
+
+def ripple_carry_adder(width: int = 8, name: str = "") -> Aig:
+    """An unsigned ripple-carry adder: ``sum = a + b`` with carry out."""
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    aig = Aig(name or f"rca{width}")
+    a = [aig.add_pi(f"a{i}") for i in range(width)]
+    b = [aig.add_pi(f"b{i}") for i in range(width)]
+    carry = 0  # constant false
+    for i in range(width):
+        axb = aig.make_xor(a[i], b[i])
+        total = aig.make_xor(axb, carry)
+        carry = aig.make_or(aig.add_and(a[i], b[i]), aig.add_and(axb, carry))
+        aig.add_po(total, f"sum{i}")
+    aig.add_po(carry, "cout")
+    return aig
+
+
+def carry_lookahead_adder(width: int = 8, name: str = "") -> Aig:
+    """A carry-lookahead adder with explicitly expanded carry terms.
+
+    The expanded carries duplicate large AND cones, which gives
+    resubstitution plenty of shared logic to discover.
+    """
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    aig = Aig(name or f"cla{width}")
+    a = [aig.add_pi(f"a{i}") for i in range(width)]
+    b = [aig.add_pi(f"b{i}") for i in range(width)]
+    generate = [aig.add_and(a[i], b[i]) for i in range(width)]
+    propagate = [aig.make_xor(a[i], b[i]) for i in range(width)]
+    carries = [0]
+    for i in range(width):
+        # c_{i+1} = g_i + p_i g_{i-1} + p_i p_{i-1} g_{i-2} + ... (expanded form)
+        terms = [generate[i]]
+        for j in range(i - 1, -1, -1):
+            prefix = generate[j]
+            for k in range(j + 1, i + 1):
+                prefix = aig.add_and(prefix, propagate[k])
+            terms.append(prefix)
+        carries.append(aig.make_or_n(terms))
+    for i in range(width):
+        aig.add_po(aig.make_xor(propagate[i], carries[i]), f"sum{i}")
+    aig.add_po(carries[width], "cout")
+    return aig
+
+
+def multiplier(width: int = 4, name: str = "") -> Aig:
+    """An array multiplier built from partial products and ripple adders."""
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    aig = Aig(name or f"mul{width}")
+    a = [aig.add_pi(f"a{i}") for i in range(width)]
+    b = [aig.add_pi(f"b{i}") for i in range(width)]
+    # Partial products.
+    rows: List[List[int]] = []
+    for j in range(width):
+        rows.append([aig.add_and(a[i], b[j]) for i in range(width)])
+    # Accumulate rows with ripple additions.
+    result: List[int] = [0] * (2 * width)
+    for j, row in enumerate(rows):
+        carry = 0
+        for i in range(width):
+            position = i + j
+            axb = aig.make_xor(result[position], row[i])
+            total = aig.make_xor(axb, carry)
+            carry = aig.make_or(
+                aig.add_and(result[position], row[i]), aig.add_and(axb, carry)
+            )
+            result[position] = total
+        # Propagate the final carry.
+        position = j + width
+        while carry != 0 and position < 2 * width:
+            axb = aig.make_xor(result[position], carry)
+            carry = aig.add_and(result[position], carry)
+            result[position] = axb
+            position += 1
+    for index, literal in enumerate(result):
+        aig.add_po(literal, f"p{index}")
+    return aig
+
+
+def comparator(width: int = 8, name: str = "") -> Aig:
+    """An equality + less-than comparator with naively expanded less-than logic."""
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    aig = Aig(name or f"cmp{width}")
+    a = [aig.add_pi(f"a{i}") for i in range(width)]
+    b = [aig.add_pi(f"b{i}") for i in range(width)]
+    equal_bits = [aig.make_xnor(a[i], b[i]) for i in range(width)]
+    aig.add_po(aig.make_and_n(equal_bits), "eq")
+    # a < b  =  OR_i (!a_i & b_i & AND_{j>i} (a_j == b_j)), expanded without sharing.
+    terms = []
+    for i in range(width):
+        term = aig.add_and(lit_not(a[i]), b[i])
+        for j in range(i + 1, width):
+            term = aig.add_and(term, aig.make_xnor(a[j], b[j]))
+        terms.append(term)
+    aig.add_po(aig.make_or_n(terms), "lt")
+    return aig
+
+
+def parity_tree(width: int = 16, name: str = "") -> Aig:
+    """A parity (XOR reduction) tree over ``width`` inputs."""
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    aig = Aig(name or f"parity{width}")
+    inputs = [aig.add_pi(f"x{i}") for i in range(width)]
+    aig.add_po(aig.make_xor_n(inputs), "parity")
+    return aig
+
+
+def multiplexer_tree(select_bits: int = 3, name: str = "") -> Aig:
+    """A ``2^select_bits``-to-1 multiplexer built as a tree of 2:1 muxes."""
+    if select_bits < 1:
+        raise ValueError("select_bits must be at least 1")
+    aig = Aig(name or f"mux{1 << select_bits}")
+    selects = [aig.add_pi(f"s{i}") for i in range(select_bits)]
+    data = [aig.add_pi(f"d{i}") for i in range(1 << select_bits)]
+    level = data
+    for bit in range(select_bits):
+        level = [
+            aig.make_mux(selects[bit], level[2 * i + 1], level[2 * i])
+            for i in range(len(level) // 2)
+        ]
+    aig.add_po(level[0], "y")
+    return aig
+
+
+def decoder(bits: int = 4, name: str = "") -> Aig:
+    """A ``bits``-to-``2^bits`` one-hot decoder (every output is a full minterm)."""
+    if bits < 1:
+        raise ValueError("bits must be at least 1")
+    aig = Aig(name or f"dec{bits}")
+    inputs = [aig.add_pi(f"x{i}") for i in range(bits)]
+    for value in range(1 << bits):
+        literals = [
+            inputs[i] if (value >> i) & 1 else lit_not(inputs[i]) for i in range(bits)
+        ]
+        aig.add_po(aig.make_and_n(literals), f"y{value}")
+    return aig
+
+
+def priority_encoder(width: int = 8, name: str = "") -> Aig:
+    """A priority encoder: index of the highest asserted request plus a valid flag."""
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    aig = Aig(name or f"prio{width}")
+    requests = [aig.add_pi(f"r{i}") for i in range(width)]
+    output_bits = max(1, (width - 1).bit_length())
+    # grant_i = r_i & !r_{i+1} & ... & !r_{width-1}  (highest index wins)
+    grants = []
+    for i in range(width):
+        term = requests[i]
+        for j in range(i + 1, width):
+            term = aig.add_and(term, lit_not(requests[j]))
+        grants.append(term)
+    for bit in range(output_bits):
+        terms = [grants[i] for i in range(width) if (i >> bit) & 1]
+        aig.add_po(aig.make_or_n(terms) if terms else 0, f"idx{bit}")
+    aig.add_po(aig.make_or_n(requests), "valid")
+    return aig
+
+
+def alu_slice(width: int = 4, name: str = "") -> Aig:
+    """A small ALU: add, and, or, xor selected by two opcode bits."""
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    aig = Aig(name or f"alu{width}")
+    op0 = aig.add_pi("op0")
+    op1 = aig.add_pi("op1")
+    a = [aig.add_pi(f"a{i}") for i in range(width)]
+    b = [aig.add_pi(f"b{i}") for i in range(width)]
+    carry = 0
+    for i in range(width):
+        axb = aig.make_xor(a[i], b[i])
+        add_bit = aig.make_xor(axb, carry)
+        carry = aig.make_or(aig.add_and(a[i], b[i]), aig.add_and(axb, carry))
+        and_bit = aig.add_and(a[i], b[i])
+        or_bit = aig.make_or(a[i], b[i])
+        xor_bit = aig.make_xor(a[i], b[i])
+        low = aig.make_mux(op0, and_bit, add_bit)
+        high = aig.make_mux(op0, xor_bit, or_bit)
+        aig.add_po(aig.make_mux(op1, high, low), f"y{i}")
+    aig.add_po(carry, "cout")
+    return aig
+
+
+def paper_example_aig(name: str = "fig1") -> Aig:
+    """A small redundancy-rich AIG in the spirit of the paper's Figure 1 example.
+
+    The network has three regions, each favouring a different operation:
+
+    * a *resubstitution* region — ``g = a·(d·(b+c))`` is locally optimal over
+      its own cut but equals ``m·n`` for the already existing nodes
+      ``m = a·d`` and ``n = a·(b+c)``; only a divisor-based method can exploit
+      that sharing,
+    * a *refactoring* region — a flat six-product SOP ``a·(b+c+d+e+f+h)``
+      expanded cube by cube, too wide for a 4-input rewriting cut but
+      collapsed by ISOP + factoring over a large cut,
+    * a *rewriting* region — structurally different duplicates of the same
+      XOR function whose 4-feasible cuts hash into each other once rewritten.
+
+    A stand-alone pass fixes only its own region; the orchestrated Algorithm 1
+    can address all three in one traversal, which is what the paper's Figure 1
+    walk-through illustrates (absolute node counts differ from the hand-drawn
+    figure, the qualitative comparison is the point).
+    """
+    aig = Aig(name)
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    c = aig.add_pi("c")
+    d = aig.add_pi("d")
+    e = aig.add_pi("e")
+    f = aig.add_pi("f")
+    r = aig.add_pi("r")
+    t = aig.add_pi("t")
+    h = aig.add_pi("h")
+
+    # --- resubstitution region -------------------------------------------- #
+    m = aig.add_and(a, d)
+    n = aig.add_and(a, aig.make_or(b, c))
+    i = aig.add_and(m, n)
+    # Same function as i, but built with a different (locally optimal) shape.
+    g = aig.add_and(a, aig.add_and(d, aig.make_or(b, c)))
+
+    # --- refactoring region ------------------------------------------------ #
+    # Flat SOP a·b + a·c + a·d + a·e + a·f + a·h, one AND per product term.
+    products = [aig.add_and(a, x) for x in (b, c, d, e, f, h)]
+    flat_sum = aig.make_or_n(products)
+
+    # --- rewriting region --------------------------------------------------- #
+    xor_standard = aig.make_xor(r, t)
+    # The same XOR built as (r + t)·!(r·t): functionally identical, structurally
+    # different, so structural hashing alone cannot merge the two copies.
+    xor_variant = aig.add_and(aig.make_or(r, t), lit_not(aig.add_and(r, t)))
+    mixed = aig.add_and(xor_variant, aig.make_or(e, f))
+
+    aig.add_po(aig.make_or(i, aig.make_or(g, flat_sum)), "F0")
+    aig.add_po(aig.make_or(xor_standard, mixed), "F1")
+    aig.add_po(aig.add_and(g, xor_variant), "F2")
+    return aig

@@ -1,0 +1,90 @@
+"""Redundant multi-level random logic networks.
+
+The generator below mimics the character of technology-independent netlists
+produced by naive RTL elaboration: a multi-level network of small sum-of-
+products nodes over randomly chosen fanins, converted to an AIG *without* any
+sharing or optimization.  The resulting AIGs contain the kinds of redundancy
+(duplicate product terms, absorbable literals, re-derivable functions) that
+``rewrite`` / ``resub`` / ``refactor`` are designed to remove, which makes
+them a good substrate for studying optimization orchestration when the
+original ISCAS/ITC benchmark netlists are not available.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_not
+
+
+@dataclass
+class RandomLogicSpec:
+    """Parameters of the redundant random-logic generator."""
+
+    num_pis: int = 16
+    num_nodes: int = 60
+    num_pos: int = 8
+    min_fanin: int = 2
+    max_fanin: int = 4
+    max_cubes: int = 4
+    locality: int = 24
+    locality_bias: float = 0.35
+    seed: int = 0
+    name: str = "random_logic"
+
+
+def random_logic_network(spec: RandomLogicSpec) -> Aig:
+    """Generate a redundant multi-level random logic network as an AIG.
+
+    Every internal signal is a random SOP over ``min_fanin``–``max_fanin``
+    previously defined signals (biased toward recent ones by ``locality``),
+    expanded cube by cube into AND/OR logic without sharing.
+    """
+    if spec.num_pis < 2:
+        raise ValueError("the generator needs at least two primary inputs")
+    if spec.min_fanin < 1 or spec.max_fanin < spec.min_fanin:
+        raise ValueError("invalid fanin range")
+    rng = random.Random(spec.seed)
+    aig = Aig(spec.name)
+    signals: List[int] = [aig.add_pi(f"pi{i}") for i in range(spec.num_pis)]
+
+    for _ in range(spec.num_nodes):
+        fanin_count = rng.randint(spec.min_fanin, spec.max_fanin)
+        window = signals[-spec.locality :] if rng.random() < spec.locality_bias else signals
+        operands = [rng.choice(window) for _ in range(fanin_count)]
+        num_cubes = rng.randint(1, spec.max_cubes)
+        cube_literals: List[int] = []
+        for _ in range(num_cubes):
+            cube = []
+            for operand in operands:
+                roll = rng.random()
+                if roll < 0.4:
+                    cube.append(operand)
+                elif roll < 0.8:
+                    cube.append(lit_not(operand))
+                # else: the operand does not appear in this cube
+            if not cube:
+                cube.append(operands[rng.randrange(len(operands))])
+            cube_literals.append(aig.make_and_n(cube))
+        signals.append(aig.make_or_n(cube_literals))
+
+    # Outputs: the most recent signals (plus XOR mixes of dangling roots so
+    # that every piece of generated logic stays observable).
+    dangling = [node for node in aig.nodes() if aig.fanout_count(node) == 0]
+    po_drivers: List[int] = []
+    for index in range(spec.num_pos):
+        if index < len(dangling):
+            po_drivers.append(dangling[index] * 2)
+        else:
+            po_drivers.append(signals[-(index % len(signals)) - 1])
+    leftover = [node * 2 for node in dangling[spec.num_pos :]]
+    if leftover:
+        mixed = aig.make_xor_n(leftover)
+        po_drivers[0] = aig.make_xor(po_drivers[0], mixed)
+    for index, driver in enumerate(po_drivers):
+        aig.add_po(driver, f"po{index}")
+    aig.cleanup()
+    return aig

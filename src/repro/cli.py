@@ -1,0 +1,287 @@
+"""Command-line interface.
+
+Installed as the ``boolgebra`` console script (also runnable via
+``python -m repro.cli``).  The sub-commands cover the everyday workflows of
+the library without writing Python:
+
+``stats``
+    Print size / depth / interface statistics of a netlist (or a registered
+    benchmark).
+``optimize``
+    Run a sequence of stand-alone passes (``rw``, ``rs``, ``rf``, ``b``) and
+    write the optimized netlist.
+``orchestrate``
+    Run the paper's Algorithm 1 under a decision vector read from CSV, or
+    under a freshly sampled random / priority-guided assignment.
+``sample``
+    Draw and evaluate a batch of decision vectors and write their
+    quality-of-results (and optionally the vectors themselves) to CSV.
+``benchmarks``
+    List the registered benchmark designs and their statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.aig.aig import Aig
+from repro.aig.equivalence import check_equivalence
+from repro.circuits.benchmarks import BENCHMARK_SPECS, available_benchmarks, load_benchmark
+from repro.flow.reporting import format_table
+from repro.io.aiger import read_aiger, write_aiger
+from repro.io.bench import read_bench, write_bench
+from repro.io.blif import read_blif, write_blif
+from repro.orchestration.decision import DecisionVector
+from repro.orchestration.orchestrate import orchestrate
+from repro.orchestration.sampling import (
+    PriorityGuidedSampler,
+    RandomSampler,
+    evaluate_samples,
+)
+from repro.synth.scripts import balance_pass, refactor_pass, resub_pass, rewrite_pass
+
+_PASSES = {
+    "rw": rewrite_pass,
+    "rewrite": rewrite_pass,
+    "rs": resub_pass,
+    "resub": resub_pass,
+    "rf": refactor_pass,
+    "refactor": refactor_pass,
+    "b": balance_pass,
+    "balance": balance_pass,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Netlist loading / saving
+# --------------------------------------------------------------------------- #
+def load_design(spec: str) -> Aig:
+    """Load ``spec``: a netlist path (by extension) or a registered benchmark name."""
+    if os.path.exists(spec):
+        extension = os.path.splitext(spec)[1].lower()
+        if extension in (".aag", ".aig"):
+            return read_aiger(spec)
+        if extension == ".bench":
+            return read_bench(spec)
+        if extension == ".blif":
+            return read_blif(spec)
+        raise ValueError(f"unsupported netlist extension {extension!r} for {spec!r}")
+    if spec in BENCHMARK_SPECS:
+        return load_benchmark(spec)
+    raise ValueError(
+        f"{spec!r} is neither an existing netlist file nor a registered benchmark "
+        f"({', '.join(available_benchmarks())})"
+    )
+
+
+def save_design(aig: Aig, path: str) -> None:
+    """Write ``aig`` to ``path`` in the format implied by the extension."""
+    extension = os.path.splitext(path)[1].lower()
+    if extension == ".aag":
+        write_aiger(aig, path)
+    elif extension == ".aig":
+        write_aiger(aig, path, binary=True)
+    elif extension == ".bench":
+        write_bench(aig, path)
+    elif extension == ".blif":
+        write_blif(aig, path)
+    else:
+        raise ValueError(f"unsupported output extension {extension!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Sub-commands
+# --------------------------------------------------------------------------- #
+def _cmd_stats(args: argparse.Namespace) -> int:
+    aig = load_design(args.design)
+    stats = aig.stats()
+    print(
+        format_table(
+            headers=["design", "PIs", "POs", "ANDs", "depth"],
+            rows=[[aig.name, stats["pis"], stats["pos"], stats["ands"], stats["depth"]]],
+            title="Design statistics",
+        )
+    )
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    aig = load_design(args.design)
+    original = aig.copy()
+    rows = [["original", aig.size, aig.depth(), "-"]]
+    for pass_name in args.script.split(","):
+        pass_name = pass_name.strip().lower()
+        if pass_name not in _PASSES:
+            print(f"error: unknown pass {pass_name!r}", file=sys.stderr)
+            return 2
+        stats = _PASSES[pass_name](aig)
+        rows.append([pass_name, aig.size, aig.depth(), f"{stats.runtime_seconds:.2f}s"])
+    if args.verify:
+        if not check_equivalence(original, aig):
+            print("error: optimized network is NOT equivalent to the original", file=sys.stderr)
+            return 1
+        rows.append(["equivalence check", "OK", "", ""])
+    print(
+        format_table(
+            headers=["step", "ANDs", "depth", "runtime"],
+            rows=rows,
+            title=f"Optimization of {aig.name}",
+        )
+    )
+    if args.output:
+        save_design(aig, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_orchestrate(args: argparse.Namespace) -> int:
+    aig = load_design(args.design)
+    original = aig.copy()
+    if args.decisions:
+        decisions = DecisionVector.from_csv(args.decisions)
+    elif args.guided:
+        decisions = PriorityGuidedSampler(aig, seed=args.seed).base_sample()
+    else:
+        decisions = RandomSampler(aig, seed=args.seed).sample()
+    result = orchestrate(aig, decisions)
+    print(result)
+    if args.verify and not check_equivalence(original, aig):
+        print("error: orchestrated network is NOT equivalent to the original", file=sys.stderr)
+        return 1
+    if args.output:
+        save_design(aig, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    aig = load_design(args.design)
+    if args.guided:
+        sampler = PriorityGuidedSampler(aig, seed=args.seed)
+    else:
+        sampler = RandomSampler(aig, seed=args.seed)
+    vectors = sampler.generate(args.num_samples)
+    records = evaluate_samples(aig, vectors)
+    rows = []
+    for index, record in enumerate(records):
+        rows.append([index, record.size_after, record.reduction])
+    print(
+        format_table(
+            headers=["sample", "size after", "reduction"],
+            rows=rows,
+            title=(
+                f"{'Guided' if args.guided else 'Random'} sampling on {aig.name} "
+                f"(original size {aig.size})"
+            ),
+        )
+    )
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as handle:
+            handle.write("sample,size_after,reduction\n")
+            for index, record in enumerate(records):
+                handle.write(f"{index},{record.size_after},{record.reduction}\n")
+        print(f"wrote {args.output}")
+    if args.save_decisions:
+        os.makedirs(args.save_decisions, exist_ok=True)
+        for index, vector in enumerate(vectors):
+            vector.to_csv(os.path.join(args.save_decisions, f"sample_{index:04d}.csv"))
+        print(f"wrote {len(vectors)} decision vectors to {args.save_decisions}")
+    return 0
+
+
+def _cmd_benchmarks(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_benchmarks():
+        spec = BENCHMARK_SPECS[name]
+        if args.generate:
+            aig = load_benchmark(name)
+            rows.append([name, spec.kind, spec.target_size, aig.size, aig.depth()])
+        else:
+            rows.append([name, spec.kind, spec.target_size, "-", "-"])
+    print(
+        format_table(
+            headers=["name", "kind", "target ANDs", "generated ANDs", "depth"],
+            rows=rows,
+            title="Registered benchmark designs",
+        )
+    )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="boolgebra",
+        description="BoolGebra reproduction: AIG optimization and orchestration tools.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    stats = subparsers.add_parser("stats", help="print design statistics")
+    stats.add_argument("design", help="netlist path (.aag/.aig/.bench/.blif) or benchmark name")
+    stats.set_defaults(handler=_cmd_stats)
+
+    optimize = subparsers.add_parser("optimize", help="run stand-alone optimization passes")
+    optimize.add_argument("design")
+    optimize.add_argument(
+        "--script", "-s", default="rw,rs,rf", help="comma-separated passes (rw,rs,rf,b)"
+    )
+    optimize.add_argument("--output", "-o", help="write the optimized netlist here")
+    optimize.add_argument(
+        "--verify", action="store_true", help="check functional equivalence afterwards"
+    )
+    optimize.set_defaults(handler=_cmd_optimize)
+
+    orchestrate_cmd = subparsers.add_parser(
+        "orchestrate", help="run Algorithm 1 under a per-node decision vector"
+    )
+    orchestrate_cmd.add_argument("design")
+    orchestrate_cmd.add_argument("--decisions", help="CSV decision vector (node,operation)")
+    orchestrate_cmd.add_argument(
+        "--guided", action="store_true", help="use the priority-guided base assignment"
+    )
+    orchestrate_cmd.add_argument("--seed", type=int, default=0)
+    orchestrate_cmd.add_argument("--output", "-o")
+    orchestrate_cmd.add_argument("--verify", action="store_true")
+    orchestrate_cmd.set_defaults(handler=_cmd_orchestrate)
+
+    sample = subparsers.add_parser(
+        "sample", help="sample and evaluate a batch of decision vectors"
+    )
+    sample.add_argument("design")
+    sample.add_argument("--num-samples", "-n", type=int, default=10)
+    sample.add_argument("--guided", action="store_true")
+    sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument("--output", "-o", help="write sample qualities to this CSV")
+    sample.add_argument(
+        "--save-decisions", help="directory to store the sampled decision vectors as CSV"
+    )
+    sample.set_defaults(handler=_cmd_sample)
+
+    benchmarks = subparsers.add_parser("benchmarks", help="list registered benchmark designs")
+    benchmarks.add_argument(
+        "--generate", action="store_true", help="generate each design and report exact sizes"
+    )
+    benchmarks.set_defaults(handler=_cmd_benchmarks)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``boolgebra`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ValueError, KeyError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning a structured result and a
+``format_*`` helper rendering the same rows/series the paper reports:
+
+==========================  ====================================================
+module                      paper artefact
+==========================  ====================================================
+``fig1_motivation``         Figure 1 — stand-alone vs. orchestrated optimization
+``fig2_sampling``           Figure 2 — random vs. guided sampling distributions
+``fig3_embedding``          Figure 3 — attributed-graph embedding walk-through
+``fig4_training``           Figure 4 — design-specific testing-loss curves
+``fig5_design_specific``    Figure 5 — design-specific predicted-vs-actual
+``fig6_cross_design``       Figure 6 — cross-design predicted-vs-actual
+``table1_comparison``       Table I — BoolGebra vs. stand-alone SOTA baselines
+``ablations``               extra ablations called out in DESIGN.md
+==========================  ====================================================
+
+All experiments accept explicit scale parameters (number of samples, designs,
+training epochs); the defaults are CPU-sized, while ``paper_scale=True``
+switches to the exact settings of the paper where that is meaningful.
+"""
+
+from repro.experiments.fig1_motivation import run_fig1_motivation
+from repro.experiments.fig2_sampling import run_fig2_sampling
+from repro.experiments.fig3_embedding import run_fig3_embedding
+from repro.experiments.fig4_training import run_fig4_training
+from repro.experiments.fig5_design_specific import run_fig5_design_specific
+from repro.experiments.fig6_cross_design import run_fig6_cross_design
+from repro.experiments.table1_comparison import run_table1_comparison
+
+__all__ = [
+    "run_fig1_motivation",
+    "run_fig2_sampling",
+    "run_fig3_embedding",
+    "run_fig4_training",
+    "run_fig5_design_specific",
+    "run_fig6_cross_design",
+    "run_table1_comparison",
+]

@@ -1,0 +1,138 @@
+"""Ablation studies called out in DESIGN.md.
+
+Two ablations probe the design choices the paper motivates but does not
+isolate numerically:
+
+* **Sampling ablation** — train the predictor on purely random samples vs. the
+  priority-guided samples of Section III-B and compare the resulting ranking
+  quality (the paper argues guided sampling yields more distinctive, better
+  performing training data).
+* **Feature ablation** — train with the full 12-dimensional embedding, with
+  static features only, and with dynamic features only, to quantify how much
+  each attribute family contributes (the paper's embedding combines both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.common import get_design, sample_dataset
+from repro.features.dataset import BoolGebraDataset, GraphSample
+from repro.features.dynamic_features import DYNAMIC_FEATURE_DIM
+from repro.features.static_features import STATIC_FEATURE_DIM
+from repro.flow.config import FlowConfig, fast_config
+from repro.flow.reporting import format_table
+from repro.nn.metrics import regression_report
+from repro.nn.trainer import Trainer
+
+
+@dataclass
+class AblationResult:
+    """Metric reports keyed by ablation variant."""
+
+    design: str
+    reports: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def summary_rows(self) -> List[List[object]]:
+        rows = []
+        for variant, report in self.reports.items():
+            rows.append(
+                [
+                    variant,
+                    report["mse"],
+                    report["pearson"],
+                    report["spearman"],
+                    report["top_k_overlap"],
+                ]
+            )
+        return rows
+
+
+def run_sampling_ablation(
+    design: str = "b10",
+    num_train_samples: int = 24,
+    num_test_samples: int = 12,
+    config: Optional[FlowConfig] = None,
+    seed: int = 0,
+) -> AblationResult:
+    """Guided vs. random training data, evaluated on the same unseen samples."""
+    config = config or fast_config()
+    aig = get_design(design)
+    test_set = sample_dataset(aig, num_test_samples, guided=False, seed=seed + 999, config=config)
+    result = AblationResult(design=design)
+    for variant, guided in (("guided sampling", True), ("random sampling", False)):
+        train_set = sample_dataset(
+            aig, num_train_samples, guided=guided, seed=seed, config=config
+        )
+        trainer = Trainer(config=config.training, model_config=config.model)
+        trainer.train_on_dataset(train_set, config.train_fraction)
+        predictions = trainer.predict(test_set.samples)
+        result.reports[variant] = regression_report(predictions, test_set.labels())
+    return result
+
+
+def _mask_features(dataset: BoolGebraDataset, keep: str) -> BoolGebraDataset:
+    """Return a copy of the dataset with one attribute family zeroed out."""
+    if keep not in ("all", "static", "dynamic"):
+        raise ValueError("keep must be one of 'all', 'static', 'dynamic'")
+    masked: List[GraphSample] = []
+    for sample in dataset.samples:
+        features = sample.features.copy()
+        if keep == "static":
+            features[:, STATIC_FEATURE_DIM:] = 0.0
+        elif keep == "dynamic":
+            features[:, :STATIC_FEATURE_DIM] = 0.0
+        masked.append(
+            GraphSample(
+                design=sample.design,
+                features=features,
+                edge_index=sample.edge_index,
+                label=sample.label,
+                reduction=sample.reduction,
+                size_after=sample.size_after,
+                record=sample.record,
+            )
+        )
+    return BoolGebraDataset(dataset.design, masked, dataset.best_reduction, dataset.encoding)
+
+
+def run_feature_ablation(
+    design: str = "b10",
+    num_train_samples: int = 24,
+    num_test_samples: int = 12,
+    config: Optional[FlowConfig] = None,
+    seed: int = 0,
+) -> AblationResult:
+    """Full embedding vs. static-only vs. dynamic-only node attributes."""
+    config = config or fast_config()
+    aig = get_design(design)
+    train_full = sample_dataset(aig, num_train_samples, guided=True, seed=seed, config=config)
+    test_full = sample_dataset(
+        aig, num_test_samples, guided=False, seed=seed + 999, config=config
+    )
+    result = AblationResult(design=design)
+    for variant, keep in (
+        ("static + dynamic", "all"),
+        ("static only", "static"),
+        ("dynamic only", "dynamic"),
+    ):
+        train_set = _mask_features(train_full, keep)
+        test_set = _mask_features(test_full, keep)
+        trainer = Trainer(config=config.training, model_config=config.model)
+        trainer.train_on_dataset(train_set, config.train_fraction)
+        predictions = trainer.predict(test_set.samples)
+        result.reports[variant] = regression_report(predictions, test_set.labels())
+    return result
+
+
+def format_ablation(result: AblationResult, title: str) -> str:
+    """Render an ablation result table."""
+    return format_table(
+        headers=["variant", "MSE", "pearson", "spearman", "top-k overlap"],
+        rows=result.summary_rows(),
+        title=f"{title} (design {result.design})",
+        float_format="{:.3f}",
+    )

@@ -1,0 +1,78 @@
+"""Shared plumbing of the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.aig.aig import Aig
+from repro.circuits.benchmarks import load_benchmark
+from repro.features.dataset import BoolGebraDataset, build_dataset
+from repro.flow.config import FlowConfig, fast_config
+from repro.orchestration.sampling import (
+    PriorityGuidedSampler,
+    RandomSampler,
+    evaluate_samples,
+)
+
+
+def get_design(name: str) -> Aig:
+    """Load a benchmark design by name (synthetic stand-in or real netlist)."""
+    return load_benchmark(name)
+
+
+def sample_dataset(
+    aig: Aig,
+    num_samples: int,
+    guided: bool,
+    seed: int,
+    config: Optional[FlowConfig] = None,
+) -> BoolGebraDataset:
+    """Sample, evaluate and embed ``num_samples`` decisions for ``aig``."""
+    config = config or fast_config()
+    if guided:
+        sampler = PriorityGuidedSampler(aig, seed=seed, params=config.operations)
+        vectors = sampler.generate(num_samples)
+        analysis = sampler.analysis
+    else:
+        sampler = RandomSampler(aig, seed=seed)
+        vectors = sampler.generate(num_samples)
+        analysis = None
+    records = evaluate_samples(aig, vectors, params=config.operations)
+    return build_dataset(aig, records, analysis=analysis, params=config.operations)
+
+
+@dataclass
+class SeriesResult:
+    """A labelled numeric series (one curve / histogram of a figure)."""
+
+    label: str
+    values: List[float] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, float]:
+        """Mean / std / min / max of the series."""
+        if not self.values:
+            return {"mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0}
+        array = np.asarray(self.values, dtype=np.float64)
+        return {
+            "mean": float(array.mean()),
+            "std": float(array.std()),
+            "min": float(array.min()),
+            "max": float(array.max()),
+        }
+
+
+def histogram_text(values: Sequence[float], bins: int = 10, width: int = 40) -> str:
+    """Render a small ASCII histogram (for figure-style distributions)."""
+    if not values:
+        return "(empty)"
+    array = np.asarray(values, dtype=np.float64)
+    counts, edges = np.histogram(array, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = []
+    for index, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"  [{edges[index]:8.1f}, {edges[index + 1]:8.1f})  {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Figure 4: design-specific testing loss over training epochs.
+
+For each design the paper trains the predictor on 600 priority-guided samples
+and plots the MSE testing loss over 1500 epochs, observing smooth convergence
+for every design.  This experiment regenerates the loss curves at configurable
+scale (samples, epochs, model size); the exact paper settings are obtained
+with ``paper_scale=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import get_design, sample_dataset
+from repro.flow.config import FlowConfig, fast_config, paper_config
+from repro.flow.reporting import format_table
+from repro.nn.trainer import Trainer, TrainingHistory
+
+#: The designs whose loss curves appear in Figure 4 of the paper.
+FIG4_DESIGNS = ("b07", "b08", "b09", "b10", "b11", "b12", "c2670", "c5315")
+
+
+@dataclass
+class Fig4Result:
+    """Per-design training histories."""
+
+    designs: List[str] = field(default_factory=list)
+    histories: Dict[str, TrainingHistory] = field(default_factory=dict)
+    num_samples: int = 0
+    epochs: int = 0
+
+    def summary_rows(self) -> List[List[object]]:
+        rows = []
+        for design in self.designs:
+            history = self.histories[design]
+            rows.append(
+                [
+                    design,
+                    history.test_loss[0] if history.test_loss else float("nan"),
+                    history.best_test_loss(),
+                    history.test_loss[-1] if history.test_loss else float("nan"),
+                    history.train_loss[-1],
+                ]
+            )
+        return rows
+
+
+def run_fig4_training(
+    designs: Sequence[str] = ("b07", "b08", "b09", "b10"),
+    num_samples: int = 24,
+    config: Optional[FlowConfig] = None,
+    paper_scale: bool = False,
+    seed: int = 0,
+) -> Fig4Result:
+    """Train one design-specific model per design and record the loss curves.
+
+    The default designs/samples keep the experiment CPU-sized; pass
+    ``designs=FIG4_DESIGNS`` and ``paper_scale=True`` to match the paper.
+    """
+    config = config or (paper_config() if paper_scale else fast_config())
+    if paper_scale:
+        num_samples = config.num_samples
+    result = Fig4Result(
+        designs=list(designs), num_samples=num_samples, epochs=config.training.epochs
+    )
+    for design_name in designs:
+        aig = get_design(design_name)
+        dataset = sample_dataset(aig, num_samples, guided=True, seed=seed, config=config)
+        trainer = Trainer(config=config.training, model_config=config.model)
+        history = trainer.train_on_dataset(dataset, config.train_fraction)
+        result.histories[design_name] = history
+    return result
+
+
+def format_fig4(result: Fig4Result) -> str:
+    """Render the per-design loss summary (first / best / final test loss)."""
+    return format_table(
+        headers=["design", "first test MSE", "best test MSE", "final test MSE", "final train MSE"],
+        rows=result.summary_rows(),
+        title=(
+            f"Figure 4 — design-specific testing loss "
+            f"({result.num_samples} samples, {result.epochs} epochs)"
+        ),
+        float_format="{:.5f}",
+    )
+
+
+def loss_curves(result: Fig4Result) -> Dict[str, List[float]]:
+    """Return the raw per-epoch testing-loss series (the curves of Figure 4)."""
+    return {design: list(history.test_loss) for design, history in result.histories.items()}

@@ -1,0 +1,32 @@
+"""Attributed-graph feature embedding and dataset construction.
+
+BoolGebra attaches two kinds of node attributes to an AIG (Figure 3 of the
+paper):
+
+* **static features** (8 values) that depend only on the design structure —
+  the complementation of the node's fanin edges and the transformability /
+  local gain of each of ``rw``/``rs``/``rf`` at the node,
+* **dynamic features** (4 values) that depend on the specific optimization
+  sample — a one-hot encoding of the operation that was *actually applied* at
+  the node under that sample.
+
+Primary inputs carry the sentinel value ``-99`` in every position.  A training
+example is the attributed graph of one sample together with a normalized label
+(the gap to the best node reduction observed in the dataset).
+"""
+
+from repro.features.dataset import BoolGebraDataset, GraphSample, build_dataset
+from repro.features.dynamic_features import dynamic_feature_matrix
+from repro.features.encoding import PI_SENTINEL, GraphEncoding, encode_graph
+from repro.features.static_features import static_feature_matrix
+
+__all__ = [
+    "BoolGebraDataset",
+    "GraphEncoding",
+    "GraphSample",
+    "PI_SENTINEL",
+    "build_dataset",
+    "dynamic_feature_matrix",
+    "encode_graph",
+    "static_feature_matrix",
+]

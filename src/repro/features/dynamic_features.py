@@ -1,0 +1,63 @@
+"""Dynamic node features (Figure 3(d)/(e) of the paper).
+
+The dynamic attribute of a node is a 4-entry one-hot vector describing which
+operation was *practically applied* to the node when the orchestrated
+optimizer executed one specific decision sample:
+
+====  ==================================
+slot  meaning
+====  ==================================
+0     no operation was applied
+1     ``rw`` was applied
+2     ``rs`` was applied
+3     ``rf`` was applied
+====  ==================================
+
+Primary inputs carry the ``-99`` sentinel.  Unlike the static features these
+vary from sample to sample — together with the label they are what lets the
+predictor rank different manipulation decisions on the same design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.aig.aig import Aig
+from repro.features.encoding import GraphEncoding, PI_SENTINEL, scatter_features
+from repro.orchestration.decision import Operation
+
+#: Width of the dynamic feature vector.
+DYNAMIC_FEATURE_DIM = 4
+
+#: One-hot slot of each operation (slot 0 means "nothing applied").
+_OPERATION_SLOT = {
+    Operation.REWRITE: 1,
+    Operation.RESUB: 2,
+    Operation.REFACTOR: 3,
+}
+
+
+def dynamic_node_features(
+    aig: Aig, applied_nodes: Mapping[int, Operation]
+) -> Dict[int, np.ndarray]:
+    """Return the 4-dimensional one-hot dynamic feature of every AND node."""
+    features: Dict[int, np.ndarray] = {}
+    for node in aig.nodes():
+        vector = np.zeros(DYNAMIC_FEATURE_DIM, dtype=np.float64)
+        operation = applied_nodes.get(node)
+        slot = 0 if operation is None else _OPERATION_SLOT[Operation(operation)]
+        vector[slot] = 1.0
+        features[node] = vector
+    return features
+
+
+def dynamic_feature_matrix(
+    aig: Aig,
+    encoding: GraphEncoding,
+    applied_nodes: Mapping[int, Operation],
+) -> np.ndarray:
+    """Return the ``(num_nodes, 4)`` dynamic feature matrix for one sample."""
+    per_node = dynamic_node_features(aig, applied_nodes)
+    return scatter_features(encoding, per_node, DYNAMIC_FEATURE_DIM, pi_value=PI_SENTINEL)

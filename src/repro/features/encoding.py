@@ -1,0 +1,113 @@
+"""Graph encoding: node indexing and edge lists for the GNN.
+
+The GNN operates on dense row indices rather than on sparse AIG node ids.
+:func:`encode_graph` fixes the node ordering (PIs first, then AND nodes in
+topological order), builds the edge index over these rows and remembers the
+mapping so that per-node-id feature dictionaries can be scattered into
+matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_var
+
+#: Sentinel used by the paper for primary-input feature rows.
+PI_SENTINEL = -99.0
+
+
+@dataclass
+class GraphEncoding:
+    """Fixed node ordering and edge structure of one design."""
+
+    design: str
+    node_ids: List[int]
+    node_index: Dict[int, int]
+    edge_index: np.ndarray  # shape (2, num_edges), rows = (source, target)
+    edge_inverted: np.ndarray  # shape (num_edges,), bool
+    num_pis: int
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of encoded nodes (PIs + AND gates)."""
+        return len(self.node_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of encoded fanin edges."""
+        return self.edge_index.shape[1]
+
+    def is_pi_row(self, row: int) -> bool:
+        """Return whether the encoded row corresponds to a primary input."""
+        return row < self.num_pis
+
+
+def encode_graph(aig: Aig, undirected: bool = True) -> GraphEncoding:
+    """Build the :class:`GraphEncoding` of ``aig``.
+
+    Parameters
+    ----------
+    undirected:
+        When true (default) each structural edge is added in both directions,
+        which lets GraphSAGE propagate information from fanouts as well as
+        fanins.  The graph-structure input of the paper is the plain edge
+        list; making it symmetric is the usual choice for PyG's ``SAGEConv``
+        and is kept as the default here.
+    """
+    node_ids: List[int] = list(aig.pis())
+    node_ids.extend(aig.topological_order())
+    node_index = {node: row for row, node in enumerate(node_ids)}
+
+    sources: List[int] = []
+    targets: List[int] = []
+    inverted: List[bool] = []
+    for node in aig.topological_order():
+        target_row = node_index[node]
+        for fanin in aig.fanins(node):
+            fanin_node = lit_var(fanin)
+            if fanin_node not in node_index:
+                # Constant fanins are not encoded as graph nodes.
+                continue
+            sources.append(node_index[fanin_node])
+            targets.append(target_row)
+            inverted.append(bool(fanin & 1))
+
+    if undirected:
+        sources, targets = sources + targets, targets + sources
+        inverted = inverted + inverted
+
+    edge_index = np.array([sources, targets], dtype=np.int64) if sources else np.zeros(
+        (2, 0), dtype=np.int64
+    )
+    return GraphEncoding(
+        design=aig.name,
+        node_ids=node_ids,
+        node_index=node_index,
+        edge_index=edge_index,
+        edge_inverted=np.array(inverted, dtype=bool),
+        num_pis=aig.num_pis(),
+    )
+
+
+def scatter_features(
+    encoding: GraphEncoding,
+    per_node: Dict[int, np.ndarray],
+    width: int,
+    pi_value: float = PI_SENTINEL,
+) -> np.ndarray:
+    """Assemble a ``(num_nodes, width)`` matrix from a per-node-id dictionary.
+
+    Rows of nodes that do not appear in ``per_node`` (primary inputs, or nodes
+    created after the features were computed) are filled with ``pi_value``.
+    """
+    matrix = np.full((encoding.num_nodes, width), pi_value, dtype=np.float64)
+    for node, row in encoding.node_index.items():
+        features = per_node.get(node)
+        if features is not None:
+            matrix[row, :] = features
+    return matrix

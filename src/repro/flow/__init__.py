@@ -1,0 +1,25 @@
+"""The end-to-end BoolGebra flow and its SOTA baselines.
+
+The flow (Section III-D of the paper) has three steps: (1) randomly sample a
+large batch of Boolean manipulation decisions for the design, (2) prune the
+sampled space with the GNN predictor, (3) evaluate only the top predicted
+candidates exactly and report the best AIG reduction found.  The baselines are
+the stand-alone ``rewrite`` / ``resub`` / ``refactor`` passes.
+"""
+
+from repro.flow.baselines import BaselineResult, run_baselines
+from repro.flow.boolgebra import BoolGebraFlow, BoolGebraResult
+from repro.flow.config import FlowConfig, fast_config, paper_config
+from repro.flow.reporting import format_table, results_to_csv
+
+__all__ = [
+    "BaselineResult",
+    "BoolGebraFlow",
+    "BoolGebraResult",
+    "FlowConfig",
+    "fast_config",
+    "format_table",
+    "paper_config",
+    "results_to_csv",
+    "run_baselines",
+]

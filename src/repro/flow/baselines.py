@@ -1,0 +1,71 @@
+"""Stand-alone SOTA baselines (``rewrite``, ``resub``, ``refactor``).
+
+These are the three single-operation, single-traversal passes BoolGebra is
+compared against in Table I of the paper.  Each baseline runs on a fresh copy
+of the design so the results are independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.aig.aig import Aig
+from repro.orchestration.transformability import OperationParams
+from repro.synth.scripts import PassStats, refactor_pass, resub_pass, rewrite_pass
+
+
+@dataclass
+class BaselineResult:
+    """Result of one stand-alone optimization baseline."""
+
+    design: str
+    operation: str
+    size_before: int
+    size_after: int
+    runtime_seconds: float
+
+    @property
+    def size_ratio(self) -> float:
+        """Optimized size over original size (the Table I metric)."""
+        if self.size_before == 0:
+            return 1.0
+        return self.size_after / self.size_before
+
+    @property
+    def reduction(self) -> int:
+        """Absolute node reduction."""
+        return self.size_before - self.size_after
+
+
+def _from_stats(design: str, operation: str, stats: PassStats) -> BaselineResult:
+    return BaselineResult(
+        design=design,
+        operation=operation,
+        size_before=stats.size_before,
+        size_after=stats.size_after,
+        runtime_seconds=stats.runtime_seconds,
+    )
+
+
+def run_baselines(
+    aig: Aig, params: Optional[OperationParams] = None
+) -> Dict[str, BaselineResult]:
+    """Run the three stand-alone passes on copies of ``aig``.
+
+    Returns a dictionary keyed by ``"rewrite"``, ``"resub"`` and ``"refactor"``.
+    """
+    params = params or OperationParams()
+    results: Dict[str, BaselineResult] = {}
+
+    rewrite_copy = aig.copy()
+    results["rewrite"] = _from_stats(
+        aig.name, "rewrite", rewrite_pass(rewrite_copy, params.rewrite)
+    )
+    resub_copy = aig.copy()
+    results["resub"] = _from_stats(aig.name, "resub", resub_pass(resub_copy, params.resub))
+    refactor_copy = aig.copy()
+    results["refactor"] = _from_stats(
+        aig.name, "refactor", refactor_pass(refactor_copy, params.refactor)
+    )
+    return results

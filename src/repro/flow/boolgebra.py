@@ -1,0 +1,191 @@
+"""The end-to-end BoolGebra flow.
+
+The flow ties everything together (Section III-D of the paper):
+
+1. **Sample** a batch of per-node manipulation decision vectors for the design
+   (priority-guided by default).
+2. **Train** the GraphSAGE predictor on evaluated training samples — or reuse
+   a model trained on a *different* design for cross-design inference.
+3. **Prune** a (fresh) batch of unseen candidate samples with the predictor.
+4. **Evaluate** only the top-``k`` predicted candidates exactly with the
+   orchestrated optimizer and report the best / mean result, to be compared
+   against the stand-alone SOTA baselines.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.aig.aig import Aig
+from repro.features.dataset import BoolGebraDataset, GraphSample, build_dataset
+from repro.flow.config import FlowConfig, fast_config
+from repro.nn.metrics import regression_report
+from repro.nn.trainer import Trainer, TrainingHistory
+from repro.orchestration.decision import DecisionVector
+from repro.orchestration.sampling import (
+    PriorityGuidedSampler,
+    RandomSampler,
+    SampleRecord,
+    evaluate_samples,
+)
+
+
+@dataclass
+class BoolGebraResult:
+    """Outcome of one BoolGebra flow run on one design."""
+
+    design: str
+    original_size: int
+    evaluated_sizes: List[int] = field(default_factory=list)
+    predicted_scores: List[float] = field(default_factory=list)
+    best_size: int = 0
+    mean_size: float = 0.0
+    training_history: Optional[TrainingHistory] = None
+    prediction_report: Dict[str, float] = field(default_factory=dict)
+    runtime_seconds: float = 0.0
+
+    @property
+    def best_ratio(self) -> float:
+        """BG-Best: best optimized size over original size (Table I)."""
+        if self.original_size == 0:
+            return 1.0
+        return self.best_size / self.original_size
+
+    @property
+    def mean_ratio(self) -> float:
+        """BG-Mean: mean optimized size of the evaluated top-k over original size."""
+        if self.original_size == 0:
+            return 1.0
+        return self.mean_size / self.original_size
+
+    def __str__(self) -> str:
+        return (
+            f"BoolGebra[{self.design}]: best {self.best_size}/{self.original_size} "
+            f"({self.best_ratio:.3f}), mean ratio {self.mean_ratio:.3f}, "
+            f"{self.runtime_seconds:.1f}s"
+        )
+
+
+class BoolGebraFlow:
+    """Sample → train/predict → prune → evaluate, on one or several designs."""
+
+    def __init__(self, config: Optional[FlowConfig] = None) -> None:
+        self.config = config or fast_config()
+        self.trainer: Optional[Trainer] = None
+        self.training_design: Optional[str] = None
+        self.training_dataset: Optional[BoolGebraDataset] = None
+
+    # ------------------------------------------------------------------ #
+    # Dataset generation
+    # ------------------------------------------------------------------ #
+    def generate_dataset(
+        self,
+        aig: Aig,
+        num_samples: Optional[int] = None,
+        guided: Optional[bool] = None,
+        seed: Optional[int] = None,
+    ) -> BoolGebraDataset:
+        """Sample decision vectors for ``aig``, evaluate them and build the dataset."""
+        config = self.config
+        num_samples = num_samples or config.num_samples
+        guided = config.guided_sampling if guided is None else guided
+        seed = config.seed if seed is None else seed
+        if guided:
+            sampler = PriorityGuidedSampler(
+                aig, seed=seed, params=config.operations
+            )
+            vectors = sampler.generate(num_samples)
+            analysis = sampler.analysis
+        else:
+            sampler = RandomSampler(aig, seed=seed)
+            vectors = sampler.generate(num_samples)
+            analysis = None
+        records = evaluate_samples(aig, vectors, params=config.operations)
+        return build_dataset(
+            aig, records, analysis=analysis, params=config.operations
+        )
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def train(self, aig: Aig, dataset: Optional[BoolGebraDataset] = None) -> TrainingHistory:
+        """Train (design-specifically) on ``aig`` and keep the model for inference."""
+        config = self.config
+        if dataset is None:
+            num_training = config.num_training_samples or config.num_samples
+            dataset = self.generate_dataset(aig, num_samples=num_training)
+        self.training_dataset = dataset
+        self.training_design = aig.name
+        self.trainer = Trainer(
+            config=config.training,
+            model_config=config.model,
+        )
+        history = self.trainer.train_on_dataset(dataset, config.train_fraction)
+        return history
+
+    # ------------------------------------------------------------------ #
+    # Inference / full flow
+    # ------------------------------------------------------------------ #
+    def prune_and_evaluate(
+        self,
+        aig: Aig,
+        candidates: Optional[BoolGebraDataset] = None,
+        top_k: Optional[int] = None,
+    ) -> BoolGebraResult:
+        """Rank candidate samples with the trained model and evaluate the top ``k``.
+
+        ``candidates`` defaults to a freshly sampled batch on ``aig``; passing
+        a dataset built on a *different* design than the training one realizes
+        the paper's cross-design inference.
+        """
+        if self.trainer is None:
+            raise RuntimeError("train() must be called before prune_and_evaluate()")
+        config = self.config
+        top_k = top_k or config.top_k
+        start = time.perf_counter()
+        if candidates is None:
+            candidates = self.generate_dataset(aig, seed=config.seed + 1)
+        predictions = self.trainer.predict(candidates.samples)
+        targets = candidates.labels()
+        order = np.argsort(predictions, kind="stable")[: min(top_k, len(predictions))]
+
+        evaluated_sizes = [candidates.samples[int(i)].size_after for i in order]
+        predicted_scores = [float(predictions[int(i)]) for i in order]
+        best_size = min(evaluated_sizes) if evaluated_sizes else aig.size
+        mean_size = float(np.mean(evaluated_sizes)) if evaluated_sizes else float(aig.size)
+        result = BoolGebraResult(
+            design=aig.name,
+            original_size=aig.size,
+            evaluated_sizes=evaluated_sizes,
+            predicted_scores=predicted_scores,
+            best_size=best_size,
+            mean_size=mean_size,
+            prediction_report=regression_report(predictions, targets, k=top_k),
+            runtime_seconds=time.perf_counter() - start,
+        )
+        return result
+
+    def run(self, aig: Aig) -> BoolGebraResult:
+        """Design-specific end-to-end flow: sample, train, prune, evaluate."""
+        history = self.train(aig)
+        result = self.prune_and_evaluate(aig)
+        result.training_history = history
+        return result
+
+    def run_cross_design(self, training_aig: Aig, inference_aig: Aig) -> BoolGebraResult:
+        """Train on one design, then prune/evaluate samples of another design."""
+        history = self.train(training_aig)
+        result = self.prune_and_evaluate(inference_aig)
+        result.training_history = history
+        return result
+
+    # ------------------------------------------------------------------ #
+    def predict_scores(self, samples: Sequence[GraphSample]) -> np.ndarray:
+        """Raw model scores for arbitrary attributed-graph samples."""
+        if self.trainer is None:
+            raise RuntimeError("train() must be called before predict_scores()")
+        return self.trainer.predict(samples)

@@ -1,0 +1,82 @@
+"""Plain-text and CSV reporting of experiment results.
+
+The experiment harness regenerates the rows of the paper's tables; these
+helpers format them the same way the paper presents them (ratios of optimized
+to original AIG size, improvement rows, per-design breakdowns) without
+requiring any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats are formatted with ``float_format``; everything else with ``str``.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_row([str(header) for header in headers]))
+    lines.append(format_row(["-" * width for width in widths]))
+    lines.extend(format_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def results_to_csv(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], path=None
+) -> str:
+    """Serialize rows as CSV; optionally also write them to ``path``."""
+    buffer = io.StringIO()
+    buffer.write(",".join(str(header) for header in headers) + "\n")
+    for row in rows:
+        buffer.write(",".join(str(value) for value in row) + "\n")
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(text)
+    return text
+
+
+def summarize_ratios(ratios: Mapping[str, float]) -> Dict[str, float]:
+    """Return the per-method average ratio plus improvements over each baseline.
+
+    ``ratios`` maps method name to average optimized/original size ratio; the
+    improvement of BoolGebra-Best over baseline ``m`` is ``ratio_m - ratio_bg``
+    expressed in percentage points, matching the ``Impr. (%)`` row of Table I.
+    """
+    summary = dict(ratios)
+    bg_best = ratios.get("bg_best")
+    if bg_best is None:
+        return summary
+    for method, ratio in ratios.items():
+        if method.startswith("bg_"):
+            continue
+        summary[f"improvement_over_{method}_pct"] = (ratio - bg_best) * 100.0
+    return summary

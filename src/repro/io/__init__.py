@@ -1,0 +1,30 @@
+"""Netlist input/output.
+
+Readers and writers for the standard exchange formats of the logic-synthesis
+community:
+
+``aiger``
+    ASCII (``.aag``) and binary (``.aig``) AIGER, the native AIG format.
+``bench``
+    The ISCAS ``.bench`` netlist format used by the ISCAS'85/'89 and ITC'99
+    benchmark suites.
+``blif``
+    Berkeley Logic Interchange Format (combinational subset).
+``dot``
+    Graphviz export for visualisation and debugging.
+"""
+
+from repro.io.aiger import read_aiger, write_aiger
+from repro.io.bench import read_bench, write_bench
+from repro.io.blif import read_blif, write_blif
+from repro.io.dot import write_dot
+
+__all__ = [
+    "read_aiger",
+    "write_aiger",
+    "read_bench",
+    "write_bench",
+    "read_blif",
+    "write_blif",
+    "write_dot",
+]

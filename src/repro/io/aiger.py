@@ -1,0 +1,181 @@
+"""AIGER reader / writer (combinational subset).
+
+Both the ASCII ``aag`` and the binary ``aig`` variants of the AIGER format are
+supported for combinational networks (no latches).  The binary writer requires
+fanin literals to be smaller than the node literal, which the topological
+re-encoding performed during writing guarantees.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple, Union
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_is_compl, lit_var
+
+PathLike = Union[str, os.PathLike]
+
+
+# --------------------------------------------------------------------------- #
+# Writing
+# --------------------------------------------------------------------------- #
+def _reencode(aig: Aig) -> Tuple[Dict[int, int], List[int]]:
+    """Map node ids to consecutive AIGER variables (PIs first, then ANDs)."""
+    mapping: Dict[int, int] = {0: 0}
+    next_var = 1
+    for pi in aig.pis():
+        mapping[pi] = next_var
+        next_var += 1
+    order = aig.topological_order()
+    for node in order:
+        mapping[node] = next_var
+        next_var += 1
+    return mapping, order
+
+
+def _map_literal(mapping: Dict[int, int], literal: int) -> int:
+    return mapping[lit_var(literal)] * 2 + int(lit_is_compl(literal))
+
+
+def write_aiger(aig: Aig, path: PathLike, binary: bool = False) -> None:
+    """Write ``aig`` to ``path`` in ASCII (default) or binary AIGER format."""
+    mapping, order = _reencode(aig)
+    num_pis = aig.num_pis()
+    num_ands = len(order)
+    max_var = num_pis + num_ands
+    header_kind = "aig" if binary else "aag"
+    header = f"{header_kind} {max_var} {num_pis} 0 {aig.num_pos()} {num_ands}\n"
+
+    if not binary:
+        lines = [header]
+        for index in range(num_pis):
+            lines.append(f"{(index + 1) * 2}\n")
+        for driver in aig.pos():
+            lines.append(f"{_map_literal(mapping, driver)}\n")
+        for node in order:
+            lhs = mapping[node] * 2
+            rhs0 = _map_literal(mapping, aig.fanin0(node))
+            rhs1 = _map_literal(mapping, aig.fanin1(node))
+            if rhs0 < rhs1:
+                rhs0, rhs1 = rhs1, rhs0
+            lines.append(f"{lhs} {rhs0} {rhs1}\n")
+        lines.extend(_symbol_lines(aig))
+        with open(path, "w", encoding="ascii") as handle:
+            handle.writelines(lines)
+        return
+
+    with open(path, "wb") as handle:
+        handle.write(header.encode("ascii"))
+        for driver in aig.pos():
+            handle.write(f"{_map_literal(mapping, driver)}\n".encode("ascii"))
+        for node in order:
+            lhs = mapping[node] * 2
+            rhs0 = _map_literal(mapping, aig.fanin0(node))
+            rhs1 = _map_literal(mapping, aig.fanin1(node))
+            if rhs0 < rhs1:
+                rhs0, rhs1 = rhs1, rhs0
+            handle.write(_encode_delta(lhs - rhs0))
+            handle.write(_encode_delta(rhs0 - rhs1))
+        handle.write("".join(_symbol_lines(aig)).encode("ascii"))
+
+
+def _symbol_lines(aig: Aig) -> List[str]:
+    lines = []
+    for index in range(aig.num_pis()):
+        name = aig.pi_name(index)
+        if name:
+            lines.append(f"i{index} {name}\n")
+    for index in range(aig.num_pos()):
+        name = aig.po_name(index)
+        if name:
+            lines.append(f"o{index} {name}\n")
+    lines.append(f"c\n{aig.name}\n")
+    return lines
+
+
+def _encode_delta(delta: int) -> bytes:
+    """LEB128-style 7-bit variable-length encoding used by binary AIGER."""
+    if delta < 0:
+        raise ValueError("binary AIGER requires topologically increasing literals")
+    out = bytearray()
+    while delta >= 0x80:
+        out.append((delta & 0x7F) | 0x80)
+        delta >>= 7
+    out.append(delta)
+    return bytes(out)
+
+
+# --------------------------------------------------------------------------- #
+# Reading
+# --------------------------------------------------------------------------- #
+def read_aiger(path: PathLike, name: str = "") -> Aig:
+    """Read an ASCII or binary combinational AIGER file."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    header_end = data.index(b"\n")
+    header = data[:header_end].decode("ascii").split()
+    if not header or header[0] not in ("aag", "aig"):
+        raise ValueError(f"{path}: not an AIGER file")
+    kind, max_var, num_pis, num_latches, num_pos, num_ands = (
+        header[0],
+        *(int(token) for token in header[1:6]),
+    )
+    if num_latches:
+        raise ValueError("sequential AIGER files are not supported")
+    aig = Aig(name or os.path.splitext(os.path.basename(str(path)))[0])
+    var_to_lit: Dict[int, int] = {0: 0}
+    for index in range(num_pis):
+        var_to_lit[index + 1] = aig.add_pi(f"pi{index}")
+
+    def translate(aiger_literal: int) -> int:
+        var = aiger_literal >> 1
+        base = var_to_lit[var]
+        return base ^ (aiger_literal & 1)
+
+    if kind == "aag":
+        lines = data[header_end + 1 :].decode("ascii").splitlines()
+        cursor = 0
+        # Skip explicit input literal lines.
+        cursor += num_pis
+        po_literals = [int(lines[cursor + i].split()[0]) for i in range(num_pos)]
+        cursor += num_pos
+        and_rows = []
+        for i in range(num_ands):
+            lhs, rhs0, rhs1 = (int(tok) for tok in lines[cursor + i].split()[:3])
+            and_rows.append((lhs, rhs0, rhs1))
+        for lhs, rhs0, rhs1 in and_rows:
+            var_to_lit[lhs >> 1] = aig.add_and(translate(rhs0), translate(rhs1))
+    else:
+        body = data[header_end + 1 :]
+        cursor = 0
+        po_literals = []
+        for _ in range(num_pos):
+            end = body.index(b"\n", cursor)
+            po_literals.append(int(body[cursor:end]))
+            cursor = end + 1
+        offset = cursor
+        position = [offset]
+
+        def next_delta() -> int:
+            value = 0
+            shift = 0
+            while True:
+                byte = body[position[0]]
+                position[0] += 1
+                value |= (byte & 0x7F) << shift
+                if not byte & 0x80:
+                    return value
+                shift += 7
+
+        for index in range(num_ands):
+            lhs = (num_pis + 1 + index) * 2
+            delta0 = next_delta()
+            delta1 = next_delta()
+            rhs0 = lhs - delta0
+            rhs1 = rhs0 - delta1
+            var_to_lit[lhs >> 1] = aig.add_and(translate(rhs0), translate(rhs1))
+
+    for index, po_literal in enumerate(po_literals):
+        aig.add_po(translate(po_literal), f"po{index}")
+    return aig

@@ -1,0 +1,153 @@
+"""ISCAS ``.bench`` netlist reader / writer.
+
+The ``.bench`` format is the distribution format of the ISCAS'85, ISCAS'89 and
+ITC'99 benchmark suites referenced by the paper.  Gates of arbitrary fanin
+(AND, OR, NAND, NOR, XOR, XNOR, NOT, BUF) are supported and converted to AIG
+nodes on reading; flip-flops (``DFF``) are treated as pseudo PIs/POs, turning a
+sequential benchmark into its combinational core exactly as logic synthesis
+does for technology-independent optimization.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List, Tuple, Union
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_is_compl, lit_not, lit_var
+
+PathLike = Union[str, os.PathLike]
+
+_GATE_RE = re.compile(
+    r"^\s*(?P<out>[^=\s]+)\s*=\s*(?P<gate>[A-Za-z]+)\s*\((?P<ins>[^)]*)\)\s*$"
+)
+
+
+def read_bench(path: PathLike, name: str = "") -> Aig:
+    """Read a ``.bench`` netlist and return it as an AIG."""
+    with open(path, "r", encoding="ascii") as handle:
+        text = handle.read()
+    return parse_bench(text, name or os.path.splitext(os.path.basename(str(path)))[0])
+
+
+def parse_bench(text: str, name: str = "bench") -> Aig:
+    """Parse ``.bench`` text into an AIG (see :func:`read_bench`)."""
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Tuple[str, str, List[str]]] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        upper = line.upper()
+        if upper.startswith("INPUT"):
+            inputs.append(line[line.index("(") + 1 : line.rindex(")")].strip())
+            continue
+        if upper.startswith("OUTPUT"):
+            outputs.append(line[line.index("(") + 1 : line.rindex(")")].strip())
+            continue
+        match = _GATE_RE.match(line)
+        if not match:
+            raise ValueError(f"unparseable .bench line: {raw_line!r}")
+        operands = [token.strip() for token in match.group("ins").split(",") if token.strip()]
+        gates.append((match.group("out"), match.group("gate").upper(), operands))
+
+    aig = Aig(name)
+    signals: Dict[str, int] = {}
+    for signal in inputs:
+        signals[signal] = aig.add_pi(signal)
+
+    # Flip-flops become pseudo primary inputs (their Q pin) and pseudo primary
+    # outputs (their D pin), which is how the combinational optimization flow
+    # of the paper treats sequential ITC'99 designs.
+    flop_outputs: List[Tuple[str, str]] = []
+    for out, gate, operands in gates:
+        if gate == "DFF":
+            signals[out] = aig.add_pi(out)
+            flop_outputs.append((out, operands[0]))
+
+    pending = [(out, gate, operands) for out, gate, operands in gates if gate != "DFF"]
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining = []
+        for out, gate, operands in pending:
+            if all(op in signals for op in operands):
+                signals[out] = _build_gate(aig, gate, [signals[op] for op in operands])
+                progress = True
+            else:
+                remaining.append((out, gate, operands))
+        pending = remaining
+    if pending:
+        unresolved = ", ".join(out for out, _, _ in pending[:5])
+        raise ValueError(f"combinational loop or undefined signal near: {unresolved}")
+
+    for signal in outputs:
+        if signal not in signals:
+            raise ValueError(f"output {signal!r} is never defined")
+        aig.add_po(signals[signal], signal)
+    for flop_name, data_signal in flop_outputs:
+        aig.add_po(signals[data_signal], f"{flop_name}_next")
+    return aig
+
+
+def _build_gate(aig: Aig, gate: str, literals: List[int]) -> int:
+    if gate in ("BUF", "BUFF"):
+        return literals[0]
+    if gate == "NOT":
+        return lit_not(literals[0])
+    if gate == "AND":
+        return aig.make_and_n(literals)
+    if gate == "NAND":
+        return lit_not(aig.make_and_n(literals))
+    if gate == "OR":
+        return aig.make_or_n(literals)
+    if gate == "NOR":
+        return lit_not(aig.make_or_n(literals))
+    if gate == "XOR":
+        return aig.make_xor_n(literals)
+    if gate == "XNOR":
+        return lit_not(aig.make_xor_n(literals))
+    if gate in ("CONST0", "GND"):
+        return 0
+    if gate in ("CONST1", "VDD"):
+        return 1
+    raise ValueError(f"unsupported .bench gate type {gate!r}")
+
+
+def write_bench(aig: Aig, path: PathLike) -> None:
+    """Write the AIG as a ``.bench`` netlist (2-input ANDs and explicit NOTs)."""
+    lines = [f"# {aig.name} written by repro.io.bench"]
+    names: Dict[int, str] = {0: "const0"}
+    uses_const = any(lit_var(driver) == 0 for driver in aig.pos())
+    for index, pi in enumerate(aig.pis()):
+        pi_name = aig.pi_name(index) or f"pi{index}"
+        names[pi] = pi_name
+        lines.append(f"INPUT({pi_name})")
+    po_names = []
+    for index in range(aig.num_pos()):
+        po_name = aig.po_name(index) or f"po{index}"
+        po_names.append(po_name)
+        lines.append(f"OUTPUT({po_name})")
+    if uses_const:
+        lines.append("const0 = CONST0()")
+    for node in aig.topological_order():
+        names[node] = f"n{node}"
+        operands = []
+        for fanin in aig.fanins(node):
+            operand = names[lit_var(fanin)]
+            if lit_is_compl(fanin):
+                inverted = f"{operand}_not_{node}"
+                lines.append(f"{inverted} = NOT({operand})")
+                operand = inverted
+            operands.append(operand)
+        lines.append(f"n{node} = AND({operands[0]}, {operands[1]})")
+    for index, driver in enumerate(aig.pos()):
+        source = names[lit_var(driver)]
+        if lit_is_compl(driver):
+            lines.append(f"{po_names[index]} = NOT({source})")
+        else:
+            lines.append(f"{po_names[index]} = BUF({source})")
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("\n".join(lines) + "\n")

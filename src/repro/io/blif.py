@@ -1,0 +1,156 @@
+"""BLIF reader / writer (combinational subset).
+
+The Berkeley Logic Interchange Format represents logic as named nodes with
+single-output PLA-style covers.  Reading converts each cover to AND/OR logic
+over (possibly complemented) fanin literals; writing emits one ``.names``
+block per AND node.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple, Union
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_is_compl, lit_not, lit_var
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_blif(path: PathLike, name: str = "") -> Aig:
+    """Read a combinational BLIF file into an AIG."""
+    with open(path, "r", encoding="ascii") as handle:
+        text = handle.read()
+    return parse_blif(text, name or os.path.splitext(os.path.basename(str(path)))[0])
+
+
+def parse_blif(text: str, name: str = "blif") -> Aig:
+    """Parse BLIF text into an AIG (see :func:`read_blif`)."""
+    # Join continuation lines and strip comments.
+    joined = text.replace("\\\n", " ")
+    lines = []
+    for raw_line in joined.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if line:
+            lines.append(line)
+
+    model_name = name
+    inputs: List[str] = []
+    outputs: List[str] = []
+    covers: List[Tuple[List[str], str, List[Tuple[str, str]]]] = []
+
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword == ".model":
+            model_name = tokens[1] if len(tokens) > 1 else model_name
+        elif keyword == ".inputs":
+            inputs.extend(tokens[1:])
+        elif keyword == ".outputs":
+            outputs.extend(tokens[1:])
+        elif keyword == ".names":
+            fanins = tokens[1:-1]
+            output = tokens[-1]
+            rows: List[Tuple[str, str]] = []
+            index += 1
+            while index < len(lines) and not lines[index].startswith("."):
+                row_tokens = lines[index].split()
+                if len(row_tokens) == 1:
+                    rows.append(("", row_tokens[0]))
+                else:
+                    rows.append((row_tokens[0], row_tokens[1]))
+                index += 1
+            covers.append((fanins, output, rows))
+            continue
+        elif keyword == ".end":
+            break
+        elif keyword in (".latch", ".gate", ".subckt"):
+            raise ValueError(f"unsupported BLIF construct: {keyword}")
+        index += 1
+
+    aig = Aig(model_name)
+    signals: Dict[str, int] = {}
+    for signal in inputs:
+        signals[signal] = aig.add_pi(signal)
+
+    pending = list(covers)
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining = []
+        for fanins, output, rows in pending:
+            if all(fanin in signals for fanin in fanins):
+                signals[output] = _build_cover(aig, [signals[f] for f in fanins], rows)
+                progress = True
+            else:
+                remaining.append((fanins, output, rows))
+        pending = remaining
+    if pending:
+        unresolved = ", ".join(output for _, output, _ in pending[:5])
+        raise ValueError(f"undefined signals or loops near: {unresolved}")
+
+    for signal in outputs:
+        if signal not in signals:
+            raise ValueError(f"output {signal!r} is never defined")
+        aig.add_po(signals[signal], signal)
+    return aig
+
+
+def _build_cover(aig: Aig, fanins: List[int], rows: List[Tuple[str, str]]) -> int:
+    """Convert one ``.names`` cover into AIG logic and return its literal."""
+    if not rows:
+        return 0  # An empty cover is constant 0 by BLIF convention.
+    on_set_rows = [(pattern, value) for pattern, value in rows if value == "1"]
+    off_set_rows = [(pattern, value) for pattern, value in rows if value == "0"]
+    use_off_set = bool(off_set_rows) and not on_set_rows
+    selected = off_set_rows if use_off_set else on_set_rows
+    if not selected:
+        # Only possible for covers like a lone "1"/"0" with no inputs.
+        constant = rows[0][1]
+        return 1 if constant == "1" else 0
+    terms = []
+    for pattern, _ in selected:
+        if not pattern:
+            terms.append(1)
+            continue
+        literals = []
+        for position, char in enumerate(pattern):
+            if char == "-":
+                continue
+            literal = fanins[position]
+            if char == "0":
+                literal = lit_not(literal)
+            literals.append(literal)
+        terms.append(aig.make_and_n(literals) if literals else 1)
+    result = aig.make_or_n(terms)
+    return lit_not(result) if use_off_set else result
+
+
+def write_blif(aig: Aig, path: PathLike) -> None:
+    """Write the AIG as a combinational BLIF model."""
+    lines = [f".model {aig.name}"]
+    pi_names = [aig.pi_name(i) or f"pi{i}" for i in range(aig.num_pis())]
+    po_names = [aig.po_name(i) or f"po{i}" for i in range(aig.num_pos())]
+    lines.append(".inputs " + " ".join(pi_names))
+    lines.append(".outputs " + " ".join(po_names))
+    names: Dict[int, str] = {0: "const0"}
+    for index, pi in enumerate(aig.pis()):
+        names[pi] = pi_names[index]
+    if any(lit_var(driver) == 0 for driver in aig.pos()):
+        lines.append(".names const0")
+    for node in aig.topological_order():
+        names[node] = f"n{node}"
+        f0, f1 = aig.fanins(node)
+        lines.append(f".names {names[lit_var(f0)]} {names[lit_var(f1)]} n{node}")
+        bit0 = "0" if lit_is_compl(f0) else "1"
+        bit1 = "0" if lit_is_compl(f1) else "1"
+        lines.append(f"{bit0}{bit1} 1")
+    for index, driver in enumerate(aig.pos()):
+        source = names[lit_var(driver)]
+        lines.append(f".names {source} {po_names[index]}")
+        lines.append(("0 1" if lit_is_compl(driver) else "1 1"))
+    lines.append(".end")
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("\n".join(lines) + "\n")

@@ -1,0 +1,42 @@
+"""Graphviz DOT export of an AIG for visual inspection."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_is_compl, lit_var
+
+PathLike = Union[str, os.PathLike]
+
+
+def to_dot(aig: Aig) -> str:
+    """Return a Graphviz DOT description of the AIG.
+
+    AND nodes are ellipses, PIs are boxes, POs are inverted houses; dashed
+    edges carry inverters.
+    """
+    lines = [f'digraph "{aig.name}" {{', "  rankdir=BT;"]
+    for index, pi in enumerate(aig.pis()):
+        label = aig.pi_name(index) or f"pi{index}"
+        lines.append(f'  n{pi} [shape=box, label="{label}"];')
+    for node in aig.nodes():
+        lines.append(f'  n{node} [shape=ellipse, label="{node}"];')
+    for node in aig.nodes():
+        for fanin in aig.fanins(node):
+            style = "dashed" if lit_is_compl(fanin) else "solid"
+            lines.append(f"  n{lit_var(fanin)} -> n{node} [style={style}];")
+    for index, driver in enumerate(aig.pos()):
+        label = aig.po_name(index) or f"po{index}"
+        lines.append(f'  po{index} [shape=invhouse, label="{label}"];')
+        style = "dashed" if lit_is_compl(driver) else "solid"
+        lines.append(f"  n{lit_var(driver)} -> po{index} [style={style}];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(aig: Aig, path: PathLike) -> None:
+    """Write the DOT description of the AIG to ``path``."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(to_dot(aig))

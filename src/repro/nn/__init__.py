@@ -1,0 +1,37 @@
+"""A minimal, numpy-only neural-network substrate for the BoolGebra predictor.
+
+The paper implements its predictor with PyTorch Geometric; that stack is not
+available offline, so this package provides the needed pieces from scratch —
+dense layers, GraphSAGE convolution, per-graph mean pooling, batch
+normalization, dropout, ReLU6, sigmoid, mean-squared-error loss, the Adam
+optimizer with step learning-rate decay, and a small training loop — all with
+explicit, hand-derived backpropagation (property-tested against numerical
+gradients in ``tests/nn``).
+"""
+
+from repro.nn.graph import GraphBatch
+from repro.nn.layers import BatchNorm1d, Dropout, Linear, Parameter, ReLU6, Sigmoid
+from repro.nn.loss import MSELoss
+from repro.nn.model import BoolGebraPredictor, ModelConfig
+from repro.nn.optim import Adam, StepLR
+from repro.nn.sage import SageConv
+from repro.nn.trainer import Trainer, TrainingConfig, TrainingHistory
+
+__all__ = [
+    "Adam",
+    "BatchNorm1d",
+    "BoolGebraPredictor",
+    "Dropout",
+    "GraphBatch",
+    "Linear",
+    "MSELoss",
+    "ModelConfig",
+    "Parameter",
+    "ReLU6",
+    "SageConv",
+    "Sigmoid",
+    "StepLR",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+]

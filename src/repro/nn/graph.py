@@ -1,0 +1,158 @@
+"""Batched graph representation for the GNN.
+
+A :class:`GraphBatch` packs several attributed graphs into one block-diagonal
+structure: node features are stacked, a sparse *mean-aggregation* operator
+averages each node's neighbours, and a sparse *pooling* operator averages all
+nodes of each graph into one read-out row (the "Mean Pool" of the paper's
+Figure 3(g)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.features.dataset import GraphSample
+
+
+@dataclass
+class GraphBatch:
+    """A batch of attributed graphs ready for the GNN."""
+
+    features: np.ndarray            # (total_nodes, feature_dim)
+    aggregation: sp.csr_matrix      # (total_nodes, total_nodes) row-normalized adjacency
+    pooling: sp.csr_matrix          # (num_graphs, total_nodes) per-graph mean read-out
+    labels: np.ndarray              # (num_graphs, 1)
+    graph_index: np.ndarray         # (total_nodes,) graph id of every node
+    num_graphs: int
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes in the batch."""
+        return self.features.shape[0]
+
+    @staticmethod
+    def from_samples(
+        samples: Sequence[GraphSample],
+        normalize_features: bool = True,
+        feature_scale: Optional[np.ndarray] = None,
+    ) -> "GraphBatch":
+        """Assemble a batch from :class:`GraphSample` objects.
+
+        Parameters
+        ----------
+        normalize_features:
+            Scale every feature column to roughly unit magnitude (the ``-99``
+            PI sentinels and raw gain values otherwise dominate the linear
+            algebra).  The same fixed scaling is applied to every batch so
+            training and inference remain consistent.
+        feature_scale:
+            Optional explicit per-column scale overriding the default.
+        """
+        if not samples:
+            raise ValueError("cannot build a batch from zero samples")
+        feature_dim = samples[0].features.shape[1]
+        features: List[np.ndarray] = []
+        labels = np.zeros((len(samples), 1), dtype=np.float64)
+        graph_index: List[np.ndarray] = []
+
+        rows: List[np.ndarray] = []
+        cols: List[np.ndarray] = []
+        pool_rows: List[np.ndarray] = []
+        pool_cols: List[np.ndarray] = []
+        pool_vals: List[np.ndarray] = []
+
+        offset = 0
+        for graph_id, sample in enumerate(samples):
+            if sample.features.shape[1] != feature_dim:
+                raise ValueError("all samples in a batch must share the feature width")
+            num_nodes = sample.num_nodes
+            features.append(sample.features)
+            labels[graph_id, 0] = sample.label
+            graph_index.append(np.full(num_nodes, graph_id, dtype=np.int64))
+
+            edge_index = sample.edge_index
+            if edge_index.size:
+                # Aggregation rows are the *target* nodes: each node averages
+                # its in-neighbours (GraphSAGE mean aggregator).
+                rows.append(edge_index[1] + offset)
+                cols.append(edge_index[0] + offset)
+            pool_rows.append(np.full(num_nodes, graph_id, dtype=np.int64))
+            pool_cols.append(np.arange(num_nodes, dtype=np.int64) + offset)
+            pool_vals.append(np.full(num_nodes, 1.0 / num_nodes, dtype=np.float64))
+            offset += num_nodes
+
+        stacked = np.concatenate(features, axis=0)
+        if feature_scale is None and normalize_features:
+            feature_scale = default_feature_scale(feature_dim)
+        if feature_scale is not None:
+            stacked = stacked / feature_scale
+
+        total_nodes = offset
+        if rows:
+            row_array = np.concatenate(rows)
+            col_array = np.concatenate(cols)
+            data = np.ones(len(row_array), dtype=np.float64)
+            adjacency = sp.csr_matrix(
+                (data, (row_array, col_array)), shape=(total_nodes, total_nodes)
+            )
+            degree = np.asarray(adjacency.sum(axis=1)).ravel()
+            degree[degree == 0.0] = 1.0
+            aggregation = sp.diags(1.0 / degree) @ adjacency
+            aggregation = sp.csr_matrix(aggregation)
+        else:
+            aggregation = sp.csr_matrix((total_nodes, total_nodes), dtype=np.float64)
+
+        pooling = sp.csr_matrix(
+            (
+                np.concatenate(pool_vals),
+                (np.concatenate(pool_rows), np.concatenate(pool_cols)),
+            ),
+            shape=(len(samples), total_nodes),
+        )
+        return GraphBatch(
+            features=stacked,
+            aggregation=aggregation,
+            pooling=pooling,
+            labels=labels,
+            graph_index=np.concatenate(graph_index),
+            num_graphs=len(samples),
+        )
+
+
+def default_feature_scale(feature_dim: int) -> np.ndarray:
+    """Per-column scaling bringing the raw attributes to comparable magnitude.
+
+    The PI sentinel (``-99``) and the unbounded gain columns are divided by
+    larger constants; flag and one-hot columns are left untouched.  The layout
+    follows :mod:`repro.features`: columns 0–7 static, 8–11 dynamic.
+    """
+    scale = np.ones(feature_dim, dtype=np.float64)
+    # Gain columns of the static embedding (indices 3, 5, 7) can reach tens of
+    # nodes; soften them.
+    for column in (3, 5, 7):
+        if column < feature_dim:
+            scale[column] = 10.0
+    return scale
+
+
+def batch_iterator(
+    samples: Sequence[GraphSample],
+    batch_size: int,
+    shuffle: bool = True,
+    seed: int = 0,
+    feature_scale: Optional[np.ndarray] = None,
+):
+    """Yield :class:`GraphBatch` objects covering ``samples`` in mini-batches."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(len(samples))
+    if shuffle:
+        np.random.default_rng(seed).shuffle(order)
+    for start in range(0, len(samples), batch_size):
+        chunk = [samples[i] for i in order[start : start + batch_size]]
+        if chunk:
+            yield GraphBatch.from_samples(chunk, feature_scale=feature_scale)

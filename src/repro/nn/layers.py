@@ -1,0 +1,172 @@
+"""Dense layers with explicit forward/backward passes.
+
+Every layer follows the same tiny protocol:
+
+* ``forward(x, training)`` caches whatever the backward pass needs and returns
+  the layer output,
+* ``backward(grad_output)`` consumes the gradient w.r.t. the output, fills the
+  ``grad`` field of its :class:`Parameter` objects (accumulating) and returns
+  the gradient w.r.t. the input,
+* ``parameters()`` exposes the trainable parameters to the optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, ones, zeros
+
+
+class Parameter:
+    """A trainable tensor together with its accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base class: stateless layers simply inherit the empty parameter list."""
+
+    def parameters(self) -> List[Parameter]:
+        """Return the trainable parameters of the layer."""
+        return []
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Linear(Layer):
+    """Affine transformation ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: Optional[np.random.Generator] = None, name: str = "linear") -> None:
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(glorot_uniform((in_features, out_features), rng), f"{name}.weight")
+        self.bias = Parameter(zeros(out_features), f"{name}.bias")
+        self._input: Optional[np.ndarray] = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._input is not None, "forward must be called before backward"
+        self.weight.grad += self._input.T @ grad_output
+        self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+
+class ReLU6(Layer):
+    """The clipped rectifier ``min(max(x, 0), 6)`` used throughout the paper's model."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = (x > 0.0) & (x < 6.0)
+        return np.clip(x, 0.0, 6.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return grad_output * self._mask
+
+
+class Sigmoid(Layer):
+    """Logistic activation squashing predictions into ``[0, 1]``."""
+
+    def __init__(self) -> None:
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._output = 1.0 / (1.0 + np.exp(-x))
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._output is not None
+        return grad_output * self._output * (1.0 - self._output)
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only in training mode."""
+
+    def __init__(self, rate: float = 0.1, seed: int = 0) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class BatchNorm1d(Layer):
+    """Batch normalization over the first (batch) axis."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5, name: str = "bn") -> None:
+        self.gamma = Parameter(ones(num_features), f"{name}.gamma")
+        self.beta = Parameter(zeros(num_features), f"{name}.beta")
+        self.momentum = momentum
+        self.eps = eps
+        self.running_mean = np.zeros(num_features, dtype=np.float64)
+        self.running_var = np.ones(num_features, dtype=np.float64)
+        self._cache = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.gamma, self.beta]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training and x.shape[0] > 1:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        std = np.sqrt(var + self.eps)
+        normalized = (x - mean) / std
+        self._cache = (normalized, std, training and x.shape[0] > 1)
+        return normalized * self.gamma.value + self.beta.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        normalized, std, used_batch_stats = self._cache
+        self.gamma.grad += (grad_output * normalized).sum(axis=0)
+        self.beta.grad += grad_output.sum(axis=0)
+        grad_normalized = grad_output * self.gamma.value
+        if not used_batch_stats:
+            return grad_normalized / std
+        batch = grad_output.shape[0]
+        # Full batch-norm gradient (mean and variance depend on the input).
+        return (
+            grad_normalized
+            - grad_normalized.mean(axis=0)
+            - normalized * (grad_normalized * normalized).mean(axis=0)
+        ) / std

@@ -1,0 +1,30 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class MSELoss:
+    """Mean squared error, the regression loss of the paper's predictor."""
+
+    def __init__(self) -> None:
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Return the scalar loss value."""
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64).reshape(predictions.shape)
+        self._cache = (predictions, targets)
+        return float(np.mean((predictions - targets) ** 2))
+
+    def backward(self) -> np.ndarray:
+        """Return the gradient of the loss w.r.t. the predictions."""
+        assert self._cache is not None, "forward must be called before backward"
+        predictions, targets = self._cache
+        return 2.0 * (predictions - targets) / predictions.size
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)

@@ -1,0 +1,83 @@
+"""Regression and ranking metrics used to evaluate the predictor."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def mse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean squared error."""
+    predictions = np.asarray(predictions, dtype=np.float64).ravel()
+    targets = np.asarray(targets, dtype=np.float64).ravel()
+    return float(np.mean((predictions - targets) ** 2))
+
+
+def mae(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean absolute error."""
+    predictions = np.asarray(predictions, dtype=np.float64).ravel()
+    targets = np.asarray(targets, dtype=np.float64).ravel()
+    return float(np.mean(np.abs(predictions - targets)))
+
+
+def pearson_correlation(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Pearson correlation (0.0 when either side is constant)."""
+    predictions = np.asarray(predictions, dtype=np.float64).ravel()
+    targets = np.asarray(targets, dtype=np.float64).ravel()
+    if predictions.std() == 0.0 or targets.std() == 0.0:
+        return 0.0
+    return float(np.corrcoef(predictions, targets)[0, 1])
+
+
+def spearman_correlation(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Spearman rank correlation (0.0 when either side is constant)."""
+    predictions = np.asarray(predictions, dtype=np.float64).ravel()
+    targets = np.asarray(targets, dtype=np.float64).ravel()
+    return pearson_correlation(_ranks(predictions), _ranks(targets))
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(len(values), dtype=np.float64)
+    return ranks
+
+
+def top_k_overlap(predictions: np.ndarray, targets: np.ndarray, k: int = 10) -> float:
+    """Fraction of the true best-``k`` samples that appear in the predicted best-``k``.
+
+    Both scores follow the paper's convention that *smaller is better* (label
+    0 is the best optimization result).
+    """
+    predictions = np.asarray(predictions, dtype=np.float64).ravel()
+    targets = np.asarray(targets, dtype=np.float64).ravel()
+    k = min(k, len(predictions))
+    if k == 0:
+        return 0.0
+    predicted_top = set(np.argsort(predictions, kind="stable")[:k].tolist())
+    actual_top = set(np.argsort(targets, kind="stable")[:k].tolist())
+    return len(predicted_top & actual_top) / k
+
+
+def best_in_top_k(predictions: np.ndarray, targets: np.ndarray, k: int = 10) -> bool:
+    """Whether the overall best sample is among the predicted top ``k``."""
+    predictions = np.asarray(predictions, dtype=np.float64).ravel()
+    targets = np.asarray(targets, dtype=np.float64).ravel()
+    k = min(k, len(predictions))
+    if k == 0:
+        return False
+    predicted_top = set(np.argsort(predictions, kind="stable")[:k].tolist())
+    return int(np.argmin(targets)) in predicted_top
+
+
+def regression_report(predictions: np.ndarray, targets: np.ndarray, k: int = 10) -> Dict[str, float]:
+    """Bundle of all metrics, used by the experiment harness."""
+    return {
+        "mse": mse(predictions, targets),
+        "mae": mae(predictions, targets),
+        "pearson": pearson_correlation(predictions, targets),
+        "spearman": spearman_correlation(predictions, targets),
+        "top_k_overlap": top_k_overlap(predictions, targets, k),
+        "best_in_top_k": float(best_in_top_k(predictions, targets, k)),
+    }

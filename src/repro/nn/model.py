@@ -1,0 +1,202 @@
+"""The BoolGebra GNN predictor (Figure 3(g) of the paper).
+
+Architecture
+------------
+
+* **Graph embedding** — three GraphSAGE convolutions, each followed by a
+  ReLU6 nonlinearity and a dropout layer (rate 0.1).  The paper uses a hidden
+  width of 512 and an output width of 64.
+* **Read-out** — per-graph mean pooling.
+* **Downstream predictor** — three dense layers with output widths 1000, 200
+  and 1; the first is followed by ReLU6 and a batch-norm layer, the second by
+  a batch-norm layer, and the last by a sigmoid so the prediction lands in
+  ``[0, 1]`` like the normalized labels.
+
+The exact paper dimensions are the default :func:`ModelConfig.paper`; the much
+smaller :func:`ModelConfig.small` keeps end-to-end CPU experiments fast while
+preserving the architecture shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.features.dataset import FEATURE_DIM
+from repro.nn.graph import GraphBatch
+from repro.nn.layers import BatchNorm1d, Dropout, Layer, Linear, Parameter, ReLU6, Sigmoid
+from repro.nn.sage import SageConv
+
+
+@dataclass
+class ModelConfig:
+    """Hyper-parameters describing the predictor architecture."""
+
+    input_dim: int = FEATURE_DIM
+    conv_hidden_dim: int = 512
+    conv_output_dim: int = 64
+    dense_dims: Tuple[int, ...] = (1000, 200, 1)
+    dropout_rate: float = 0.1
+    seed: int = 0
+
+    @staticmethod
+    def paper() -> "ModelConfig":
+        """The exact dimensions reported in the paper."""
+        return ModelConfig()
+
+    @staticmethod
+    def small(seed: int = 0) -> "ModelConfig":
+        """A scaled-down configuration for CPU-sized experiments and tests."""
+        return ModelConfig(
+            conv_hidden_dim=48,
+            conv_output_dim=24,
+            dense_dims=(64, 16, 1),
+            dropout_rate=0.1,
+            seed=seed,
+        )
+
+
+class BoolGebraPredictor:
+    """GraphSAGE encoder + dense regressor predicting the normalized optimization gap."""
+
+    def __init__(self, config: Optional[ModelConfig] = None) -> None:
+        self.config = config or ModelConfig()
+        rng = np.random.default_rng(self.config.seed)
+        cfg = self.config
+
+        self.conv_layers: List[SageConv] = [
+            SageConv(cfg.input_dim, cfg.conv_hidden_dim, rng, name="conv0"),
+            SageConv(cfg.conv_hidden_dim, cfg.conv_hidden_dim, rng, name="conv1"),
+            SageConv(cfg.conv_hidden_dim, cfg.conv_output_dim, rng, name="conv2"),
+        ]
+        self.conv_activations: List[ReLU6] = [ReLU6() for _ in self.conv_layers]
+        self.conv_dropouts: List[Dropout] = [
+            Dropout(cfg.dropout_rate, seed=cfg.seed + index)
+            for index in range(len(self.conv_layers))
+        ]
+
+        dims = (cfg.conv_output_dim,) + tuple(cfg.dense_dims)
+        if dims[-1] != 1:
+            raise ValueError("the final dense layer must have a single output")
+        self.dense_layers: List[Linear] = [
+            Linear(dims[i], dims[i + 1], rng, name=f"linear{i}") for i in range(len(dims) - 1)
+        ]
+        self.dense_activation = ReLU6()
+        self.batch_norms: List[BatchNorm1d] = [
+            BatchNorm1d(dims[1], name="bn0"),
+            BatchNorm1d(dims[2], name="bn1"),
+        ]
+        self.output_activation = Sigmoid()
+        self._pooling_cache = None
+
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters, in a deterministic order."""
+        parameters: List[Parameter] = []
+        for conv in self.conv_layers:
+            parameters.extend(conv.parameters())
+        for dense in self.dense_layers:
+            parameters.extend(dense.parameters())
+        for norm in self.batch_norms:
+            parameters.extend(norm.parameters())
+        return parameters
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return sum(parameter.value.size for parameter in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    def forward(self, batch: GraphBatch, training: bool = False) -> np.ndarray:
+        """Return per-graph predictions of shape ``(num_graphs, 1)``."""
+        x = batch.features
+        for conv, activation, dropout in zip(
+            self.conv_layers, self.conv_activations, self.conv_dropouts
+        ):
+            x = conv.forward(x, batch.aggregation, training=training)
+            x = activation.forward(x, training=training)
+            x = dropout.forward(x, training=training)
+
+        pooled = batch.pooling @ x
+        self._pooling_cache = batch.pooling
+
+        hidden = self.dense_layers[0].forward(pooled, training=training)
+        hidden = self.dense_activation.forward(hidden, training=training)
+        hidden = self.batch_norms[0].forward(hidden, training=training)
+        hidden = self.dense_layers[1].forward(hidden, training=training)
+        hidden = self.batch_norms[1].forward(hidden, training=training)
+        hidden = self.dense_layers[2].forward(hidden, training=training)
+        return self.output_activation.forward(hidden, training=training)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate from the prediction gradient down to the node features."""
+        grad = self.output_activation.backward(grad_output)
+        grad = self.dense_layers[2].backward(grad)
+        grad = self.batch_norms[1].backward(grad)
+        grad = self.dense_layers[1].backward(grad)
+        grad = self.batch_norms[0].backward(grad)
+        grad = self.dense_activation.backward(grad)
+        grad = self.dense_layers[0].backward(grad)
+
+        assert self._pooling_cache is not None
+        grad = self._pooling_cache.T @ grad
+
+        for conv, activation, dropout in zip(
+            reversed(self.conv_layers),
+            reversed(self.conv_activations),
+            reversed(self.conv_dropouts),
+        ):
+            grad = dropout.backward(grad)
+            grad = activation.backward(grad)
+            grad = conv.backward(grad)
+        return grad
+
+    def predict(self, batch: GraphBatch) -> np.ndarray:
+        """Inference helper returning a flat vector of predictions."""
+        return self.forward(batch, training=False).ravel()
+
+    # ------------------------------------------------------------------ #
+    # (De)serialization
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a copy of every parameter keyed by its name."""
+        state = {}
+        for parameter in self.parameters():
+            state[parameter.name] = parameter.value.copy()
+        for index, norm in enumerate(self.batch_norms):
+            state[f"bn{index}.running_mean"] = norm.running_mean.copy()
+            state[f"bn{index}.running_var"] = norm.running_var.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters previously produced by :meth:`state_dict`."""
+        for parameter in self.parameters():
+            if parameter.name not in state:
+                raise KeyError(f"missing parameter {parameter.name!r} in state dict")
+            value = np.asarray(state[parameter.name], dtype=np.float64)
+            if value.shape != parameter.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {parameter.name!r}: "
+                    f"{value.shape} vs {parameter.value.shape}"
+                )
+            parameter.value = value.copy()
+        for index, norm in enumerate(self.batch_norms):
+            mean_key = f"bn{index}.running_mean"
+            var_key = f"bn{index}.running_var"
+            if mean_key in state:
+                norm.running_mean = np.asarray(state[mean_key], dtype=np.float64).copy()
+            if var_key in state:
+                norm.running_var = np.asarray(state[var_key], dtype=np.float64).copy()
+
+    def save(self, path) -> None:
+        """Persist the model parameters as an ``.npz`` archive."""
+        np.savez(path, **self.state_dict())
+
+    @staticmethod
+    def load(path, config: Optional[ModelConfig] = None) -> "BoolGebraPredictor":
+        """Restore a model saved with :meth:`save` (the config must match)."""
+        model = BoolGebraPredictor(config)
+        with np.load(path) as archive:
+            model.load_state_dict({key: archive[key] for key in archive.files})
+        return model

@@ -1,0 +1,87 @@
+"""Optimizers and learning-rate schedules."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+
+class Adam:
+    """The Adam optimizer (Kingma & Ba, 2014), as used to train the paper's model."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 8e-7,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._first_moments: List[np.ndarray] = [
+            np.zeros_like(parameter.value) for parameter in self.parameters
+        ]
+        self._second_moments: List[np.ndarray] = [
+            np.zeros_like(parameter.value) for parameter in self.parameters
+        ]
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradients of all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one Adam update using the currently accumulated gradients."""
+        self._step += 1
+        bias_correction1 = 1.0 - self.beta1 ** self._step
+        bias_correction2 = 1.0 - self.beta2 ** self._step
+        for index, parameter in enumerate(self.parameters):
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.value
+            first = self._first_moments[index]
+            second = self._second_moments[index]
+            first *= self.beta1
+            first += (1.0 - self.beta1) * grad
+            second *= self.beta2
+            second += (1.0 - self.beta2) * grad * grad
+            corrected_first = first / bias_correction1
+            corrected_second = second / bias_correction2
+            parameter.value -= self.lr * corrected_first / (
+                np.sqrt(corrected_second) + self.eps
+            )
+
+
+class StepLR:
+    """Step decay schedule: multiply the learning rate by ``gamma`` every ``step_size`` epochs.
+
+    The paper decays the rate by 0.5 every 100 epochs.
+    """
+
+    def __init__(self, optimizer: Adam, step_size: int = 100, gamma: float = 0.5) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+        self.base_lr = optimizer.lr
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimizer's learning rate."""
+        self._epoch += 1
+        decays = self._epoch // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma ** decays)
+
+    @property
+    def current_lr(self) -> float:
+        """The learning rate currently applied by the optimizer."""
+        return self.optimizer.lr

@@ -1,0 +1,72 @@
+"""GraphSAGE convolution (mean aggregator).
+
+Implements the inductive layer of Hamilton et al. (NeurIPS 2017) in the same
+form as PyTorch Geometric's ``SAGEConv``:
+
+``h'_v = W_self · h_v + W_neigh · mean({h_u : u ∈ N(v)}) + b``
+
+The neighbour mean is expressed as a sparse matrix product with the batch's
+row-normalized adjacency operator, which makes the backward pass a product
+with its transpose.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn.initializers import glorot_uniform, zeros
+from repro.nn.layers import Layer, Parameter
+
+
+class SageConv(Layer):
+    """One GraphSAGE convolution layer."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "sage",
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight_self = Parameter(
+            glorot_uniform((in_features, out_features), rng), f"{name}.weight_self"
+        )
+        self.weight_neigh = Parameter(
+            glorot_uniform((in_features, out_features), rng), f"{name}.weight_neigh"
+        )
+        self.bias = Parameter(zeros(out_features), f"{name}.bias")
+        self._cache = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight_self, self.weight_neigh, self.bias]
+
+    def forward(
+        self,
+        x: np.ndarray,
+        aggregation: sp.csr_matrix,
+        training: bool = False,
+    ) -> np.ndarray:
+        """Apply the convolution given node features and the aggregation operator."""
+        neighbours = aggregation @ x
+        self._cache = (x, neighbours, aggregation)
+        return (
+            x @ self.weight_self.value
+            + neighbours @ self.weight_neigh.value
+            + self.bias.value
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "forward must be called before backward"
+        x, neighbours, aggregation = self._cache
+        self.weight_self.grad += x.T @ grad_output
+        self.weight_neigh.grad += neighbours.T @ grad_output
+        self.bias.grad += grad_output.sum(axis=0)
+        grad_input = grad_output @ self.weight_self.value.T
+        grad_input += aggregation.T @ (grad_output @ self.weight_neigh.value.T)
+        return grad_input

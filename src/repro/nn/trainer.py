@@ -1,0 +1,180 @@
+"""Training loop for the BoolGebra predictor.
+
+The defaults follow Section IV-A of the paper: batches of 100 samples, the
+Adam optimizer with learning rate ``8e-7``, a decay factor of 0.5 every 100
+epochs, and MSE against the normalized labels.  The per-epoch testing loss is
+recorded so that Figure 4 (testing loss vs. epochs) can be regenerated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.features.dataset import BoolGebraDataset, GraphSample
+from repro.nn.graph import GraphBatch, batch_iterator
+from repro.nn.loss import MSELoss
+from repro.nn.metrics import regression_report
+from repro.nn.model import BoolGebraPredictor, ModelConfig
+from repro.nn.optim import Adam, StepLR
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of one training run."""
+
+    epochs: int = 1500
+    batch_size: int = 100
+    learning_rate: float = 8e-7
+    lr_decay_every: int = 100
+    lr_decay_factor: float = 0.5
+    weight_decay: float = 0.0
+    shuffle: bool = True
+    seed: int = 0
+    log_every: int = 0  # 0 disables progress printing
+
+    @staticmethod
+    def paper() -> "TrainingConfig":
+        """The exact training schedule reported in the paper."""
+        return TrainingConfig()
+
+    @staticmethod
+    def fast(epochs: int = 60, seed: int = 0) -> "TrainingConfig":
+        """A CPU-friendly schedule used by the tests and benchmark harness."""
+        return TrainingConfig(
+            epochs=epochs,
+            batch_size=32,
+            learning_rate=2e-3,
+            lr_decay_every=20,
+            lr_decay_factor=0.5,
+            seed=seed,
+        )
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch losses and the final evaluation report."""
+
+    train_loss: List[float] = field(default_factory=list)
+    test_loss: List[float] = field(default_factory=list)
+    learning_rates: List[float] = field(default_factory=list)
+    runtime_seconds: float = 0.0
+    final_report: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+    def best_test_loss(self) -> float:
+        """Smallest recorded test loss (``inf`` if no test set was supplied)."""
+        return min(self.test_loss) if self.test_loss else float("inf")
+
+
+class Trainer:
+    """Trains a :class:`BoolGebraPredictor` on :class:`BoolGebraDataset` objects."""
+
+    def __init__(
+        self,
+        model: Optional[BoolGebraPredictor] = None,
+        config: Optional[TrainingConfig] = None,
+        model_config: Optional[ModelConfig] = None,
+    ) -> None:
+        self.config = config or TrainingConfig.fast()
+        self.model = model or BoolGebraPredictor(model_config or ModelConfig.small())
+        self.loss = MSELoss()
+        self.optimizer = Adam(
+            self.model.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        self.scheduler = StepLR(
+            self.optimizer,
+            step_size=self.config.lr_decay_every,
+            gamma=self.config.lr_decay_factor,
+        )
+
+    # ------------------------------------------------------------------ #
+    def train(
+        self,
+        train_samples: Sequence[GraphSample],
+        test_samples: Optional[Sequence[GraphSample]] = None,
+    ) -> TrainingHistory:
+        """Run the full training schedule and return the loss history."""
+        train_samples = list(train_samples)
+        test_samples = list(test_samples) if test_samples is not None else []
+        if not train_samples:
+            raise ValueError("training requires at least one sample")
+        history = TrainingHistory()
+        start = time.perf_counter()
+        test_batch = (
+            GraphBatch.from_samples(test_samples) if test_samples else None
+        )
+        for epoch in range(self.config.epochs):
+            epoch_losses = []
+            for batch in batch_iterator(
+                train_samples,
+                self.config.batch_size,
+                shuffle=self.config.shuffle,
+                seed=self.config.seed + epoch,
+            ):
+                epoch_losses.append(self._train_step(batch))
+            history.train_loss.append(float(np.mean(epoch_losses)))
+            if test_batch is not None:
+                predictions = self.model.forward(test_batch, training=False)
+                history.test_loss.append(self.loss.forward(predictions, test_batch.labels))
+            history.learning_rates.append(self.scheduler.current_lr)
+            self.scheduler.step()
+            if self.config.log_every and (epoch + 1) % self.config.log_every == 0:
+                test_text = (
+                    f", test={history.test_loss[-1]:.5f}" if history.test_loss else ""
+                )
+                print(
+                    f"epoch {epoch + 1:4d}: train={history.train_loss[-1]:.5f}{test_text}"
+                )
+        history.runtime_seconds = time.perf_counter() - start
+        evaluation_samples = test_samples or train_samples
+        predictions = self.predict(evaluation_samples)
+        targets = np.array([sample.label for sample in evaluation_samples])
+        history.final_report = regression_report(predictions, targets)
+        return history
+
+    def train_on_dataset(
+        self,
+        dataset: BoolGebraDataset,
+        train_fraction: float = 0.8,
+    ) -> TrainingHistory:
+        """Convenience wrapper: split ``dataset`` and train on the training part."""
+        train_set, test_set = dataset.split(train_fraction, seed=self.config.seed)
+        return self.train(train_set.samples, test_set.samples)
+
+    def _train_step(self, batch: GraphBatch) -> float:
+        predictions = self.model.forward(batch, training=True)
+        loss_value = self.loss.forward(predictions, batch.labels)
+        self.optimizer.zero_grad()
+        self.model.backward(self.loss.backward())
+        self.optimizer.step()
+        return loss_value
+
+    # ------------------------------------------------------------------ #
+    def predict(self, samples: Sequence[GraphSample]) -> np.ndarray:
+        """Return predictions for ``samples`` (evaluation mode, no dropout)."""
+        samples = list(samples)
+        if not samples:
+            return np.zeros(0, dtype=np.float64)
+        predictions = []
+        for start in range(0, len(samples), max(1, self.config.batch_size)):
+            chunk = samples[start : start + max(1, self.config.batch_size)]
+            batch = GraphBatch.from_samples(chunk)
+            predictions.append(self.model.predict(batch))
+        return np.concatenate(predictions)
+
+    def evaluate(self, samples: Sequence[GraphSample]) -> Dict[str, float]:
+        """Compute the full metric report on ``samples``."""
+        samples = list(samples)
+        predictions = self.predict(samples)
+        targets = np.array([sample.label for sample in samples])
+        return regression_report(predictions, targets)

@@ -1,0 +1,37 @@
+"""Orchestrated Boolean manipulation (the paper's Algorithm 1) and sampling.
+
+Instead of running one optimization operation over the whole AIG, BoolGebra
+assigns one of ``rewrite`` / ``resub`` / ``refactor`` to *every node
+individually* and applies the assignments in a single topological traversal.
+This package provides
+
+* :class:`~repro.orchestration.decision.DecisionVector` — the per-node
+  assignment (the ``D`` array of Algorithm 1, persisted as CSV),
+* :mod:`~repro.orchestration.transformability` — per-node, per-operation
+  transformability checks with local gain (also the source of the static
+  feature bits),
+* :func:`~repro.orchestration.orchestrate.orchestrate` — Algorithm 1 itself,
+* :mod:`~repro.orchestration.sampling` — purely random and priority-guided
+  decision sampling plus the partial-random data augmentation of Section III-B.
+"""
+
+from repro.orchestration.decision import DecisionVector, Operation
+from repro.orchestration.orchestrate import OrchestrationResult, orchestrate
+from repro.orchestration.sampling import (
+    PriorityGuidedSampler,
+    RandomSampler,
+    SampleRecord,
+)
+from repro.orchestration.transformability import NodeTransformability, analyze_node
+
+__all__ = [
+    "DecisionVector",
+    "NodeTransformability",
+    "Operation",
+    "OrchestrationResult",
+    "PriorityGuidedSampler",
+    "RandomSampler",
+    "SampleRecord",
+    "analyze_node",
+    "orchestrate",
+]

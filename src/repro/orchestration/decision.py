@@ -1,0 +1,138 @@
+"""Per-node manipulation decisions (the ``D`` array of Algorithm 1).
+
+Each AIG node is assigned one of the three operations, encoded with the
+integer indices the paper uses: ``0`` for ``rw`` (rewrite), ``1`` for ``rs``
+(resubstitution) and ``2`` for ``rf`` (refactoring).  The paper stores the
+vector in a CSV file next to the design; :meth:`DecisionVector.to_csv` /
+:meth:`DecisionVector.from_csv` reproduce that interchange format.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+from repro.aig.aig import Aig
+
+
+class Operation(enum.IntEnum):
+    """The three orchestrated Boolean manipulations and their paper encoding."""
+
+    REWRITE = 0
+    RESUB = 1
+    REFACTOR = 2
+
+    @property
+    def short_name(self) -> str:
+        """Return the abbreviation used throughout the paper (``rw``/``rs``/``rf``)."""
+        return {"REWRITE": "rw", "RESUB": "rs", "REFACTOR": "rf"}[self.name]
+
+    @staticmethod
+    def from_short_name(name: str) -> "Operation":
+        """Parse ``rw``/``rs``/``rf`` (case-insensitive)."""
+        lookup = {"rw": Operation.REWRITE, "rs": Operation.RESUB, "rf": Operation.REFACTOR}
+        try:
+            return lookup[name.strip().lower()]
+        except KeyError as error:
+            raise ValueError(f"unknown operation {name!r}") from error
+
+
+@dataclass
+class DecisionVector:
+    """Mapping from AIG node id to the operation assigned to it.
+
+    The vector covers the AND nodes of one design; primary inputs never carry
+    a decision.  Nodes missing from the mapping are treated as "no operation
+    assigned" by the orchestrated optimizer (they are simply skipped), which
+    is how partially random samples are expressed.
+    """
+
+    assignments: Dict[int, Operation] = field(default_factory=dict)
+
+    # Mapping-style access ------------------------------------------------ #
+    def __getitem__(self, node: int) -> Operation:
+        return self.assignments[node]
+
+    def __setitem__(self, node: int, operation: Union[Operation, int]) -> None:
+        self.assignments[node] = Operation(operation)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self.assignments
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.assignments)
+
+    def get(self, node: int, default: Optional[Operation] = None) -> Optional[Operation]:
+        """Return the operation assigned to ``node`` (or ``default``)."""
+        return self.assignments.get(node, default)
+
+    def items(self):
+        """Iterate over ``(node, operation)`` pairs."""
+        return self.assignments.items()
+
+    def copy(self) -> "DecisionVector":
+        """Return a shallow copy of the decision vector."""
+        return DecisionVector(dict(self.assignments))
+
+    # Statistics ----------------------------------------------------------- #
+    def operation_counts(self) -> Dict[Operation, int]:
+        """Return how many nodes are assigned each operation."""
+        counts = {operation: 0 for operation in Operation}
+        for operation in self.assignments.values():
+            counts[operation] += 1
+        return counts
+
+    # Construction --------------------------------------------------------- #
+    @staticmethod
+    def uniform(aig: Aig, operation: Union[Operation, int]) -> "DecisionVector":
+        """Assign the same operation to every AND node of ``aig``."""
+        operation = Operation(operation)
+        return DecisionVector({node: operation for node in aig.nodes()})
+
+    @staticmethod
+    def from_mapping(mapping: Mapping[int, Union[Operation, int]]) -> "DecisionVector":
+        """Build a decision vector from any ``{node: operation}`` mapping."""
+        return DecisionVector({node: Operation(op) for node, op in mapping.items()})
+
+    # CSV interchange (the storage format described in Section III-B) ------ #
+    def to_csv(self, path_or_buffer) -> None:
+        """Write ``node,operation`` rows (header included) to a path or file object."""
+        rows = ["node,operation"]
+        for node in sorted(self.assignments):
+            rows.append(f"{node},{int(self.assignments[node])}")
+        text = "\n".join(rows) + "\n"
+        if isinstance(path_or_buffer, (str, os.PathLike)):
+            with open(path_or_buffer, "w", encoding="ascii") as handle:
+                handle.write(text)
+        else:
+            path_or_buffer.write(text)
+
+    @staticmethod
+    def from_csv(path_or_buffer) -> "DecisionVector":
+        """Read a decision vector previously written by :meth:`to_csv`."""
+        if isinstance(path_or_buffer, (str, os.PathLike)):
+            with open(path_or_buffer, "r", encoding="ascii") as handle:
+                text = handle.read()
+        else:
+            text = path_or_buffer.read()
+        assignments: Dict[int, Operation] = {}
+        for line_number, line in enumerate(io.StringIO(text)):
+            line = line.strip()
+            if not line or (line_number == 0 and not line[0].isdigit()):
+                continue
+            node_text, op_text = line.split(",")[:2]
+            assignments[int(node_text)] = Operation(int(op_text))
+        return DecisionVector(assignments)
+
+    def restricted_to(self, nodes: Iterable[int]) -> "DecisionVector":
+        """Return a copy containing only the assignments for ``nodes``."""
+        wanted = set(nodes)
+        return DecisionVector(
+            {node: op for node, op in self.assignments.items() if node in wanted}
+        )

@@ -1,0 +1,130 @@
+"""Per-node, per-operation transformability checks with local gain.
+
+Algorithm 1 asks, at every node, whether the node is *transformable with
+respect to the assigned operation*; the static feature embedding additionally
+needs the transformability and local gain of **all three** operations at every
+node (feature bits 3–8 in Figure 3 of the paper).  Both are answered here by
+running the non-mutating candidate finders of :mod:`repro.synth`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.aig.aig import Aig
+from repro.orchestration.decision import Operation
+from repro.synth.candidates import TransformCandidate
+from repro.synth.refactor import RefactorParams, find_refactor_candidate
+from repro.synth.resub import ResubParams, find_resub_candidate
+from repro.synth.rewrite import RewriteParams, find_rewrite_candidate
+
+
+@dataclass
+class OperationParams:
+    """Bundle of tuning parameters for the three orchestrated operations."""
+
+    rewrite: RewriteParams = None
+    resub: ResubParams = None
+    refactor: RefactorParams = None
+
+    def __post_init__(self) -> None:
+        self.rewrite = self.rewrite or RewriteParams()
+        self.resub = self.resub or ResubParams()
+        self.refactor = self.refactor or RefactorParams()
+
+
+@dataclass
+class NodeTransformability:
+    """Transformability and local gain of every operation at one node.
+
+    ``gain`` values follow the paper's convention: the estimated AIG node
+    reduction if the operation were applied at this node, or ``-1`` when the
+    operation is not applicable.
+    """
+
+    node: int
+    rewrite_applicable: bool
+    rewrite_gain: int
+    resub_applicable: bool
+    resub_gain: int
+    refactor_applicable: bool
+    refactor_gain: int
+
+    def applicable(self, operation: Operation) -> bool:
+        """Return whether ``operation`` can be applied at this node."""
+        return {
+            Operation.REWRITE: self.rewrite_applicable,
+            Operation.RESUB: self.resub_applicable,
+            Operation.REFACTOR: self.refactor_applicable,
+        }[operation]
+
+    def gain(self, operation: Operation) -> int:
+        """Return the local gain of ``operation`` (``-1`` when not applicable)."""
+        return {
+            Operation.REWRITE: self.rewrite_gain,
+            Operation.RESUB: self.resub_gain,
+            Operation.REFACTOR: self.refactor_gain,
+        }[operation]
+
+    def best_operation(self) -> Optional[Operation]:
+        """Return the applicable operation with the highest gain (ties: rw > rs > rf)."""
+        best: Optional[Operation] = None
+        best_gain = -1
+        for operation in (Operation.REWRITE, Operation.RESUB, Operation.REFACTOR):
+            if self.applicable(operation) and self.gain(operation) > best_gain:
+                best = operation
+                best_gain = self.gain(operation)
+        return best
+
+
+def find_candidate(
+    aig: Aig,
+    node: int,
+    operation: Operation,
+    params: Optional[OperationParams] = None,
+) -> Optional[TransformCandidate]:
+    """Return the candidate of ``operation`` at ``node`` (``None`` when not applicable)."""
+    params = params or OperationParams()
+    if operation == Operation.REWRITE:
+        return find_rewrite_candidate(aig, node, params.rewrite)
+    if operation == Operation.RESUB:
+        return find_resub_candidate(aig, node, params.resub)
+    return find_refactor_candidate(aig, node, params.refactor)
+
+
+def analyze_node(
+    aig: Aig, node: int, params: Optional[OperationParams] = None
+) -> NodeTransformability:
+    """Check all three operations at ``node`` and report applicability + gain."""
+    params = params or OperationParams()
+    results: Dict[Operation, Optional[TransformCandidate]] = {
+        operation: find_candidate(aig, node, operation, params) for operation in Operation
+    }
+
+    def unpack(operation: Operation):
+        candidate = results[operation]
+        if candidate is None:
+            return False, -1
+        return True, candidate.gain
+
+    rw_ok, rw_gain = unpack(Operation.REWRITE)
+    rs_ok, rs_gain = unpack(Operation.RESUB)
+    rf_ok, rf_gain = unpack(Operation.REFACTOR)
+    return NodeTransformability(
+        node=node,
+        rewrite_applicable=rw_ok,
+        rewrite_gain=rw_gain,
+        resub_applicable=rs_ok,
+        resub_gain=rs_gain,
+        refactor_applicable=rf_ok,
+        refactor_gain=rf_gain,
+    )
+
+
+def analyze_network(
+    aig: Aig, params: Optional[OperationParams] = None
+) -> Dict[int, NodeTransformability]:
+    """Run :func:`analyze_node` over every AND node (used for static features)."""
+    params = params or OperationParams()
+    return {node: analyze_node(aig, node, params) for node in aig.topological_order()}

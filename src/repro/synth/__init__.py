@@ -1,0 +1,35 @@
+"""DAG-aware Boolean optimization passes and supporting Boolean algebra.
+
+This package is the Python stand-in for the relevant slice of ABC that
+BoolGebra drives: the three local transformations of the paper (``rewrite``,
+``resub``, ``refactor``), the Boolean-algebra machinery they rely on (ISOP
+computation, algebraic factoring, MFFC/reference counting, replacement
+fragments) and the stand-alone pass drivers used as SOTA baselines.
+"""
+
+from repro.synth.refactor import RefactorParams, find_refactor_candidate
+from repro.synth.resub import ResubParams, find_resub_candidate
+from repro.synth.rewrite import RewriteParams, find_rewrite_candidate
+from repro.synth.scripts import (
+    PassStats,
+    balance_pass,
+    compress_script,
+    refactor_pass,
+    resub_pass,
+    rewrite_pass,
+)
+
+__all__ = [
+    "PassStats",
+    "RefactorParams",
+    "ResubParams",
+    "RewriteParams",
+    "balance_pass",
+    "compress_script",
+    "find_refactor_candidate",
+    "find_resub_candidate",
+    "find_rewrite_candidate",
+    "refactor_pass",
+    "resub_pass",
+    "rewrite_pass",
+]

@@ -1,0 +1,53 @@
+"""Common result type for per-node transformation candidates.
+
+``find_rewrite_candidate`` / ``find_resub_candidate`` / ``find_refactor_candidate``
+all answer the same two questions the paper's Algorithm 1 asks at every node:
+*is the node transformable with this operation* and *what is the local gain*.
+When a candidate exists it also carries everything needed to actually apply
+the transformation to the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.aig.aig import Aig
+
+
+@dataclass
+class TransformCandidate:
+    """A beneficial local transformation found at ``node``.
+
+    Attributes
+    ----------
+    node:
+        The root node the transformation replaces.
+    operation:
+        ``"rw"``, ``"rs"`` or ``"rf"``.
+    gain:
+        Estimated number of AND nodes removed from the network (saving of the
+        freed MFFC minus the nodes the replacement adds).  The *actual* gain
+        after application can only be larger or equal in pathological sharing
+        cases; the orchestrated optimizer re-measures real sizes anyway.
+    leaves:
+        The cut leaves the transformation is expressed over (informational).
+    _apply:
+        Callback performing the graph update.
+    """
+
+    node: int
+    operation: str
+    gain: int
+    leaves: Sequence[int] = field(default_factory=tuple)
+    _apply: Optional[Callable[[Aig], None]] = None
+
+    def apply(self, aig: Aig) -> None:
+        """Apply the transformation to ``aig`` (the network it was found on)."""
+        if self._apply is None:
+            raise RuntimeError("this candidate does not carry an apply callback")
+        if not aig.has_node(self.node) or not aig.is_and(self.node):
+            # The node has been swallowed by an earlier transformation; the
+            # orchestrated traversal treats this as "no longer applicable".
+            return
+        self._apply(aig)

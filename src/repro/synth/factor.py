@@ -1,0 +1,173 @@
+"""Algebraic factoring of sum-of-products covers.
+
+Refactoring and the rewriting library both need to turn a flat SOP cover into
+a multi-level factored form with few literals.  The implementation follows the
+classic *quick factoring* recipe (common-cube extraction followed by division
+by the most frequent literal), which is what ABC's ``Dec_Factor`` family uses
+as its workhorse.
+
+The result is an expression tree (:class:`Expr`) that is subsequently turned
+into an AIG replacement fragment (:mod:`repro.synth.fragment`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.aig.truth import table_mask
+from repro.synth.sop import (
+    Cover,
+    Cube,
+    cube_from_literals,
+    divide_by_literal,
+    literal_counts,
+)
+
+
+@dataclass(frozen=True)
+class Expr:
+    """A node of a factored-form expression tree.
+
+    ``kind`` is one of ``"const0"``, ``"const1"``, ``"lit"``, ``"and"`` or
+    ``"or"``.  For ``"lit"`` nodes, ``var``/``negated`` identify the literal;
+    for ``"and"``/``"or"`` nodes, ``children`` holds the operands.
+    """
+
+    kind: str
+    var: int = -1
+    negated: bool = False
+    children: Tuple["Expr", ...] = field(default_factory=tuple)
+
+    # Constructors ----------------------------------------------------- #
+    @staticmethod
+    def const0() -> "Expr":
+        return Expr("const0")
+
+    @staticmethod
+    def const1() -> "Expr":
+        return Expr("const1")
+
+    @staticmethod
+    def literal(var: int, negated: bool = False) -> "Expr":
+        return Expr("lit", var=var, negated=negated)
+
+    @staticmethod
+    def and_(children: Sequence["Expr"]) -> "Expr":
+        children = tuple(children)
+        if not children:
+            return Expr.const1()
+        if len(children) == 1:
+            return children[0]
+        return Expr("and", children=children)
+
+    @staticmethod
+    def or_(children: Sequence["Expr"]) -> "Expr":
+        children = tuple(children)
+        if not children:
+            return Expr.const0()
+        if len(children) == 1:
+            return children[0]
+        return Expr("or", children=children)
+
+    # Metrics ----------------------------------------------------------- #
+    def literal_count(self) -> int:
+        """Number of literal occurrences in the expression (factored-form cost)."""
+        if self.kind == "lit":
+            return 1
+        if self.kind in ("const0", "const1"):
+            return 0
+        return sum(child.literal_count() for child in self.children)
+
+    def depth(self) -> int:
+        """Expression-tree depth (constants and literals have depth 0)."""
+        if self.kind in ("lit", "const0", "const1"):
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def __str__(self) -> str:
+        if self.kind == "const0":
+            return "0"
+        if self.kind == "const1":
+            return "1"
+        if self.kind == "lit":
+            return f"!x{self.var}" if self.negated else f"x{self.var}"
+        separator = " & " if self.kind == "and" else " | "
+        return "(" + separator.join(str(child) for child in self.children) + ")"
+
+
+def factor_cover(cover: Cover) -> Expr:
+    """Return a factored form of the cover using quick (literal-based) factoring."""
+    if not cover:
+        return Expr.const0()
+    if any(cube.is_tautology() for cube in cover):
+        return Expr.const1()
+    if len(cover) == 1:
+        return _cube_expr(cover[0])
+
+    # 1. Extract the largest common cube shared by every product term.
+    common_pos = cover[0].pos
+    common_neg = cover[0].neg
+    for cube in cover[1:]:
+        common_pos &= cube.pos
+        common_neg &= cube.neg
+    if common_pos or common_neg:
+        common = Cube(common_pos, common_neg)
+        reduced = [
+            Cube(cube.pos & ~common_pos, cube.neg & ~common_neg) for cube in cover
+        ]
+        return Expr.and_([_cube_expr(common), factor_cover(reduced)])
+
+    # 2. Divide by the most frequent literal (when it appears more than once).
+    num_vars = max((cube.pos | cube.neg) for cube in cover).bit_length()
+    counts = literal_counts(cover, num_vars)
+    best_var, best_negative, best_count = -1, False, 1
+    for var, (positive, negative) in enumerate(counts):
+        if positive > best_count:
+            best_var, best_negative, best_count = var, False, positive
+        if negative > best_count:
+            best_var, best_negative, best_count = var, True, negative
+    if best_var < 0:
+        # No sharing opportunities: emit the flat SOP.
+        return Expr.or_([_cube_expr(cube) for cube in cover])
+
+    quotient, remainder = divide_by_literal(cover, best_var, best_negative)
+    divided = Expr.and_(
+        [Expr.literal(best_var, best_negative), factor_cover(quotient)]
+    )
+    if not remainder:
+        return divided
+    return Expr.or_([divided, factor_cover(remainder)])
+
+
+def _cube_expr(cube: Cube) -> Expr:
+    literals = [Expr.literal(var, negated) for var, negated in cube.literals()]
+    if not literals:
+        return Expr.const1()
+    return Expr.and_(literals)
+
+
+def expr_truth_table(expr: Expr, num_vars: int) -> int:
+    """Evaluate the expression into a truth table (used by tests)."""
+    from repro.aig.truth import cached_table_var
+
+    mask = table_mask(num_vars)
+    if expr.kind == "const0":
+        return 0
+    if expr.kind == "const1":
+        return mask
+    if expr.kind == "lit":
+        table = cached_table_var(expr.var, num_vars)
+        return table ^ mask if expr.negated else table
+    tables = [expr_truth_table(child, num_vars) for child in expr.children]
+    result = mask if expr.kind == "and" else 0
+    for table in tables:
+        result = (result & table) if expr.kind == "and" else (result | table)
+    return result
+
+
+def factor_truth_table(table: int, num_vars: int) -> Expr:
+    """ISOP + quick factoring of a completely specified function."""
+    from repro.synth.isop import isop_cover
+
+    return factor_cover(isop_cover(table, num_vars))

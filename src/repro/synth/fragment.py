@@ -1,0 +1,214 @@
+"""Replacement fragments: small AIG structures over cut leaves.
+
+A :class:`Fragment` is a stand-alone AIG built over ``num_leaves`` input slots.
+Rewriting/refactoring first synthesize the new implementation of a cut
+function as a fragment, *estimate* how many nodes it would really add to the
+host network (:meth:`Fragment.dry_run` — existing nodes are found through the
+structural hash table and cost nothing), and only if the transformation pays
+off instantiate it (:meth:`Fragment.instantiate`) and splice it in with
+:meth:`repro.aig.aig.Aig.replace`.
+
+Fragment literal encoding mirrors the AIG encoding: variable ``0`` is the
+constant, variables ``1 … num_leaves`` are the leaves, higher variables are the
+fragment's internal AND nodes in definition order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_is_compl, lit_not, lit_var
+from repro.synth.factor import Expr
+
+
+@dataclass
+class DryRunResult:
+    """Outcome of estimating the cost of splicing a fragment into a network."""
+
+    new_nodes: int
+    reused_nodes: Set[int]
+    output_literal: Optional[int]
+
+    def reused_in(self, node_set: Set[int]) -> int:
+        """Number of reused nodes that fall inside ``node_set`` (e.g. an MFFC)."""
+        return len(self.reused_nodes & node_set)
+
+
+@dataclass
+class Fragment:
+    """A replacement structure over ``num_leaves`` leaf slots."""
+
+    num_leaves: int
+    nodes: List[Tuple[int, int]] = field(default_factory=list)
+    output: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of AND nodes in the fragment."""
+        return len(self.nodes)
+
+    def leaf_literal(self, index: int, negated: bool = False) -> int:
+        """Return the fragment literal of leaf ``index``."""
+        if not 0 <= index < self.num_leaves:
+            raise ValueError(f"leaf index {index} out of range")
+        return ((index + 1) << 1) | int(negated)
+
+    def add_and(self, lit0: int, lit1: int, strash: Optional[Dict] = None) -> int:
+        """Add an AND node over fragment literals, with local simplification."""
+        simplified = _trivial(lit0, lit1)
+        if simplified is not None:
+            return simplified
+        if lit0 > lit1:
+            lit0, lit1 = lit1, lit0
+        if strash is not None:
+            existing = strash.get((lit0, lit1))
+            if existing is not None:
+                return existing
+        self.nodes.append((lit0, lit1))
+        literal = (self.num_leaves + len(self.nodes)) << 1
+        if strash is not None:
+            strash[(lit0, lit1)] = literal
+        return literal
+
+    # ------------------------------------------------------------------ #
+    # Application to a host network
+    # ------------------------------------------------------------------ #
+    def _map_literal(self, mapping: Sequence[Optional[int]], literal: int) -> Optional[int]:
+        mapped = mapping[lit_var(literal)]
+        if mapped is None:
+            return None
+        return mapped ^ int(lit_is_compl(literal))
+
+    def instantiate(self, aig: Aig, leaf_literals: Sequence[int]) -> int:
+        """Build the fragment inside ``aig`` and return the output literal."""
+        if len(leaf_literals) != self.num_leaves:
+            raise ValueError(
+                f"fragment expects {self.num_leaves} leaves, got {len(leaf_literals)}"
+            )
+        mapping: List[Optional[int]] = [0] + list(leaf_literals)
+        for lit0, lit1 in self.nodes:
+            mapped0 = self._map_literal(mapping, lit0)
+            mapped1 = self._map_literal(mapping, lit1)
+            assert mapped0 is not None and mapped1 is not None
+            mapping.append(aig.add_and(mapped0, mapped1))
+        result = self._map_literal(mapping, self.output)
+        assert result is not None
+        return result
+
+    def dry_run(
+        self,
+        aig: Aig,
+        leaf_literals: Sequence[int],
+        deref_set: Optional[Set[int]] = None,
+    ) -> DryRunResult:
+        """Estimate the cost of instantiating the fragment without modifying ``aig``.
+
+        ``new_nodes`` counts fragment nodes that would require creating a new
+        AND gate (a gate already present through structural hashing is free).
+        ``reused_nodes`` reports which existing nodes the fragment would reuse
+        — reused nodes inside the caller's MFFC will *not* be freed by the
+        replacement, which the caller subtracts from its saving estimate.
+        """
+        if len(leaf_literals) != self.num_leaves:
+            raise ValueError(
+                f"fragment expects {self.num_leaves} leaves, got {len(leaf_literals)}"
+            )
+        mapping: List[Optional[int]] = [0] + list(leaf_literals)
+        new_nodes = 0
+        reused: Set[int] = set()
+        for lit0, lit1 in self.nodes:
+            mapped0 = self._map_literal(mapping, lit0)
+            mapped1 = self._map_literal(mapping, lit1)
+            if mapped0 is None or mapped1 is None:
+                new_nodes += 1
+                mapping.append(None)
+                continue
+            found = aig.find_and(mapped0, mapped1)
+            if found is None:
+                new_nodes += 1
+                mapping.append(None)
+                continue
+            node = lit_var(found)
+            if aig.is_and(node):
+                if deref_set is None or node in deref_set:
+                    reused.add(node)
+            mapping.append(found)
+        output_literal = self._map_literal(mapping, self.output)
+        return DryRunResult(new_nodes, reused, output_literal)
+
+    # ------------------------------------------------------------------ #
+    # Conversion from factored forms
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_expression(expr: Expr, num_leaves: int) -> "Fragment":
+        """Build a fragment implementing a factored-form expression tree.
+
+        N-ary AND/OR operators are decomposed into balanced binary trees and a
+        local structural hash avoids duplicating identical sub-terms.
+        """
+        fragment = Fragment(num_leaves=num_leaves)
+        strash: Dict[Tuple[int, int], int] = {}
+
+        def build(node: Expr) -> int:
+            if node.kind == "const0":
+                return 0
+            if node.kind == "const1":
+                return 1
+            if node.kind == "lit":
+                return fragment.leaf_literal(node.var, node.negated)
+            child_literals = [build(child) for child in node.children]
+            if node.kind == "or":
+                child_literals = [lit_not(literal) for literal in child_literals]
+            result = _balanced_and(fragment, child_literals, strash)
+            return lit_not(result) if node.kind == "or" else result
+
+        fragment.output = build(expr)
+        return fragment
+
+    @staticmethod
+    def constant(value: bool, num_leaves: int = 0) -> "Fragment":
+        """Return a node-free fragment producing a constant."""
+        fragment = Fragment(num_leaves=num_leaves)
+        fragment.output = 1 if value else 0
+        return fragment
+
+    @staticmethod
+    def single_leaf(num_leaves: int, index: int, negated: bool = False) -> "Fragment":
+        """Return a node-free fragment forwarding one (possibly inverted) leaf."""
+        fragment = Fragment(num_leaves=num_leaves)
+        fragment.output = fragment.leaf_literal(index, negated)
+        return fragment
+
+
+def _balanced_and(fragment: Fragment, literals: List[int], strash: Dict) -> int:
+    if not literals:
+        return 1
+    while len(literals) > 1:
+        next_level = []
+        for index in range(0, len(literals) - 1, 2):
+            next_level.append(
+                fragment.add_and(literals[index], literals[index + 1], strash)
+            )
+        if len(literals) % 2:
+            next_level.append(literals[-1])
+        literals = next_level
+    return literals[0]
+
+
+def _trivial(lit0: int, lit1: int) -> Optional[int]:
+    if lit0 == 0 or lit1 == 0:
+        return 0
+    if lit0 == 1:
+        return lit1
+    if lit1 == 1:
+        return lit0
+    if lit0 == lit1:
+        return lit0
+    if lit0 == lit_not(lit1):
+        return 0
+    return None

@@ -1,0 +1,88 @@
+"""Irredundant sum-of-products (ISOP) computation.
+
+The Minato–Morreale algorithm computes an irredundant cover of an incompletely
+specified function given as a pair of truth tables ``(lower, upper)`` with
+``lower ⊆ f ⊆ upper`` (for a completely specified function ``lower == upper``).
+Refactoring uses it to re-express the function of a large cut as a compact SOP
+before algebraic factoring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.aig.truth import cofactor, depends_on, table_mask
+from repro.synth.sop import Cover, Cube, cover_truth_table
+
+
+def isop(lower: int, upper: int, num_vars: int) -> Cover:
+    """Return an irredundant cover ``C`` with ``lower ⊆ C ⊆ upper``.
+
+    Raises ``ValueError`` when ``lower`` is not contained in ``upper``.
+    """
+    mask = table_mask(num_vars)
+    lower &= mask
+    upper &= mask
+    if lower & ~upper & mask:
+        raise ValueError("lower bound is not contained in the upper bound")
+    cover, _ = _isop_recursive(lower, upper, num_vars, num_vars - 1)
+    return cover
+
+
+def isop_cover(table: int, num_vars: int) -> Cover:
+    """Return an irredundant cover of the completely specified function ``table``."""
+    return isop(table, table, num_vars)
+
+
+def _isop_recursive(
+    lower: int, upper: int, num_vars: int, var: int
+) -> tuple:
+    """Recursive Minato–Morreale step; returns ``(cover, cover_truth_table)``."""
+    mask = table_mask(num_vars)
+    if lower == 0:
+        return [], 0
+    if upper == mask:
+        return [Cube(0, 0)], mask
+    # Find the top-most variable either bound depends on.
+    split = None
+    for candidate in range(var, -1, -1):
+        if depends_on(lower, num_vars, candidate) or depends_on(upper, num_vars, candidate):
+            split = candidate
+            break
+    if split is None:
+        # Neither bound depends on any remaining variable: lower is a constant.
+        # lower != 0 here, so the function must be covered by the empty cube.
+        return [Cube(0, 0)], mask
+
+    lower0 = cofactor(lower, num_vars, split, 0)
+    lower1 = cofactor(lower, num_vars, split, 1)
+    upper0 = cofactor(upper, num_vars, split, 0)
+    upper1 = cofactor(upper, num_vars, split, 1)
+
+    # Minterms that can only be covered in the negative / positive branch.
+    cover0, table0 = _isop_recursive(lower0 & ~upper1 & mask, upper0, num_vars, split - 1)
+    cover1, table1 = _isop_recursive(lower1 & ~upper0 & mask, upper1, num_vars, split - 1)
+    # What remains must be covered by cubes independent of the split variable.
+    remaining_lower = (lower0 & ~table0 & mask) | (lower1 & ~table1 & mask)
+    cover2, table2 = _isop_recursive(remaining_lower, upper0 & upper1, num_vars, split - 1)
+
+    neg_bit = 1 << split
+    cover: Cover = []
+    cover.extend(Cube(cube.pos, cube.neg | neg_bit) for cube in cover0)
+    cover.extend(Cube(cube.pos | neg_bit, cube.neg) for cube in cover1)
+    cover.extend(cover2)
+
+    var_table = _var_table(split, num_vars)
+    result_table = (table0 & ~var_table & mask) | (table1 & var_table) | table2
+    return cover, result_table
+
+
+def _var_table(var: int, num_vars: int) -> int:
+    from repro.aig.truth import cached_table_var
+
+    return cached_table_var(var, num_vars)
+
+
+def verify_cover(cover: Sequence[Cube], table: int, num_vars: int) -> bool:
+    """Return whether ``cover`` implements exactly ``table``."""
+    return cover_truth_table(cover, num_vars) == (table & table_mask(num_vars))

@@ -1,0 +1,53 @@
+"""Maximum fanout-free cone (MFFC) computation.
+
+The MFFC of a node is the set of nodes that would become unreferenced — and
+hence deletable — if the node itself were removed.  Every local optimization
+uses it as its *saving* estimate: replacing a node pays off when the MFFC it
+frees is larger than the logic the replacement adds.
+
+Two flavours are provided: the classic MFFC (stopping at PIs) and the
+cut-bounded variant used by rewriting/refactoring, where the cone is truncated
+at the cut leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_var
+
+
+def mffc_nodes(aig: Aig, root: int, leaves: Iterable[int] = ()) -> Set[int]:
+    """Return the node ids freed if ``root`` were removed, bounded by ``leaves``.
+
+    The root itself is always part of the result (it is the node being
+    replaced).  Recursion stops at primary inputs, constants and any node
+    listed in ``leaves``.
+    """
+    if not aig.is_and(root):
+        return set()
+    leaf_set = set(leaves)
+    freed: Set[int] = set()
+    remaining: Dict[int, int] = {}
+
+    def dereference(node: int) -> None:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            freed.add(current)
+            for fanin_lit in aig.fanins(current):
+                fanin = lit_var(fanin_lit)
+                if not aig.is_and(fanin) or fanin in leaf_set or fanin in freed:
+                    continue
+                remaining[fanin] = remaining.get(fanin, aig.fanout_count(fanin)) - 1
+                if remaining[fanin] == 0:
+                    stack.append(fanin)
+
+    dereference(root)
+    return freed
+
+
+def mffc_size(aig: Aig, root: int, leaves: Iterable[int] = ()) -> int:
+    """Return the number of nodes in the (cut-bounded) MFFC of ``root``."""
+    return len(mffc_nodes(aig, root, leaves))

@@ -1,0 +1,91 @@
+"""AIG refactoring (``rf``).
+
+Refactoring computes one large reconvergence-driven cut per node, collapses
+the cut cone into its Boolean function, re-synthesizes the function as an
+algebraically factored form and accepts the new implementation when it uses
+fewer AND nodes than the cone it frees (Mishchenko/Brayton, *Scalable logic
+synthesis using a simple circuit structure*, IWLS 2006).  Unlike rewriting it
+can restructure logic across many levels at once and therefore also reduces
+depth in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.aig.aig import Aig, AigCycleError
+from repro.aig.literals import lit, lit_not
+from repro.aig.reconv_cut import reconvergence_driven_cut
+from repro.aig.truth import cut_truth_table, table_mask
+from repro.synth.candidates import TransformCandidate
+from repro.synth.factor import factor_cover
+from repro.synth.fragment import Fragment
+from repro.synth.isop import isop_cover
+from repro.synth.mffc import mffc_nodes
+
+
+@dataclass
+class RefactorParams:
+    """Tuning knobs of the refactoring transformation."""
+
+    max_leaves: int = 10
+    min_gain: int = 1
+    use_zero_cost: bool = False
+    min_cone_size: int = 2
+
+    def effective_min_gain(self) -> int:
+        return 0 if self.use_zero_cost else max(self.min_gain, 1)
+
+
+def find_refactor_candidate(
+    aig: Aig, node: int, params: Optional[RefactorParams] = None
+) -> Optional[TransformCandidate]:
+    """Return a refactoring candidate at ``node`` or ``None`` (non-mutating)."""
+    params = params or RefactorParams()
+    if not aig.is_and(node):
+        return None
+    leaves = reconvergence_driven_cut(aig, node, max_leaves=params.max_leaves)
+    if len(leaves) < 2 or node in leaves:
+        return None
+    deref = mffc_nodes(aig, node, leaves)
+    if len(deref) < params.min_cone_size:
+        return None
+    num_vars = len(leaves)
+    table = cut_truth_table(aig, node, leaves)
+
+    # Factor both polarities and keep the cheaper implementation.
+    positive = Fragment.from_expression(
+        factor_cover(isop_cover(table, num_vars)), num_vars
+    )
+    negative = Fragment.from_expression(
+        factor_cover(isop_cover(table ^ table_mask(num_vars), num_vars)), num_vars
+    )
+    negative.output = lit_not(negative.output)
+    fragment = positive if positive.size <= negative.size else negative
+
+    leaf_literals = [lit(leaf) for leaf in leaves]
+    estimate = fragment.dry_run(aig, leaf_literals, deref)
+    saved = len(deref) - estimate.reused_in(deref)
+    gain = saved - estimate.new_nodes
+    if estimate.output_literal is not None and (estimate.output_literal >> 1) == node:
+        return None
+    if gain < params.effective_min_gain():
+        return None
+
+    def apply(target: Aig, fragment: Fragment = fragment, literals=tuple(leaf_literals)) -> None:
+        output = fragment.instantiate(target, list(literals))
+        try:
+            target.replace(node, output)
+        except AigCycleError:
+            # See the matching note in rewrite.py: reusing fanout-cone logic
+            # would create a cycle, so this candidate is skipped.
+            pass
+
+    return TransformCandidate(
+        node=node,
+        operation="rf",
+        gain=gain,
+        leaves=tuple(leaves),
+        _apply=apply,
+    )

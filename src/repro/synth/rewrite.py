@@ -1,0 +1,112 @@
+"""DAG-aware AIG rewriting (``rw``).
+
+Rewriting inspects the 4-feasible cuts of a node, looks up a pre-computed
+implementation of each cut function in the rewriting library, and replaces the
+cut cone when the new structure uses fewer nodes than the maximum fanout-free
+cone it frees (Mishchenko et al., *DAG-aware AIG rewriting*, DAC 2006).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.aig.aig import Aig, AigCycleError
+from repro.aig.cuts import Cut, local_cuts
+from repro.aig.literals import lit
+from repro.aig.truth import cut_truth_table
+from repro.synth.candidates import TransformCandidate
+from repro.synth.fragment import Fragment
+from repro.synth.mffc import mffc_nodes
+from repro.synth.rewrite_lib import DEFAULT_LIBRARY, RewriteLibrary
+
+
+@dataclass
+class RewriteParams:
+    """Tuning knobs of the rewriting transformation."""
+
+    cut_size: int = 4
+    cuts_per_node: int = 8
+    max_region: int = 40
+    max_depth: int = 6
+    min_gain: int = 1
+    use_zero_cost: bool = False
+    library: Optional[RewriteLibrary] = None
+
+    def effective_min_gain(self) -> int:
+        """Zero-cost rewriting accepts replacements that do not increase size."""
+        return 0 if self.use_zero_cost else max(self.min_gain, 1)
+
+
+def find_rewrite_candidate(
+    aig: Aig, node: int, params: Optional[RewriteParams] = None
+) -> Optional[TransformCandidate]:
+    """Return the best rewriting candidate at ``node`` or ``None``.
+
+    The function never modifies the network; it is also the transformability
+    check used for the paper's static feature embedding (bit 3/4 of the node
+    attributes).
+    """
+    params = params or RewriteParams()
+    library = params.library or DEFAULT_LIBRARY
+    if not aig.is_and(node):
+        return None
+    cuts = local_cuts(
+        aig,
+        node,
+        k=params.cut_size,
+        cuts_per_node=params.cuts_per_node,
+        max_region=params.max_region,
+        max_depth=params.max_depth,
+    )
+    best: Optional[TransformCandidate] = None
+    for cut in cuts:
+        candidate = _evaluate_cut(aig, node, cut, library, params)
+        if candidate is None:
+            continue
+        if best is None or candidate.gain > best.gain:
+            best = candidate
+    return best
+
+
+def _evaluate_cut(
+    aig: Aig,
+    node: int,
+    cut: Cut,
+    library: RewriteLibrary,
+    params: RewriteParams,
+) -> Optional[TransformCandidate]:
+    if cut.is_trivial() or cut.size < 2:
+        return None
+    leaves = list(cut.leaves)
+    table = cut_truth_table(aig, node, leaves)
+    fragment = library.lookup(table, len(leaves))
+    deref = mffc_nodes(aig, node, leaves)
+    leaf_literals = [lit(leaf) for leaf in leaves]
+    estimate = fragment.dry_run(aig, leaf_literals, deref)
+    saved = len(deref) - estimate.reused_in(deref)
+    gain = saved - estimate.new_nodes
+    if estimate.output_literal is not None and (estimate.output_literal >> 1) == node:
+        # The "replacement" is the node itself: nothing to do.
+        return None
+    if gain < params.effective_min_gain():
+        return None
+
+    def apply(target: Aig, fragment: Fragment = fragment, leaves=tuple(leaf_literals)) -> None:
+        output = fragment.instantiate(target, list(leaves))
+        try:
+            target.replace(node, output)
+        except AigCycleError:
+            # The replacement structure reuses logic from the node's fanout
+            # cone; splicing it in would create a cycle, so the candidate is
+            # abandoned (any freshly created nodes are dangling and removed by
+            # the pass-level cleanup).
+            pass
+
+    return TransformCandidate(
+        node=node,
+        operation="rw",
+        gain=gain,
+        leaves=tuple(leaves),
+        _apply=apply,
+    )

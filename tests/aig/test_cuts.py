@@ -1,0 +1,94 @@
+"""Tests for K-feasible cut enumeration."""
+
+from repro.aig.aig import Aig
+from repro.aig.cuts import Cut, CutEnumerator, CutSet, local_cuts
+from repro.aig.literals import lit_var
+from repro.aig.truth import cut_truth_table
+
+
+def _two_level_aig():
+    aig = Aig()
+    a, b, c, d = (aig.add_pi() for _ in range(4))
+    g1 = aig.add_and(a, b)
+    g2 = aig.add_and(c, d)
+    g3 = aig.add_and(g1, g2)
+    aig.add_po(g3)
+    return aig, [lit_var(x) for x in (a, b, c, d)], lit_var(g1), lit_var(g2), lit_var(g3)
+
+
+def test_cut_basic_properties():
+    cut = Cut(5, (1, 2, 3))
+    assert cut.size == 3
+    assert not cut.is_trivial()
+    assert Cut(5, (5,)).is_trivial()
+    assert Cut(5, (1, 2)).dominates(cut)
+    assert not cut.dominates(Cut(5, (1, 2)))
+
+
+def test_cutset_drops_dominated():
+    cut_set = CutSet(9)
+    cut_set.add(Cut(9, (1, 2, 3)), limit=8)
+    cut_set.add(Cut(9, (1, 2)), limit=8)     # dominates the first
+    assert len(cut_set.cuts) == 1
+    assert cut_set.cuts[0].leaves == (1, 2)
+    cut_set.add(Cut(9, (1, 2, 4)), limit=8)  # dominated by (1,2): rejected
+    assert len(cut_set.cuts) == 1
+
+
+def test_cutset_respects_limit():
+    cut_set = CutSet(9)
+    for i in range(20):
+        cut_set.add(Cut(9, (i, i + 100, i + 200)), limit=5)
+    assert len(cut_set.cuts) <= 5
+
+
+def test_enumerate_finds_structural_cuts():
+    aig, pis, g1, g2, g3 = _two_level_aig()
+    cuts = CutEnumerator(k=4).enumerate(aig)
+    leaves_found = {cut.leaves for cut in cuts[g3]}
+    assert (g3,) in leaves_found                       # trivial cut
+    assert (g1, g2) in leaves_found                    # fanin cut
+    assert tuple(sorted(pis)) in leaves_found          # PI cut
+
+
+def test_enumerate_respects_k():
+    aig, pis, g1, g2, g3 = _two_level_aig()
+    cuts = CutEnumerator(k=2).enumerate(aig)
+    assert all(cut.size <= 2 for cut in cuts[g3])
+
+
+def test_every_cut_is_a_valid_cut(medium_random_aig):
+    """Every enumerated cut must cover its root (truth-table computation succeeds)."""
+    cuts = CutEnumerator(k=4, cuts_per_node=6).enumerate(medium_random_aig)
+    checked = 0
+    for node, node_cuts in cuts.items():
+        if not medium_random_aig.is_and(node):
+            continue
+        for cut in node_cuts[:3]:
+            if cut.is_trivial():
+                continue
+            cut_truth_table(medium_random_aig, node, cut.leaves)  # must not raise
+            checked += 1
+    assert checked > 0
+
+
+def test_local_cuts_match_global_for_small_graph():
+    aig, pis, g1, g2, g3 = _two_level_aig()
+    local = {cut.leaves for cut in local_cuts(aig, g3, k=4)}
+    global_cuts = {cut.leaves for cut in CutEnumerator(k=4).enumerate(aig)[g3]}
+    assert global_cuts <= local | global_cuts  # local may add none beyond global
+    assert (g1, g2) in local
+    assert tuple(sorted(pis)) in local
+
+
+def test_local_cuts_on_pi_returns_trivial(tiny_aig):
+    pi = tiny_aig.pis()[0]
+    cuts = local_cuts(tiny_aig, pi)
+    assert cuts == [Cut(pi, (pi,))]
+
+
+def test_local_cuts_bounded_region(medium_random_aig):
+    node = medium_random_aig.topological_order()[-1]
+    cuts = local_cuts(medium_random_aig, node, k=4, max_region=10)
+    assert all(cut.size <= 4 for cut in cuts)
+    assert any(not cut.is_trivial() for cut in cuts)

@@ -1,0 +1,103 @@
+"""Tests for combinational equivalence checking."""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.equivalence import assert_equivalent, check_equivalence
+from repro.aig.literals import lit_not
+from repro.aig.random_aig import random_aig_simple
+
+
+def _xor_pair():
+    first = Aig("a")
+    x, y = first.add_pi(), first.add_pi()
+    first.add_po(first.make_xor(x, y))
+    second = Aig("b")
+    u, v = second.add_pi(), second.add_pi()
+    # XOR as (u | v) & !(u & v)
+    second.add_po(second.add_and(second.make_or(u, v), lit_not(second.add_and(u, v))))
+    return first, second
+
+
+def test_structurally_different_but_equivalent():
+    first, second = _xor_pair()
+    result = check_equivalence(first, second)
+    assert result.equivalent
+    assert result.exhaustive
+    assert bool(result)
+
+
+def test_detects_inequivalence():
+    first = Aig("a")
+    x, y = first.add_pi(), first.add_pi()
+    first.add_po(first.add_and(x, y))
+    second = Aig("b")
+    u, v = second.add_pi(), second.add_pi()
+    second.add_po(second.make_or(u, v))
+    result = check_equivalence(first, second)
+    assert not result.equivalent
+    assert result.failing_output == 0
+
+
+def test_interface_mismatch_raises():
+    first = Aig("a")
+    first.add_pi()
+    first.add_po(first.pi_literals()[0])
+    second = Aig("b")
+    second.add_pi()
+    second.add_pi()
+    second.add_po(second.pi_literals()[0])
+    with pytest.raises(ValueError):
+        check_equivalence(first, second)
+
+
+def test_po_count_mismatch_raises():
+    first = Aig("a")
+    x = first.add_pi()
+    first.add_po(x)
+    second = Aig("b")
+    y = second.add_pi()
+    second.add_po(y)
+    second.add_po(lit_not(y))
+    with pytest.raises(ValueError):
+        check_equivalence(first, second)
+
+
+def test_random_fallback_for_many_inputs():
+    first = random_aig_simple(20, 60, 2, seed=3)
+    second = first.copy()
+    result = check_equivalence(first, second, exhaustive_limit=10, num_random_patterns=512)
+    assert result.equivalent
+    assert not result.exhaustive
+    assert result.num_patterns == 512
+
+
+def test_random_fallback_detects_difference():
+    first = random_aig_simple(20, 60, 2, seed=3)
+    second = first.copy()
+    # Flip one PO polarity: guaranteed difference on every pattern.
+    second.set_po_driver(0, lit_not(second.pos()[0]))
+    result = check_equivalence(first, second, exhaustive_limit=10)
+    assert not result.equivalent
+
+
+def test_assert_equivalent_raises_on_mismatch():
+    first = Aig("a")
+    x = first.add_pi()
+    first.add_po(x)
+    second = Aig("b")
+    y = second.add_pi()
+    second.add_po(lit_not(y))
+    with pytest.raises(AssertionError):
+        assert_equivalent(first, second)
+
+
+def test_zero_pi_networks():
+    first = Aig("a")
+    first.add_po(1)
+    second = Aig("b")
+    second.add_po(1)
+    assert check_equivalence(first, second).equivalent
+    third = Aig("c")
+    third.add_po(0)
+    assert not check_equivalence(first, third).equivalent

@@ -1,0 +1,57 @@
+"""Tests for the literal encoding helpers."""
+
+import pytest
+
+from repro.aig.literals import (
+    CONST0,
+    CONST1,
+    lit,
+    lit_compl,
+    lit_is_compl,
+    lit_not,
+    lit_pair_key,
+    lit_regular,
+    lit_var,
+)
+
+
+def test_constants():
+    assert CONST0 == 0
+    assert CONST1 == 1
+    assert lit_not(CONST0) == CONST1
+
+
+def test_lit_roundtrip():
+    for var in (0, 1, 7, 1000):
+        for compl in (False, True):
+            literal = lit(var, compl)
+            assert lit_var(literal) == var
+            assert lit_is_compl(literal) == compl
+
+
+def test_lit_rejects_negative_variable():
+    with pytest.raises(ValueError):
+        lit(-1)
+
+
+def test_lit_not_is_involution():
+    literal = lit(42, True)
+    assert lit_not(lit_not(literal)) == literal
+    assert lit_not(literal) == lit(42, False)
+
+
+def test_lit_regular_strips_complement():
+    assert lit_regular(lit(9, True)) == lit(9, False)
+    assert lit_regular(lit(9, False)) == lit(9, False)
+
+
+def test_lit_compl_conditional():
+    literal = lit(3)
+    assert lit_compl(literal, False) == literal
+    assert lit_compl(literal, True) == lit_not(literal)
+
+
+def test_pair_key_is_commutative():
+    assert lit_pair_key(lit(3), lit(7, True)) == lit_pair_key(lit(7, True), lit(3))
+    key = lit_pair_key(lit(9), lit(2))
+    assert key[0] <= key[1]

@@ -1,0 +1,56 @@
+"""Tests for the random AIG generator."""
+
+import pytest
+
+from repro.aig.random_aig import RandomAigSpec, random_aig, random_aig_simple
+
+
+def test_generator_is_deterministic():
+    spec = RandomAigSpec(num_pis=6, num_pos=2, num_ands=40, seed=13)
+    first = random_aig(spec)
+    second = random_aig(spec)
+    assert first.size == second.size
+    assert first.edge_list() == second.edge_list()
+    assert first.pos() == second.pos()
+
+
+def test_generator_respects_interface():
+    aig = random_aig(RandomAigSpec(num_pis=7, num_pos=3, num_ands=50, seed=2))
+    assert aig.num_pis() == 7
+    assert aig.num_pos() == 3
+    aig.check()
+
+
+def test_generator_size_close_to_request():
+    aig = random_aig_simple(10, 150, 3, seed=4)
+    # The XOR output trees add some overhead; the size must be in a sane band.
+    assert 120 <= aig.size <= 260
+
+
+def test_different_seeds_differ():
+    a = random_aig_simple(8, 60, 2, seed=0)
+    b = random_aig_simple(8, 60, 2, seed=1)
+    assert a.edge_list() != b.edge_list()
+
+
+def test_no_dangling_nodes_after_generation():
+    aig = random_aig_simple(8, 80, 2, seed=6)
+    for node in aig.nodes():
+        assert aig.fanout_count(node) > 0
+
+
+def test_outputs_are_not_constant():
+    """The XOR-combined POs must not collapse to constants (observability)."""
+    from repro.aig.simulate import random_patterns, simulate_outputs
+    import numpy as np
+
+    aig = random_aig_simple(10, 120, 4, seed=8)
+    outputs = simulate_outputs(aig, random_patterns(10, 256, seed=0))
+    for signature in outputs:
+        ones = sum(bin(int(word)).count("1") for word in signature)
+        assert 0 < ones < 256
+
+
+def test_rejects_zero_pis():
+    with pytest.raises(ValueError):
+        random_aig(RandomAigSpec(num_pis=0))

@@ -1,0 +1,89 @@
+"""Tests for bit-parallel simulation."""
+
+import numpy as np
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_not, lit_var
+from repro.aig.simulate import (
+    exhaustive_patterns,
+    output_bits,
+    random_patterns,
+    simulate,
+    simulate_outputs,
+)
+
+
+def test_random_patterns_shape():
+    patterns = random_patterns(5, 130, seed=1)
+    assert patterns.shape == (5, 3)  # ceil(130/64) words
+    assert patterns.dtype == np.uint64
+
+
+def test_random_patterns_deterministic_by_seed():
+    assert np.array_equal(random_patterns(4, 64, seed=9), random_patterns(4, 64, seed=9))
+    assert not np.array_equal(random_patterns(4, 64, seed=9), random_patterns(4, 64, seed=10))
+
+
+def test_exhaustive_patterns_enumerate_all_assignments():
+    patterns = exhaustive_patterns(3)
+    # Pattern i assigns bit k of i to input k.
+    for minterm in range(8):
+        for var in range(3):
+            word, offset = divmod(minterm, 64)
+            bit = int(patterns[var, word] >> np.uint64(offset)) & 1
+            assert bit == (minterm >> var) & 1
+
+
+def test_simulate_and_gate():
+    aig = Aig()
+    x, y = aig.add_pi(), aig.add_pi()
+    g = aig.add_and(x, y)
+    aig.add_po(g)
+    patterns = exhaustive_patterns(2)
+    values = simulate(aig, patterns)
+    assert int(values[lit_var(g)][0]) == 0b1000
+
+
+def test_simulate_respects_complemented_edges():
+    aig = Aig()
+    x, y = aig.add_pi(), aig.add_pi()
+    g = aig.add_and(lit_not(x), y)
+    aig.add_po(g)
+    patterns = exhaustive_patterns(2)
+    values = simulate(aig, patterns)
+    assert int(values[lit_var(g)][0]) == 0b0100
+
+
+def test_simulate_outputs_apply_po_complement():
+    aig = Aig()
+    x, y = aig.add_pi(), aig.add_pi()
+    g = aig.add_and(x, y)
+    aig.add_po(lit_not(g))
+    patterns = exhaustive_patterns(2)
+    outputs = simulate_outputs(aig, patterns)
+    assert int(outputs[0][0]) & 0xF == 0b0111
+
+
+def test_simulate_shape_validation(tiny_aig):
+    with pytest.raises(ValueError):
+        simulate(tiny_aig, np.zeros((1, 1), dtype=np.uint64))
+
+
+def test_output_bits_single_assignment(adder_aig):
+    # 3 + 5 = 8 on the 4-bit adder.
+    bits = output_bits(adder_aig, [1, 1, 0, 0, 1, 0, 1, 0])
+    value = sum(bit << i for i, bit in enumerate(bits[:4])) + (bits[4] << 4)
+    assert value == 8
+
+
+def test_output_bits_validates_length(adder_aig):
+    with pytest.raises(ValueError):
+        output_bits(adder_aig, [0, 1])
+
+
+def test_simulate_subset_of_nodes(tiny_aig):
+    patterns = exhaustive_patterns(3)
+    wanted = list(tiny_aig.nodes())[:1]
+    values = simulate(tiny_aig, patterns, nodes=wanted)
+    assert set(values) == set(wanted)

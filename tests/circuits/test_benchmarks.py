@@ -1,0 +1,68 @@
+"""Tests for the synthetic benchmark registry."""
+
+import pytest
+
+from repro.circuits.benchmarks import (
+    BENCHMARK_SPECS,
+    TABLE1_DESIGNS,
+    available_benchmarks,
+    load_benchmark,
+    paper_table1_benchmarks,
+)
+from repro.io.bench import write_bench
+
+
+def test_registry_contains_paper_designs():
+    names = available_benchmarks()
+    for design in ("b07", "b08", "b09", "b10", "b11", "b12", "c2670", "c5315", "voter"):
+        assert design in names
+    assert paper_table1_benchmarks() == list(TABLE1_DESIGNS)
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(KeyError):
+        load_benchmark("does_not_exist")
+
+
+@pytest.mark.parametrize("name", ["b08", "b10"])
+def test_standin_size_close_to_target(name):
+    aig = load_benchmark(name)
+    target = BENCHMARK_SPECS[name].target_size
+    assert 0.6 * target <= aig.size <= 1.6 * target
+    assert aig.num_pis() == BENCHMARK_SPECS[name].num_pis
+    aig.check()
+
+
+def test_standin_is_deterministic():
+    load_benchmark.cache_clear()
+    first = load_benchmark("b09")
+    load_benchmark.cache_clear()
+    second = load_benchmark("b09")
+    assert first.size == second.size
+    assert first.edge_list() == second.edge_list()
+
+
+def test_standin_has_no_dangling_logic():
+    aig = load_benchmark("b08")
+    dangling = [node for node in aig.nodes() if aig.fanout_count(node) == 0]
+    assert not dangling
+
+
+def test_standins_are_optimizable():
+    """Each stand-in must leave room for the optimizations the paper studies."""
+    from repro.synth.scripts import rewrite_pass
+
+    aig = load_benchmark("b09").copy()
+    stats = rewrite_pass(aig)
+    assert stats.size_after < stats.size_before
+
+
+def test_real_bench_file_is_preferred(tmp_path):
+    """When a .bench file with the benchmark name exists it is loaded instead."""
+    custom = load_benchmark("b08").copy()
+    path = tmp_path / "b08.bench"
+    write_bench(custom, path)
+    load_benchmark.cache_clear()
+    loaded = load_benchmark("b08", bench_dir=str(tmp_path))
+    assert loaded.num_pis() == custom.num_pis()
+    load_benchmark.cache_clear()

@@ -1,0 +1,51 @@
+"""Tests for hierarchical AIG composition."""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.simulate import output_bits
+from repro.circuits.compose import append_aig
+from repro.circuits.generators import ripple_carry_adder
+
+
+def test_append_simple_block():
+    block = Aig("xor_block")
+    a, b = block.add_pi(), block.add_pi()
+    block.add_po(block.make_xor(a, b))
+
+    top = Aig("top")
+    x, y, z = top.add_pi(), top.add_pi(), top.add_pi()
+    (xor_xy,) = append_aig(top, block, [x, y])
+    (xor_yz,) = append_aig(top, block, [y, z])
+    top.add_po(top.add_and(xor_xy, xor_yz))
+    assert output_bits(top, [1, 0, 1])[0] == 1
+    assert output_bits(top, [1, 1, 1])[0] == 0
+
+
+def test_append_adder_block_preserves_function():
+    adder = ripple_carry_adder(3)
+    top = Aig("wrapper")
+    inputs = [top.add_pi(f"i{i}") for i in range(6)]
+    outputs = append_aig(top, adder, inputs)
+    for literal in outputs:
+        top.add_po(literal)
+    value = output_bits(top, [1, 1, 0, 1, 0, 1])  # a=3, b=5
+    assert sum(bit << i for i, bit in enumerate(value)) == 8
+
+
+def test_append_validates_binding_count():
+    block = Aig("b")
+    block.add_pi()
+    block.add_po(block.pi_literals()[0])
+    top = Aig("t")
+    with pytest.raises(ValueError):
+        append_aig(top, block, [])
+
+
+def test_source_block_untouched():
+    block = ripple_carry_adder(2)
+    size_before = block.size
+    top = Aig("t")
+    inputs = [top.add_pi() for _ in range(4)]
+    append_aig(top, block, inputs)
+    assert block.size == size_before

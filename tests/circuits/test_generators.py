@@ -1,0 +1,130 @@
+"""Functional tests for the structured circuit generators."""
+
+import pytest
+
+from repro.aig.simulate import output_bits
+from repro.circuits.generators import (
+    alu_slice,
+    carry_lookahead_adder,
+    comparator,
+    decoder,
+    multiplexer_tree,
+    multiplier,
+    paper_example_aig,
+    parity_tree,
+    priority_encoder,
+    ripple_carry_adder,
+)
+
+
+def _bits(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def _value(bits):
+    return sum(bit << i for i, bit in enumerate(bits))
+
+
+def test_ripple_carry_adder_exhaustive_small():
+    aig = ripple_carry_adder(3)
+    for a in range(8):
+        for b in range(8):
+            out = output_bits(aig, _bits(a, 3) + _bits(b, 3))
+            assert _value(out) == a + b
+
+
+def test_carry_lookahead_matches_ripple():
+    from repro.aig.equivalence import check_equivalence
+
+    ripple = ripple_carry_adder(4)
+    lookahead = carry_lookahead_adder(4)
+    assert check_equivalence(ripple, lookahead)
+
+
+def test_cla_has_more_redundancy_than_rca():
+    """The expanded carry terms make the CLA strictly larger pre-optimization."""
+    assert carry_lookahead_adder(6).size > ripple_carry_adder(6).size
+
+
+def test_multiplier_exhaustive_small():
+    aig = multiplier(3)
+    for a in range(8):
+        for b in range(8):
+            out = output_bits(aig, _bits(a, 3) + _bits(b, 3))
+            assert _value(out) == a * b
+
+
+def test_comparator():
+    aig = comparator(4)
+    for a, b in [(3, 3), (2, 9), (9, 2), (0, 15), (15, 15)]:
+        eq, lt = output_bits(aig, _bits(a, 4) + _bits(b, 4))
+        assert eq == int(a == b)
+        assert lt == int(a < b)
+
+
+def test_parity_tree():
+    aig = parity_tree(5)
+    for value in range(32):
+        bits = _bits(value, 5)
+        assert output_bits(aig, bits)[0] == sum(bits) % 2
+
+
+def test_multiplexer_tree():
+    aig = multiplexer_tree(2)
+    for select in range(4):
+        for data in range(16):
+            inputs = _bits(select, 2) + _bits(data, 4)
+            assert output_bits(aig, inputs)[0] == (data >> select) & 1
+
+
+def test_decoder_one_hot():
+    aig = decoder(3)
+    for value in range(8):
+        outputs = output_bits(aig, _bits(value, 3))
+        assert sum(outputs) == 1
+        assert outputs[value] == 1
+
+
+def test_priority_encoder():
+    aig = priority_encoder(4)
+    for requests in range(1, 16):
+        bits = _bits(requests, 4)
+        outputs = output_bits(aig, bits)
+        highest = max(i for i in range(4) if bits[i])
+        index_bits = outputs[:-1]
+        assert _value(index_bits) == highest
+        assert outputs[-1] == 1
+    assert output_bits(aig, [0, 0, 0, 0])[-1] == 0
+
+
+def test_alu_slice_operations():
+    width = 3
+    aig = alu_slice(width)
+    for a in range(8):
+        for b in range(8):
+            base = _bits(a, width) + _bits(b, width)
+            add_out = output_bits(aig, [0, 0] + base)
+            assert _value(add_out[:width]) + (add_out[width] << width) == (a + b)
+            and_out = output_bits(aig, [1, 0] + base)
+            assert _value(and_out[:width]) == (a & b)
+            or_out = output_bits(aig, [0, 1] + base)
+            assert _value(or_out[:width]) == (a | b)
+            xor_out = output_bits(aig, [1, 1] + base)
+            assert _value(xor_out[:width]) == (a ^ b)
+
+
+def test_generators_validate_width():
+    for generator in (ripple_carry_adder, multiplier, comparator, parity_tree, decoder):
+        with pytest.raises(ValueError):
+            generator(0)
+    with pytest.raises(ValueError):
+        priority_encoder(1)
+    with pytest.raises(ValueError):
+        multiplexer_tree(0)
+
+
+def test_paper_example_has_mixed_opportunities():
+    aig = paper_example_aig()
+    assert 20 <= aig.size <= 40
+    assert aig.num_pos() == 3
+    aig.check()

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.random_aig import RandomAigSpec, random_aig
+from repro.circuits.generators import paper_example_aig, ripple_carry_adder
+
+
+@pytest.fixture
+def tiny_aig() -> Aig:
+    """A hand-built 3-input network: f = (x & y) | (x & z)."""
+    aig = Aig("tiny")
+    x = aig.add_pi("x")
+    y = aig.add_pi("y")
+    z = aig.add_pi("z")
+    aig.add_po(aig.make_or(aig.add_and(x, y), aig.add_and(x, z)), "f")
+    return aig
+
+
+@pytest.fixture
+def adder_aig() -> Aig:
+    """A 4-bit ripple-carry adder."""
+    return ripple_carry_adder(4)
+
+
+@pytest.fixture
+def example_aig() -> Aig:
+    """The Figure-1 style motivating example."""
+    return paper_example_aig()
+
+
+@pytest.fixture
+def small_random_aig() -> Aig:
+    """A deterministic ~80-node random AIG with 8 PIs."""
+    return random_aig(RandomAigSpec(num_pis=8, num_pos=3, num_ands=80, seed=5, name="rand80"))
+
+
+@pytest.fixture
+def medium_random_aig() -> Aig:
+    """A deterministic ~200-node random AIG with 10 PIs."""
+    return random_aig(RandomAigSpec(num_pis=10, num_pos=4, num_ands=160, seed=9, name="rand160"))

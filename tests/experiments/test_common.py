@@ -1,0 +1,34 @@
+"""Tests for shared experiment plumbing."""
+
+from repro.experiments.common import SeriesResult, get_design, histogram_text, sample_dataset
+from repro.flow.config import fast_config
+
+
+def test_get_design_loads_registry_entries():
+    aig = get_design("b08")
+    assert aig.name == "b08"
+    assert aig.size > 50
+
+
+def test_series_result_summary():
+    series = SeriesResult("demo", [1.0, 2.0, 3.0])
+    summary = series.summary()
+    assert summary["mean"] == 2.0
+    assert summary["min"] == 1.0
+    assert summary["max"] == 3.0
+    assert SeriesResult("empty").summary()["mean"] == 0.0
+
+
+def test_histogram_text_renders_bins():
+    text = histogram_text([1, 1, 2, 5, 5, 5], bins=4)
+    assert text.count("\n") == 3
+    assert "#" in text
+    assert histogram_text([]) == "(empty)"
+
+
+def test_sample_dataset_guided_and_random(example_aig):
+    config = fast_config(num_samples=4, epochs=2)
+    guided = sample_dataset(example_aig, 4, guided=True, seed=0, config=config)
+    random_ds = sample_dataset(example_aig, 4, guided=False, seed=0, config=config)
+    assert len(guided) == len(random_ds) == 4
+    assert guided.design == random_ds.design == example_aig.name

@@ -1,0 +1,142 @@
+"""Miniature-scale runs of every experiment in the harness.
+
+These tests execute the same code paths as the benchmark harness but on the
+smallest designs and sample counts, asserting structural properties of the
+results (all rows/series present, ratios in range, qualitative orderings that
+the paper reports).
+"""
+
+import pytest
+
+from repro.circuits.generators import alu_slice, paper_example_aig
+from repro.experiments.ablations import (
+    format_ablation,
+    run_feature_ablation,
+    run_sampling_ablation,
+)
+from repro.experiments.fig1_motivation import format_fig1, run_fig1_motivation
+from repro.experiments.fig2_sampling import (
+    format_fig2,
+    guided_improves_over_random,
+    run_fig2_sampling,
+)
+from repro.experiments.fig4_training import format_fig4, loss_curves, run_fig4_training
+from repro.experiments.fig5_design_specific import format_fig5, run_fig5_design_specific
+from repro.experiments.fig6_cross_design import format_fig6, run_fig6_cross_design
+from repro.experiments.table1_comparison import (
+    format_table1,
+    paper_reference_rows,
+    run_table1_comparison,
+)
+from repro.flow.config import fast_config
+
+TINY = fast_config(num_samples=6, top_k=2, epochs=6, seed=0)
+
+
+def test_fig1_orchestration_matches_or_beats_standalone():
+    result = run_fig1_motivation(paper_example_aig(), num_orchestrated_samples=8)
+    standalone_best = min(
+        result.sizes["rewrite"], result.sizes["resub"], result.sizes["refactor"]
+    )
+    assert result.sizes["orchestrated (Algorithm 1)"] <= standalone_best
+    text = format_fig1(result)
+    assert "orchestrated" in text and "rewrite" in text
+
+
+def test_fig1_on_custom_design():
+    result = run_fig1_motivation(alu_slice(3), num_orchestrated_samples=4)
+    assert set(result.sizes) == {"rewrite", "resub", "refactor", "orchestrated (Algorithm 1)"}
+    assert all(size <= result.original_size for size in result.sizes.values())
+
+
+@pytest.mark.slow
+def test_fig2_distributions_small_scale():
+    result = run_fig2_sampling(designs=("b08",), num_samples=4, seed=1)
+    assert result.designs == ["b08"]
+    assert len(result.random_sizes["b08"].values) == 4
+    assert len(result.guided_sizes["b08"].values) == 4
+    verdict = guided_improves_over_random(result)
+    assert set(verdict) == {"b08"}
+    text = format_fig2(result)
+    assert "b08" in text
+
+
+@pytest.mark.slow
+def test_fig4_training_curves_small_scale():
+    result = run_fig4_training(designs=("b08",), num_samples=6, config=TINY)
+    assert "b08" in result.histories
+    curves = loss_curves(result)
+    assert len(curves["b08"]) == TINY.training.epochs
+    assert all(loss >= 0.0 for loss in curves["b08"])
+    assert "b08" in format_fig4(result)
+
+
+@pytest.mark.slow
+def test_fig5_design_specific_small_scale():
+    result = run_fig5_design_specific(
+        designs=("b08",), num_train_samples=6, num_test_samples=4, config=TINY
+    )
+    report = result.reports["b08"]
+    assert set(report) >= {"mse", "pearson", "spearman"}
+    predictions, targets = result.scatter["b08"]
+    assert len(predictions) == len(targets) == 4
+    assert "b08" in format_fig5(result)
+
+
+@pytest.mark.slow
+def test_fig6_cross_design_small_scale():
+    result = run_fig6_cross_design(
+        pairs=(("b08", "b09"),), num_train_samples=6, num_test_samples=4, config=TINY
+    )
+    assert ("b08", "b09") in result.reports
+    assert "b08" in format_fig6(result) and "b09" in format_fig6(result)
+
+
+@pytest.mark.slow
+def test_table1_small_scale():
+    result = run_table1_comparison(
+        designs=("b08",),
+        training_design="b09",
+        num_train_samples=6,
+        num_candidate_samples=6,
+        top_k=2,
+        config=TINY,
+    )
+    assert len(result.rows) == 1
+    row = result.rows[0]
+    for ratio in (row.rewrite, row.resub, row.refactor, row.bg_mean, row.bg_best):
+        assert 0.0 < ratio <= 1.0
+    assert row.bg_best <= row.bg_mean
+    averages = result.averages()
+    improvements = result.improvements()
+    assert set(averages) == {"rewrite", "resub", "refactor", "bg_mean", "bg_best"}
+    assert set(improvements) == {"rewrite", "resub", "refactor"}
+    text = format_table1(result)
+    assert "Avg" in text and "Impr.(%)" in text
+
+
+def test_table1_paper_reference_rows_shape():
+    rows = paper_reference_rows()
+    assert len(rows) == 10
+    assert rows[0][0] == "b07"
+    assert rows[-2][0] == "Avg"
+    # The paper's improvement row: 3.6 / 5.3 / 5.5 percent.
+    assert rows[-1][1:4] == [3.6, 5.3, 5.5]
+
+
+@pytest.mark.slow
+def test_sampling_ablation_small_scale():
+    result = run_sampling_ablation(
+        design="b08", num_train_samples=6, num_test_samples=4, config=TINY
+    )
+    assert set(result.reports) == {"guided sampling", "random sampling"}
+    assert "guided" in format_ablation(result, "Sampling ablation")
+
+
+@pytest.mark.slow
+def test_feature_ablation_small_scale():
+    result = run_feature_ablation(
+        design="b08", num_train_samples=6, num_test_samples=4, config=TINY
+    )
+    assert set(result.reports) == {"static + dynamic", "static only", "dynamic only"}
+    assert "static" in format_ablation(result, "Feature ablation")

@@ -1,0 +1,22 @@
+"""Tests for the Figure 3 embedding walk-through experiment."""
+
+from repro.experiments.fig3_embedding import format_fig3, run_fig3_embedding
+
+
+def test_fig3_embedding_tables(example_aig):
+    result = run_fig3_embedding(example_aig, num_samples=3, seed=0)
+    assert result.num_nodes == example_aig.num_pis() + example_aig.size
+    assert len(result.node_rows) == result.num_nodes
+    assert len(result.sample_labels) == 3
+    assert min(result.sample_labels) == 0.0
+    text = format_fig3(result)
+    assert "static features" in text
+    assert "normalized sample labels" in text
+
+
+def test_fig3_pi_rows_are_sentinels(example_aig):
+    result = run_fig3_embedding(example_aig, num_samples=2, seed=1)
+    pi_rows = [row for row in result.node_rows if row[1] == "PI"]
+    assert len(pi_rows) == example_aig.num_pis()
+    for row in pi_rows:
+        assert set(row[2].split()) == {"-99"}

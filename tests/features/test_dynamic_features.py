@@ -1,0 +1,57 @@
+"""Tests for the dynamic (sample-dependent) feature embedding."""
+
+import numpy as np
+
+from repro.features.dynamic_features import (
+    DYNAMIC_FEATURE_DIM,
+    dynamic_feature_matrix,
+    dynamic_node_features,
+)
+from repro.features.encoding import PI_SENTINEL, encode_graph
+from repro.orchestration.decision import DecisionVector, Operation
+from repro.orchestration.orchestrate import orchestrate
+
+
+def test_one_hot_encoding_layout(tiny_aig):
+    nodes = list(tiny_aig.nodes())
+    applied = {nodes[0]: Operation.REWRITE, nodes[1]: Operation.REFACTOR}
+    features = dynamic_node_features(tiny_aig, applied)
+    assert list(features[nodes[0]]) == [0.0, 1.0, 0.0, 0.0]
+    assert list(features[nodes[1]]) == [0.0, 0.0, 0.0, 1.0]
+    assert list(features[nodes[2]]) == [1.0, 0.0, 0.0, 0.0]
+
+
+def test_resub_slot(tiny_aig):
+    node = next(iter(tiny_aig.nodes()))
+    features = dynamic_node_features(tiny_aig, {node: Operation.RESUB})
+    assert list(features[node]) == [0.0, 0.0, 1.0, 0.0]
+
+
+def test_every_vector_is_one_hot(example_aig):
+    decisions = DecisionVector.uniform(example_aig, Operation.REWRITE)
+    result = orchestrate(example_aig, decisions, in_place=False)
+    features = dynamic_node_features(example_aig, result.applied_nodes)
+    for vector in features.values():
+        assert vector.sum() == 1.0
+        assert set(np.unique(vector)) <= {0.0, 1.0}
+
+
+def test_matrix_shape_and_pi_sentinel(example_aig):
+    encoding = encode_graph(example_aig)
+    matrix = dynamic_feature_matrix(example_aig, encoding, {})
+    assert matrix.shape == (encoding.num_nodes, DYNAMIC_FEATURE_DIM)
+    for index in range(encoding.num_pis):
+        assert np.all(matrix[index] == PI_SENTINEL)
+
+
+def test_different_samples_produce_different_features(example_aig):
+    rewrite_result = orchestrate(
+        example_aig, DecisionVector.uniform(example_aig, Operation.REWRITE), in_place=False
+    )
+    refactor_result = orchestrate(
+        example_aig, DecisionVector.uniform(example_aig, Operation.REFACTOR), in_place=False
+    )
+    encoding = encode_graph(example_aig)
+    first = dynamic_feature_matrix(example_aig, encoding, rewrite_result.applied_nodes)
+    second = dynamic_feature_matrix(example_aig, encoding, refactor_result.applied_nodes)
+    assert not np.array_equal(first, second)

@@ -1,0 +1,62 @@
+"""Tests for the graph encoding."""
+
+import numpy as np
+
+from repro.features.encoding import PI_SENTINEL, encode_graph, scatter_features
+
+
+def test_encoding_orders_pis_first(tiny_aig):
+    encoding = encode_graph(tiny_aig)
+    assert encoding.num_pis == 3
+    assert encoding.node_ids[:3] == list(tiny_aig.pis())
+    assert encoding.num_nodes == tiny_aig.num_pis() + tiny_aig.size
+    assert all(encoding.is_pi_row(row) for row in range(3))
+    assert not encoding.is_pi_row(3)
+
+
+def test_encoding_edges_directed(tiny_aig):
+    encoding = encode_graph(tiny_aig, undirected=False)
+    assert encoding.num_edges == 2 * tiny_aig.size
+    sources, targets = encoding.edge_index
+    for source, target in zip(sources, targets):
+        source_id = encoding.node_ids[source]
+        target_id = encoding.node_ids[target]
+        assert tiny_aig.is_and(target_id)
+        fanin_vars = {fanin >> 1 for fanin in tiny_aig.fanins(target_id)}
+        assert source_id in fanin_vars
+
+
+def test_encoding_undirected_doubles_edges(tiny_aig):
+    directed = encode_graph(tiny_aig, undirected=False)
+    undirected = encode_graph(tiny_aig, undirected=True)
+    assert undirected.num_edges == 2 * directed.num_edges
+
+
+def test_edge_inverted_flags(tiny_aig):
+    encoding = encode_graph(tiny_aig, undirected=False)
+    assert encoding.edge_inverted.dtype == bool
+    assert encoding.edge_inverted.shape[0] == encoding.num_edges
+    # The OR gate has two complemented fanins.
+    assert encoding.edge_inverted.sum() >= 2
+
+
+def test_scatter_features_fills_missing_rows(tiny_aig):
+    encoding = encode_graph(tiny_aig)
+    some_node = next(iter(tiny_aig.nodes()))
+    matrix = scatter_features(encoding, {some_node: np.array([1.0, 2.0])}, width=2)
+    row = encoding.node_index[some_node]
+    assert np.array_equal(matrix[row], [1.0, 2.0])
+    pi_row = encoding.node_index[tiny_aig.pis()[0]]
+    assert np.all(matrix[pi_row] == PI_SENTINEL)
+
+
+def test_empty_graph_encoding():
+    from repro.aig.aig import Aig
+
+    aig = Aig()
+    aig.add_pi()
+    aig.add_po(aig.pi_literals()[0])
+    encoding = encode_graph(aig)
+    assert encoding.num_nodes == 1
+    assert encoding.num_edges == 0
+    assert encoding.edge_index.shape == (2, 0)

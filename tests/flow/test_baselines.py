@@ -1,0 +1,31 @@
+"""Tests for the stand-alone SOTA baselines."""
+
+from repro.flow.baselines import BaselineResult, run_baselines
+
+
+def test_run_baselines_returns_all_three(example_aig):
+    results = run_baselines(example_aig)
+    assert set(results) == {"rewrite", "resub", "refactor"}
+    for name, result in results.items():
+        assert result.operation == name
+        assert result.design == example_aig.name
+        assert result.size_before == example_aig.size
+        assert result.size_after <= result.size_before
+        assert 0.0 < result.size_ratio <= 1.0
+        assert result.reduction == result.size_before - result.size_after
+
+
+def test_baselines_do_not_modify_input(example_aig):
+    size_before = example_aig.size
+    run_baselines(example_aig)
+    assert example_aig.size == size_before
+
+
+def test_baseline_result_zero_size_ratio():
+    result = BaselineResult("d", "rewrite", 0, 0, 0.0)
+    assert result.size_ratio == 1.0
+
+
+def test_baselines_reduce_redundant_designs(example_aig):
+    results = run_baselines(example_aig)
+    assert any(result.reduction > 0 for result in results.values())

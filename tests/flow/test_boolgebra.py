@@ -1,0 +1,76 @@
+"""Tests for the end-to-end BoolGebra flow."""
+
+import pytest
+
+from repro.circuits.generators import paper_example_aig
+from repro.flow.boolgebra import BoolGebraFlow
+from repro.flow.config import fast_config
+
+
+@pytest.fixture(scope="module")
+def flow_and_design():
+    aig = paper_example_aig()
+    config = fast_config(num_samples=10, top_k=3, epochs=12, seed=0)
+    flow = BoolGebraFlow(config)
+    dataset = flow.generate_dataset(aig)
+    history = flow.train(aig, dataset=dataset)
+    return flow, aig, dataset, history
+
+
+def test_generate_dataset_respects_sample_count(flow_and_design):
+    flow, aig, dataset, _ = flow_and_design
+    assert len(dataset) == 10
+    assert dataset.design == aig.name
+
+
+def test_training_produces_history(flow_and_design):
+    flow, _, _, history = flow_and_design
+    assert history.epochs == 12
+    assert history.train_loss[-1] <= history.train_loss[0] * 5  # did not diverge wildly
+    assert flow.trainer is not None
+    assert flow.training_design == "fig1"
+
+
+def test_prune_and_evaluate_top_k(flow_and_design):
+    flow, aig, _, _ = flow_and_design
+    result = flow.prune_and_evaluate(aig, top_k=3)
+    assert len(result.evaluated_sizes) == 3
+    assert len(result.predicted_scores) == 3
+    assert result.best_size == min(result.evaluated_sizes)
+    assert result.best_size <= aig.size
+    assert 0.0 < result.best_ratio <= 1.0
+    assert result.best_ratio <= result.mean_ratio
+    assert "BoolGebra" in str(result)
+
+
+def test_prune_and_evaluate_requires_training():
+    flow = BoolGebraFlow(fast_config(num_samples=4, epochs=2))
+    with pytest.raises(RuntimeError):
+        flow.prune_and_evaluate(paper_example_aig())
+
+
+def test_predict_scores_requires_training():
+    flow = BoolGebraFlow(fast_config(num_samples=4, epochs=2))
+    with pytest.raises(RuntimeError):
+        flow.predict_scores([])
+
+
+def test_cross_design_flow(flow_and_design):
+    """Train on the example, infer on a different small design (cross-design)."""
+    flow, _, _, _ = flow_and_design
+    from repro.circuits.generators import alu_slice
+
+    other = alu_slice(3, name="alu_infer")
+    result = flow.prune_and_evaluate(other, top_k=2)
+    assert result.design == "alu_infer"
+    assert len(result.evaluated_sizes) == 2
+    assert result.best_size <= other.size
+
+
+def test_flow_beats_or_matches_random_average(flow_and_design):
+    """The predictor-selected top-k must not be worse than the average candidate."""
+    flow, aig, _, _ = flow_and_design
+    candidates = flow.generate_dataset(aig, num_samples=12, seed=123)
+    result = flow.prune_and_evaluate(aig, candidates=candidates, top_k=3)
+    average_candidate = sum(s.size_after for s in candidates.samples) / len(candidates)
+    assert result.best_size <= average_candidate + 1e-9

@@ -1,0 +1,41 @@
+"""Tests for the flow configuration."""
+
+from repro.flow.config import FlowConfig, fast_config, paper_config
+
+
+def test_paper_config_matches_section_iv():
+    config = paper_config()
+    assert config.num_samples == 600
+    assert config.top_k == 10
+    assert config.guided_sampling is True
+    assert config.training.epochs == 1500
+    assert config.training.batch_size == 100
+    assert config.training.learning_rate == 8e-7
+    assert config.model.conv_hidden_dim == 512
+
+
+def test_fast_config_is_smaller_everywhere():
+    fast = fast_config()
+    paper = paper_config()
+    assert fast.num_samples < paper.num_samples
+    assert fast.training.epochs < paper.training.epochs
+    assert fast.model.conv_hidden_dim < paper.model.conv_hidden_dim
+
+
+def test_with_seed_propagates():
+    config = fast_config(seed=0).with_seed(42)
+    assert config.seed == 42
+    assert config.model.seed == 42
+    assert config.training.seed == 42
+
+
+def test_fast_config_parameters_override():
+    config = fast_config(num_samples=10, top_k=3, epochs=7, seed=2)
+    assert config.num_samples == 10
+    assert config.top_k == 3
+    assert config.training.epochs == 7
+    assert config.seed == 2
+
+
+def test_default_flow_config_is_paper():
+    assert FlowConfig().num_samples == paper_config().num_samples

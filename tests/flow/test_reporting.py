@@ -1,0 +1,42 @@
+"""Tests for the reporting helpers."""
+
+from repro.flow.reporting import format_table, results_to_csv, summarize_ratios
+
+
+def test_format_table_alignment_and_title():
+    text = format_table(
+        headers=["design", "ratio"],
+        rows=[["b07", 0.98123], ["c5315", 0.8]],
+        title="Demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert lines[1].startswith("=")
+    assert "design" in lines[2] and "ratio" in lines[2]
+    assert "0.981" in text and "0.800" in text
+
+
+def test_format_table_custom_float_format():
+    text = format_table(["x"], [[0.123456]], float_format="{:.5f}")
+    assert "0.12346" in text
+
+
+def test_results_to_csv_roundtrip(tmp_path):
+    path = tmp_path / "out.csv"
+    text = results_to_csv(["a", "b"], [[1, 2], [3, 4]], path)
+    assert text.splitlines() == ["a,b", "1,2", "3,4"]
+    assert path.read_text() == text
+
+
+def test_summarize_ratios_improvements():
+    summary = summarize_ratios(
+        {"rewrite": 0.925, "resub": 0.942, "refactor": 0.943, "bg_best": 0.888}
+    )
+    assert abs(summary["improvement_over_rewrite_pct"] - 3.7) < 0.2
+    assert abs(summary["improvement_over_resub_pct"] - 5.4) < 0.2
+    assert "improvement_over_bg_best_pct" not in summary
+
+
+def test_summarize_ratios_without_bg():
+    summary = summarize_ratios({"rewrite": 0.9})
+    assert summary == {"rewrite": 0.9}

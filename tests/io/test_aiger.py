@@ -1,0 +1,87 @@
+"""Tests for the AIGER reader/writer."""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.equivalence import check_equivalence
+from repro.io.aiger import read_aiger, write_aiger
+
+
+def test_ascii_roundtrip(tmp_path, small_random_aig):
+    path = tmp_path / "design.aag"
+    write_aiger(small_random_aig, path)
+    loaded = read_aiger(path)
+    assert loaded.num_pis() == small_random_aig.num_pis()
+    assert loaded.num_pos() == small_random_aig.num_pos()
+    assert check_equivalence(small_random_aig, loaded)
+
+
+def test_binary_roundtrip(tmp_path, small_random_aig):
+    path = tmp_path / "design.aig"
+    write_aiger(small_random_aig, path, binary=True)
+    loaded = read_aiger(path)
+    assert check_equivalence(small_random_aig, loaded)
+
+
+def test_roundtrip_preserves_size(tmp_path, adder_aig):
+    path = tmp_path / "adder.aag"
+    write_aiger(adder_aig, path)
+    loaded = read_aiger(path)
+    assert loaded.size == adder_aig.size
+
+
+def test_symbol_table_names(tmp_path):
+    aig = Aig("named")
+    x = aig.add_pi("alpha")
+    aig.add_po(x, "omega")
+    path = tmp_path / "named.aag"
+    write_aiger(aig, path)
+    text = path.read_text()
+    assert "i0 alpha" in text
+    assert "o0 omega" in text
+    loaded = read_aiger(path)
+    assert loaded.pi_name(0) == "pi0"  # reader assigns canonical names
+
+
+def test_po_complement_preserved(tmp_path):
+    aig = Aig()
+    x, y = aig.add_pi(), aig.add_pi()
+    aig.add_po(aig.make_nand(x, y), "nand")
+    path = tmp_path / "nand.aag"
+    write_aiger(aig, path)
+    loaded = read_aiger(path)
+    assert check_equivalence(aig, loaded)
+
+
+def test_constant_output(tmp_path):
+    aig = Aig()
+    aig.add_pi()
+    aig.add_po(1, "const_true")
+    path = tmp_path / "const.aag"
+    write_aiger(aig, path)
+    loaded = read_aiger(path)
+    assert check_equivalence(aig, loaded)
+
+
+def test_rejects_non_aiger_file(tmp_path):
+    path = tmp_path / "bogus.aag"
+    path.write_text("hello world\n")
+    with pytest.raises(ValueError):
+        read_aiger(path)
+
+
+def test_rejects_sequential_aiger(tmp_path):
+    path = tmp_path / "seq.aag"
+    path.write_text("aag 2 1 1 1 0\n2\n4 2\n4\n")
+    with pytest.raises(ValueError):
+        read_aiger(path)
+
+
+def test_header_counts(tmp_path, tiny_aig):
+    path = tmp_path / "tiny.aag"
+    write_aiger(tiny_aig, path)
+    header = path.read_text().splitlines()[0].split()
+    assert header[0] == "aag"
+    assert int(header[2]) == tiny_aig.num_pis()
+    assert int(header[4]) == tiny_aig.num_pos()
+    assert int(header[5]) == tiny_aig.size

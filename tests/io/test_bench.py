@@ -1,0 +1,125 @@
+"""Tests for the ISCAS .bench reader/writer."""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.equivalence import check_equivalence
+from repro.aig.simulate import output_bits
+from repro.io.bench import parse_bench, read_bench, write_bench
+
+
+def test_roundtrip(tmp_path, small_random_aig):
+    path = tmp_path / "design.bench"
+    write_bench(small_random_aig, path)
+    loaded = read_bench(path)
+    assert check_equivalence(small_random_aig, loaded)
+
+
+def test_parse_simple_gates():
+    text = """
+    # comment line
+    INPUT(a)
+    INPUT(b)
+    OUTPUT(y)
+    n1 = AND(a, b)
+    y = NOT(n1)
+    """
+    aig = parse_bench(text, "simple")
+    assert aig.num_pis() == 2
+    assert aig.num_pos() == 1
+    assert output_bits(aig, [1, 1])[0] == 0
+    assert output_bits(aig, [0, 1])[0] == 1
+
+
+def test_parse_multi_input_gates():
+    text = """
+    INPUT(a)
+    INPUT(b)
+    INPUT(c)
+    OUTPUT(y)
+    OUTPUT(z)
+    y = OR(a, b, c)
+    z = XOR(a, b, c)
+    """
+    aig = parse_bench(text)
+    assert output_bits(aig, [0, 0, 0]) == [0, 0]
+    assert output_bits(aig, [1, 0, 1]) == [1, 0]
+    assert output_bits(aig, [1, 1, 1]) == [1, 1]
+
+
+def test_parse_nand_nor_xnor_buf():
+    text = """
+    INPUT(a)
+    INPUT(b)
+    OUTPUT(w)
+    OUTPUT(x)
+    OUTPUT(y)
+    OUTPUT(z)
+    w = NAND(a, b)
+    x = NOR(a, b)
+    y = XNOR(a, b)
+    z = BUF(a)
+    """
+    aig = parse_bench(text)
+    assert output_bits(aig, [1, 1]) == [0, 0, 1, 1]
+    assert output_bits(aig, [0, 0]) == [1, 1, 1, 0]
+
+
+def test_parse_dff_becomes_pseudo_pi_and_po():
+    text = """
+    INPUT(clkless_in)
+    OUTPUT(out)
+    state = DFF(next_state)
+    next_state = XOR(state, clkless_in)
+    out = AND(state, clkless_in)
+    """
+    aig = parse_bench(text)
+    # state becomes a pseudo-PI, next_state a pseudo-PO.
+    assert aig.num_pis() == 2
+    assert aig.num_pos() == 2
+
+
+def test_parse_out_of_order_definitions():
+    text = """
+    INPUT(a)
+    INPUT(b)
+    OUTPUT(y)
+    y = AND(n1, b)
+    n1 = OR(a, b)
+    """
+    aig = parse_bench(text)
+    assert output_bits(aig, [0, 1])[0] == 1
+
+
+def test_parse_rejects_undefined_signal():
+    text = """
+    INPUT(a)
+    OUTPUT(y)
+    y = AND(a, ghost)
+    """
+    with pytest.raises(ValueError):
+        parse_bench(text)
+
+
+def test_parse_rejects_unknown_gate():
+    text = """
+    INPUT(a)
+    OUTPUT(y)
+    y = MAJ3(a, a, a)
+    """
+    with pytest.raises(ValueError):
+        parse_bench(text)
+
+
+def test_write_then_read_named_interface(tmp_path):
+    aig = Aig("io_names")
+    a = aig.add_pi("in_a")
+    b = aig.add_pi("in_b")
+    aig.add_po(aig.make_or(a, b), "out_y")
+    path = tmp_path / "named.bench"
+    write_bench(aig, path)
+    text = path.read_text()
+    assert "INPUT(in_a)" in text
+    assert "OUTPUT(out_y)" in text
+    loaded = read_bench(path)
+    assert check_equivalence(aig, loaded)

@@ -1,0 +1,110 @@
+"""Tests for the BLIF reader/writer."""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.equivalence import check_equivalence
+from repro.aig.simulate import output_bits
+from repro.io.blif import parse_blif, read_blif, write_blif
+
+
+def test_roundtrip(tmp_path, small_random_aig):
+    path = tmp_path / "design.blif"
+    write_blif(small_random_aig, path)
+    loaded = read_blif(path)
+    assert check_equivalence(small_random_aig, loaded)
+
+
+def test_parse_onset_cover():
+    text = """
+    .model onset
+    .inputs a b c
+    .outputs y
+    .names a b c y
+    11- 1
+    --1 1
+    .end
+    """
+    aig = parse_blif(text)
+    assert output_bits(aig, [1, 1, 0])[0] == 1
+    assert output_bits(aig, [0, 0, 1])[0] == 1
+    assert output_bits(aig, [0, 1, 0])[0] == 0
+
+
+def test_parse_offset_cover():
+    text = """
+    .model offset
+    .inputs a b
+    .outputs y
+    .names a b y
+    10 0
+    .end
+    """
+    aig = parse_blif(text)
+    # Only the row a=1,b=0 is in the off-set: everything else is 1.
+    assert output_bits(aig, [1, 0])[0] == 0
+    assert output_bits(aig, [0, 0])[0] == 1
+    assert output_bits(aig, [1, 1])[0] == 1
+
+
+def test_parse_constant_nodes():
+    text = """
+    .model consts
+    .inputs a
+    .outputs one zero
+    .names one
+    1
+    .names zero
+    .end
+    """
+    aig = parse_blif(text)
+    assert output_bits(aig, [0]) == [1, 0]
+    assert output_bits(aig, [1]) == [1, 0]
+
+
+def test_parse_intermediate_nodes_and_order():
+    text = """
+    .model chained
+    .inputs a b
+    .outputs y
+    .names t y
+    0 1
+    .names a b t
+    11 1
+    .end
+    """
+    aig = parse_blif(text)
+    # y = !(a & b)
+    assert output_bits(aig, [1, 1])[0] == 0
+    assert output_bits(aig, [0, 1])[0] == 1
+
+
+def test_parse_rejects_latches():
+    text = """
+    .model seq
+    .inputs a
+    .outputs y
+    .latch a y 0
+    .end
+    """
+    with pytest.raises(ValueError):
+        parse_blif(text)
+
+
+def test_parse_rejects_undefined_output():
+    text = """
+    .model broken
+    .inputs a
+    .outputs ghost
+    .end
+    """
+    with pytest.raises(ValueError):
+        parse_blif(text)
+
+
+def test_write_contains_model_header(tmp_path, tiny_aig):
+    path = tmp_path / "tiny.blif"
+    write_blif(tiny_aig, path)
+    text = path.read_text()
+    assert text.startswith(".model tiny")
+    assert ".inputs" in text and ".outputs" in text and text.rstrip().endswith(".end")

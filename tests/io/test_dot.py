@@ -1,0 +1,24 @@
+"""Tests for the Graphviz DOT export."""
+
+from repro.io.dot import to_dot, write_dot
+
+
+def test_dot_contains_all_nodes_and_edges(tiny_aig):
+    text = to_dot(tiny_aig)
+    assert text.startswith('digraph "tiny"')
+    for node in tiny_aig.nodes():
+        assert f"n{node} [shape=ellipse" in text
+    for pi in tiny_aig.pis():
+        assert f"n{pi} [shape=box" in text
+    assert text.count("->") == 2 * tiny_aig.size + tiny_aig.num_pos()
+
+
+def test_dot_marks_inverted_edges(tiny_aig):
+    # The OR output is complemented, so at least one dashed edge must exist.
+    assert "style=dashed" in to_dot(tiny_aig)
+
+
+def test_write_dot(tmp_path, tiny_aig):
+    path = tmp_path / "tiny.dot"
+    write_dot(tiny_aig, path)
+    assert path.read_text() == to_dot(tiny_aig)

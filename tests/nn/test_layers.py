@@ -1,0 +1,144 @@
+"""Tests (including numerical gradient checks) for the dense layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import BatchNorm1d, Dropout, Linear, Parameter, ReLU6, Sigmoid
+
+
+def _numeric_gradient(forward_fn, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = forward_fn()
+        flat[index] = original - eps
+        minus = forward_fn()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def test_parameter_zero_grad():
+    parameter = Parameter(np.ones((2, 2)), "p")
+    parameter.grad += 3.0
+    parameter.zero_grad()
+    assert np.all(parameter.grad == 0.0)
+    assert "p" in repr(parameter)
+
+
+def test_linear_forward_shape_and_bias():
+    layer = Linear(3, 2, rng=np.random.default_rng(0))
+    x = np.ones((4, 3))
+    y = layer.forward(x)
+    assert y.shape == (4, 2)
+    expected = x @ layer.weight.value + layer.bias.value
+    assert np.allclose(y, expected)
+
+
+def test_linear_input_gradient_matches_numeric():
+    rng = np.random.default_rng(1)
+    layer = Linear(4, 3, rng=rng)
+    x = rng.normal(size=(5, 4))
+    target = rng.normal(size=(5, 3))
+
+    def loss():
+        return float(np.sum((layer.forward(x) - target) ** 2))
+
+    layer.forward(x)
+    grad_out = 2 * (layer.forward(x) - target)
+    grad_in = layer.backward(grad_out)
+    numeric = _numeric_gradient(loss, x)
+    assert np.allclose(grad_in, numeric, atol=1e-5)
+
+
+def test_linear_weight_gradient_matches_numeric():
+    rng = np.random.default_rng(2)
+    layer = Linear(3, 2, rng=rng)
+    x = rng.normal(size=(6, 3))
+    target = rng.normal(size=(6, 2))
+
+    def loss():
+        return float(np.sum((layer.forward(x) - target) ** 2))
+
+    layer.weight.zero_grad()
+    out = layer.forward(x)
+    layer.backward(2 * (out - target))
+    numeric = _numeric_gradient(loss, layer.weight.value)
+    assert np.allclose(layer.weight.grad, numeric, atol=1e-5)
+
+
+def test_relu6_clipping_and_gradient():
+    layer = ReLU6()
+    x = np.array([[-2.0, 0.5, 3.0, 7.0]])
+    y = layer.forward(x)
+    assert np.allclose(y, [[0.0, 0.5, 3.0, 6.0]])
+    grad = layer.backward(np.ones_like(x))
+    assert np.allclose(grad, [[0.0, 1.0, 1.0, 0.0]])
+
+
+def test_sigmoid_range_and_gradient():
+    layer = Sigmoid()
+    x = np.array([[-100.0, 0.0, 100.0]])
+    y = layer.forward(x)
+    assert np.all((y >= 0.0) & (y <= 1.0))
+    assert abs(y[0, 1] - 0.5) < 1e-12
+    grad = layer.backward(np.ones_like(x))
+    assert grad[0, 1] == pytest.approx(0.25)
+    assert grad[0, 0] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_dropout_eval_mode_is_identity():
+    layer = Dropout(0.5, seed=0)
+    x = np.random.default_rng(0).normal(size=(10, 10))
+    assert np.array_equal(layer.forward(x, training=False), x)
+    assert np.array_equal(layer.backward(np.ones_like(x)), np.ones_like(x))
+
+
+def test_dropout_training_scales_kept_units():
+    layer = Dropout(0.5, seed=0)
+    x = np.ones((200, 50))
+    y = layer.forward(x, training=True)
+    kept = y[y != 0.0]
+    assert np.allclose(kept, 2.0)          # inverted dropout scaling
+    assert 0.3 < (y != 0).mean() < 0.7     # roughly half the units survive
+
+
+def test_dropout_rejects_invalid_rate():
+    with pytest.raises(ValueError):
+        Dropout(1.0)
+
+
+def test_batchnorm_normalizes_in_training():
+    layer = BatchNorm1d(4)
+    rng = np.random.default_rng(3)
+    x = rng.normal(loc=5.0, scale=3.0, size=(64, 4))
+    y = layer.forward(x, training=True)
+    assert np.allclose(y.mean(axis=0), 0.0, atol=1e-7)
+    assert np.allclose(y.std(axis=0), 1.0, atol=1e-3)
+
+
+def test_batchnorm_running_stats_used_in_eval():
+    layer = BatchNorm1d(2, momentum=1.0)
+    x = np.array([[0.0, 10.0], [2.0, 14.0]])
+    layer.forward(x, training=True)
+    assert np.allclose(layer.running_mean, [1.0, 12.0])
+    eval_out = layer.forward(np.array([[1.0, 12.0]]), training=False)
+    assert np.allclose(eval_out, layer.beta.value, atol=1e-2)
+
+
+def test_batchnorm_gradient_matches_numeric():
+    rng = np.random.default_rng(4)
+    layer = BatchNorm1d(3)
+    x = rng.normal(size=(8, 3))
+    target = rng.normal(size=(8, 3))
+
+    def loss():
+        return float(np.sum((layer.forward(x, training=True) - target) ** 2))
+
+    out = layer.forward(x, training=True)
+    grad_in = layer.backward(2 * (out - target))
+    numeric = _numeric_gradient(loss, x)
+    assert np.allclose(grad_in, numeric, atol=1e-4)

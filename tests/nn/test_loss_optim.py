@@ -1,0 +1,90 @@
+"""Tests for the MSE loss, Adam optimizer and LR schedule."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.loss import MSELoss
+from repro.nn.optim import Adam, StepLR
+
+
+def test_mse_value_and_gradient():
+    loss = MSELoss()
+    predictions = np.array([[0.5], [1.0]])
+    targets = np.array([[0.0], [1.0]])
+    value = loss.forward(predictions, targets)
+    assert value == pytest.approx(0.125)
+    grad = loss.backward()
+    assert np.allclose(grad, [[0.5], [0.0]])
+
+
+def test_mse_handles_flat_targets():
+    loss = MSELoss()
+    value = loss(np.array([[1.0], [2.0]]), np.array([1.0, 0.0]))
+    assert value == pytest.approx(2.0)
+
+
+def test_mse_gradient_matches_numeric():
+    rng = np.random.default_rng(0)
+    predictions = rng.normal(size=(6, 1))
+    targets = rng.normal(size=(6, 1))
+    loss = MSELoss()
+    loss.forward(predictions, targets)
+    analytic = loss.backward()
+    eps = 1e-6
+    numeric = np.zeros_like(predictions)
+    for index in np.ndindex(*predictions.shape):
+        original = predictions[index]
+        predictions[index] = original + eps
+        plus = MSELoss().forward(predictions, targets)
+        predictions[index] = original - eps
+        minus = MSELoss().forward(predictions, targets)
+        predictions[index] = original
+        numeric[index] = (plus - minus) / (2 * eps)
+    assert np.allclose(analytic, numeric, atol=1e-6)
+
+
+def test_adam_minimizes_quadratic():
+    parameter = Parameter(np.array([5.0, -3.0]))
+    optimizer = Adam([parameter], lr=0.1)
+    for _ in range(500):
+        optimizer.zero_grad()
+        parameter.grad += 2 * parameter.value  # d/dx of x^2
+        optimizer.step()
+    assert np.all(np.abs(parameter.value) < 1e-2)
+
+
+def test_adam_zero_grad_clears_all():
+    p1, p2 = Parameter(np.ones(2)), Parameter(np.ones(3))
+    optimizer = Adam([p1, p2], lr=0.1)
+    p1.grad += 1.0
+    p2.grad += 2.0
+    optimizer.zero_grad()
+    assert np.all(p1.grad == 0.0) and np.all(p2.grad == 0.0)
+
+
+def test_adam_weight_decay_pulls_toward_zero():
+    parameter = Parameter(np.array([1.0]))
+    optimizer = Adam([parameter], lr=0.05, weight_decay=1.0)
+    for _ in range(200):
+        optimizer.zero_grad()
+        optimizer.step()
+    assert abs(float(parameter.value[0])) < 1.0
+
+
+def test_step_lr_schedule_matches_paper_decay():
+    parameter = Parameter(np.zeros(1))
+    optimizer = Adam([parameter], lr=8e-7)
+    scheduler = StepLR(optimizer, step_size=100, gamma=0.5)
+    for _ in range(100):
+        scheduler.step()
+    assert optimizer.lr == pytest.approx(4e-7)
+    for _ in range(100):
+        scheduler.step()
+    assert optimizer.lr == pytest.approx(2e-7)
+
+
+def test_step_lr_rejects_bad_step_size():
+    optimizer = Adam([Parameter(np.zeros(1))])
+    with pytest.raises(ValueError):
+        StepLR(optimizer, step_size=0)

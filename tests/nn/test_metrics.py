@@ -1,0 +1,60 @@
+"""Tests for regression and ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import (
+    best_in_top_k,
+    mae,
+    mse,
+    pearson_correlation,
+    regression_report,
+    spearman_correlation,
+    top_k_overlap,
+)
+
+
+def test_mse_and_mae():
+    predictions = np.array([1.0, 2.0, 3.0])
+    targets = np.array([1.0, 1.0, 5.0])
+    assert mse(predictions, targets) == pytest.approx((0 + 1 + 4) / 3)
+    assert mae(predictions, targets) == pytest.approx(1.0)
+
+
+def test_pearson_perfect_and_inverse():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+    assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+
+def test_pearson_constant_input_returns_zero():
+    assert pearson_correlation(np.ones(5), np.arange(5)) == 0.0
+
+
+def test_spearman_monotone_nonlinear():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    assert spearman_correlation(x, x ** 3) == pytest.approx(1.0)
+    assert spearman_correlation(x, -(x ** 3)) == pytest.approx(-1.0)
+
+
+def test_top_k_overlap():
+    predictions = np.array([0.1, 0.2, 0.9, 0.8])
+    targets = np.array([0.0, 0.1, 0.9, 1.0])
+    assert top_k_overlap(predictions, targets, k=2) == 1.0
+    bad_predictions = np.array([0.9, 0.8, 0.1, 0.0])
+    assert top_k_overlap(bad_predictions, targets, k=2) == 0.0
+
+
+def test_best_in_top_k():
+    targets = np.array([0.5, 0.0, 0.9])
+    assert best_in_top_k(np.array([0.4, 0.1, 0.9]), targets, k=1)
+    assert not best_in_top_k(np.array([0.1, 0.9, 0.4]), targets, k=1)
+
+
+def test_regression_report_keys():
+    rng = np.random.default_rng(0)
+    predictions = rng.random(20)
+    targets = rng.random(20)
+    report = regression_report(predictions, targets, k=5)
+    assert set(report) == {"mse", "mae", "pearson", "spearman", "top_k_overlap", "best_in_top_k"}
+    assert all(isinstance(value, float) for value in report.values())

@@ -1,0 +1,82 @@
+"""Tests for decision vectors and the operation encoding."""
+
+import io
+
+import pytest
+
+from repro.orchestration.decision import DecisionVector, Operation
+
+
+def test_operation_encoding_matches_paper():
+    assert int(Operation.REWRITE) == 0
+    assert int(Operation.RESUB) == 1
+    assert int(Operation.REFACTOR) == 2
+
+
+def test_operation_short_names():
+    assert Operation.REWRITE.short_name == "rw"
+    assert Operation.RESUB.short_name == "rs"
+    assert Operation.REFACTOR.short_name == "rf"
+    assert Operation.from_short_name("RW") == Operation.REWRITE
+    assert Operation.from_short_name(" rf ") == Operation.REFACTOR
+    with pytest.raises(ValueError):
+        Operation.from_short_name("xyz")
+
+
+def test_mapping_interface():
+    decisions = DecisionVector()
+    decisions[4] = Operation.RESUB
+    decisions[7] = 2
+    assert decisions[4] == Operation.RESUB
+    assert decisions[7] == Operation.REFACTOR
+    assert 4 in decisions and 5 not in decisions
+    assert len(decisions) == 2
+    assert set(iter(decisions)) == {4, 7}
+    assert decisions.get(5) is None
+    assert decisions.get(5, Operation.REWRITE) == Operation.REWRITE
+
+
+def test_uniform_assignment(tiny_aig):
+    decisions = DecisionVector.uniform(tiny_aig, Operation.REWRITE)
+    assert len(decisions) == tiny_aig.size
+    assert all(op == Operation.REWRITE for _, op in decisions.items())
+
+
+def test_operation_counts(tiny_aig):
+    decisions = DecisionVector.uniform(tiny_aig, Operation.REFACTOR)
+    counts = decisions.operation_counts()
+    assert counts[Operation.REFACTOR] == tiny_aig.size
+    assert counts[Operation.REWRITE] == 0
+
+
+def test_copy_is_independent():
+    decisions = DecisionVector({1: Operation.REWRITE})
+    clone = decisions.copy()
+    clone[1] = Operation.RESUB
+    assert decisions[1] == Operation.REWRITE
+
+
+def test_csv_roundtrip_via_buffer():
+    decisions = DecisionVector({3: Operation.RESUB, 1: Operation.REWRITE, 9: Operation.REFACTOR})
+    buffer = io.StringIO()
+    decisions.to_csv(buffer)
+    buffer.seek(0)
+    loaded = DecisionVector.from_csv(buffer)
+    assert dict(loaded.items()) == dict(decisions.items())
+
+
+def test_csv_roundtrip_via_file(tmp_path):
+    decisions = DecisionVector({0: 0, 5: 1, 6: 2})
+    path = tmp_path / "decisions.csv"
+    decisions.to_csv(path)
+    text = path.read_text()
+    assert text.splitlines()[0] == "node,operation"
+    loaded = DecisionVector.from_csv(path)
+    assert dict(loaded.items()) == dict(decisions.items())
+
+
+def test_from_mapping_and_restriction():
+    decisions = DecisionVector.from_mapping({1: 0, 2: 1, 3: 2})
+    restricted = decisions.restricted_to([2, 3])
+    assert set(iter(restricted)) == {2, 3}
+    assert restricted[2] == Operation.RESUB

@@ -1,0 +1,84 @@
+"""Tests for Algorithm 1 (orchestrated optimization)."""
+
+from repro.aig.equivalence import check_equivalence
+from repro.orchestration.decision import DecisionVector, Operation
+from repro.orchestration.orchestrate import evaluate_decisions, orchestrate
+from repro.synth.scripts import rewrite_pass
+
+
+def test_in_place_orchestration_reduces_and_preserves(example_aig):
+    original = example_aig.copy()
+    decisions = DecisionVector.uniform(example_aig, Operation.REWRITE)
+    result = orchestrate(example_aig, decisions)
+    example_aig.check()
+    assert result.size_after <= result.size_before
+    assert result.size_after == example_aig.size
+    assert check_equivalence(original, example_aig)
+
+
+def test_uniform_rewrite_orchestration_matches_rewrite_pass(example_aig):
+    """Assigning rw to every node must behave like the stand-alone rewrite pass."""
+    by_pass = example_aig.copy()
+    rewrite_pass(by_pass)
+    by_orchestration = example_aig.copy()
+    orchestrate(by_orchestration, DecisionVector.uniform(by_orchestration, Operation.REWRITE))
+    assert by_orchestration.size == by_pass.size
+
+
+def test_out_of_place_orchestration_keeps_original(example_aig):
+    original_size = example_aig.size
+    decisions = DecisionVector.uniform(example_aig, Operation.REFACTOR)
+    result = orchestrate(example_aig, decisions, in_place=False)
+    assert example_aig.size == original_size          # untouched
+    assert result.size_after <= result.size_before
+    optimized = result.optimized
+    optimized.check()
+    assert check_equivalence(example_aig, optimized)
+
+
+def test_empty_decision_vector_is_noop(example_aig):
+    result = orchestrate(example_aig, DecisionVector(), in_place=False)
+    assert result.size_after == result.size_before
+    assert result.total_applied == 0
+    assert result.skipped == result.size_before
+
+
+def test_applied_nodes_reported_in_original_ids(example_aig):
+    decisions = DecisionVector.uniform(example_aig, Operation.REWRITE)
+    result = orchestrate(example_aig, decisions, in_place=False)
+    for node, operation in result.applied_nodes.items():
+        assert example_aig.has_node(node)
+        assert operation == Operation.REWRITE
+    assert len(result.applied_nodes) == result.total_applied
+
+
+def test_result_metrics(example_aig):
+    decisions = DecisionVector.uniform(example_aig, Operation.RESUB)
+    result = orchestrate(example_aig, decisions, in_place=False)
+    assert result.reduction == result.size_before - result.size_after
+    assert abs(result.size_ratio - result.size_after / result.size_before) < 1e-12
+    assert "orchestrate" in str(result)
+
+
+def test_mixed_decisions_preserve_equivalence(medium_random_aig):
+    import random
+
+    rng = random.Random(0)
+    decisions = DecisionVector(
+        {node: Operation(rng.randrange(3)) for node in medium_random_aig.nodes()}
+    )
+    result = orchestrate(medium_random_aig, decisions, in_place=False)
+    optimized = result.optimized
+    optimized.check()
+    assert check_equivalence(medium_random_aig, optimized)
+    assert result.size_after < result.size_before
+
+
+def test_evaluate_decisions_runs_all(example_aig):
+    vectors = [
+        DecisionVector.uniform(example_aig, Operation.REWRITE),
+        DecisionVector.uniform(example_aig, Operation.RESUB),
+    ]
+    results = evaluate_decisions(example_aig, vectors)
+    assert len(results) == 2
+    assert all(r.size_after <= r.size_before for r in results)

@@ -1,0 +1,73 @@
+"""Tests for per-node transformability analysis."""
+
+from repro.circuits.generators import paper_example_aig
+from repro.orchestration.decision import Operation
+from repro.orchestration.transformability import (
+    NodeTransformability,
+    OperationParams,
+    analyze_network,
+    analyze_node,
+    find_candidate,
+)
+
+
+def test_node_transformability_accessors():
+    info = NodeTransformability(
+        node=5,
+        rewrite_applicable=True,
+        rewrite_gain=2,
+        resub_applicable=False,
+        resub_gain=-1,
+        refactor_applicable=True,
+        refactor_gain=1,
+    )
+    assert info.applicable(Operation.REWRITE)
+    assert not info.applicable(Operation.RESUB)
+    assert info.gain(Operation.REWRITE) == 2
+    assert info.gain(Operation.RESUB) == -1
+    assert info.best_operation() == Operation.REWRITE
+
+
+def test_best_operation_none_when_nothing_applies():
+    info = NodeTransformability(1, False, -1, False, -1, False, -1)
+    assert info.best_operation() is None
+
+
+def test_analyze_node_reports_gain_consistency(example_aig):
+    params = OperationParams()
+    for node in example_aig.nodes():
+        info = analyze_node(example_aig, node, params)
+        for operation in Operation:
+            if info.applicable(operation):
+                assert info.gain(operation) >= 1
+            else:
+                assert info.gain(operation) == -1
+
+
+def test_analyze_network_covers_all_and_nodes(example_aig):
+    analysis = analyze_network(example_aig)
+    assert set(analysis) == set(example_aig.topological_order())
+
+
+def test_example_exposes_all_three_operations():
+    """The Figure-1 style example must have rw, rs and rf opportunities somewhere."""
+    aig = paper_example_aig()
+    analysis = analyze_network(aig)
+    assert any(info.rewrite_applicable for info in analysis.values())
+    assert any(info.resub_applicable for info in analysis.values())
+    assert any(info.refactor_applicable for info in analysis.values())
+
+
+def test_find_candidate_matches_analysis(example_aig):
+    params = OperationParams()
+    analysis = analyze_network(example_aig, params)
+    for node, info in list(analysis.items())[:10]:
+        for operation in Operation:
+            candidate = find_candidate(example_aig, node, operation, params)
+            assert (candidate is not None) == info.applicable(operation)
+
+
+def test_analysis_does_not_modify_network(example_aig):
+    before = example_aig.edge_list()
+    analyze_network(example_aig)
+    assert example_aig.edge_list() == before

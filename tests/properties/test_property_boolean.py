@@ -1,0 +1,85 @@
+"""Property-based tests for the Boolean-algebra kernels (ISOP, factoring, NPN)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.npn import apply_transform, npn_canonical
+from repro.aig.truth import cofactor, depends_on, table_mask
+from repro.synth.factor import expr_truth_table, factor_cover
+from repro.synth.isop import isop, isop_cover
+from repro.synth.sop import cover_num_literals, cover_truth_table
+
+truth_tables_4 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+truth_tables_6 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(truth_tables_4)
+def test_isop_covers_exactly_4vars(table):
+    cover = isop_cover(table, 4)
+    assert cover_truth_table(cover, 4) == table
+
+
+@settings(max_examples=30, deadline=None)
+@given(truth_tables_6)
+def test_isop_covers_exactly_6vars(table):
+    cover = isop_cover(table, 6)
+    assert cover_truth_table(cover, 6) == table
+
+
+@settings(max_examples=40, deadline=None)
+@given(truth_tables_4, truth_tables_4)
+def test_isop_respects_dont_care_bounds(on_set, care_mask):
+    lower = on_set & care_mask
+    upper = lower | (table_mask(4) & ~care_mask)
+    cover = isop(lower, upper, 4)
+    table = cover_truth_table(cover, 4)
+    assert lower & ~table == 0
+    assert table & ~upper == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(truth_tables_4)
+def test_factoring_preserves_function_and_never_adds_literals(table):
+    cover = isop_cover(table, 4)
+    expr = factor_cover(cover)
+    assert expr_truth_table(expr, 4) == table
+    assert expr.literal_count() <= cover_num_literals(cover)
+
+
+@settings(max_examples=60, deadline=None)
+@given(truth_tables_4)
+def test_shannon_expansion_property(table):
+    from repro.aig.truth import cached_table_var
+
+    mask = table_mask(4)
+    for var in range(4):
+        x = cached_table_var(var, 4)
+        rebuilt = ((x ^ mask) & cofactor(table, 4, var, 0)) | (x & cofactor(table, 4, var, 1))
+        assert rebuilt == table
+
+
+@settings(max_examples=60, deadline=None)
+@given(truth_tables_4)
+def test_cofactor_removes_dependence(table):
+    for var in range(4):
+        assert not depends_on(cofactor(table, 4, var, 0), 4, var)
+        assert not depends_on(cofactor(table, 4, var, 1), 4, var)
+
+
+@settings(max_examples=40, deadline=None)
+@given(truth_tables_4)
+def test_npn_canonical_is_idempotent_and_minimal(table):
+    canonical, transform = npn_canonical(table, 4)
+    assert apply_transform(table, 4, transform) == canonical
+    assert canonical <= table
+    again, _ = npn_canonical(canonical, 4)
+    assert again == canonical
+
+
+@settings(max_examples=30, deadline=None)
+@given(truth_tables_4)
+def test_npn_complement_lands_in_same_class(table):
+    canonical, _ = npn_canonical(table, 4)
+    complement_canonical, _ = npn_canonical(table ^ table_mask(4), 4)
+    assert canonical == complement_canonical

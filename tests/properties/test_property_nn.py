@@ -1,0 +1,130 @@
+"""Property-based gradient checks of the neural-network substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers import BatchNorm1d, Linear, ReLU6, Sigmoid
+from repro.nn.loss import MSELoss
+from repro.nn.sage import SageConv
+
+shapes = st.tuples(
+    st.integers(min_value=2, max_value=6),   # batch
+    st.integers(min_value=1, max_value=5),   # in features
+    st.integers(min_value=1, max_value=4),   # out features
+)
+
+
+def _numeric_input_gradient(loss_fn, x, eps=1e-6):
+    numeric = np.zeros_like(x)
+    for index in np.ndindex(*x.shape):
+        original = x[index]
+        x[index] = original + eps
+        plus = loss_fn()
+        x[index] = original - eps
+        minus = loss_fn()
+        x[index] = original
+        numeric[index] = (plus - minus) / (2 * eps)
+    return numeric
+
+
+@settings(max_examples=15, deadline=None)
+@given(shapes, st.integers(min_value=0, max_value=1000))
+def test_linear_input_gradients(shape, seed):
+    batch, n_in, n_out = shape
+    rng = np.random.default_rng(seed)
+    layer = Linear(n_in, n_out, rng=rng)
+    x = rng.normal(size=(batch, n_in))
+    target = rng.normal(size=(batch, n_out))
+    loss = MSELoss()
+
+    def loss_value():
+        return loss.forward(layer.forward(x), target)
+
+    loss_value()
+    grad_in = layer.backward(loss.backward())
+    assert np.allclose(grad_in, _numeric_input_gradient(loss_value, x), atol=1e-5)
+
+
+@settings(max_examples=15, deadline=None)
+@given(shapes, st.integers(min_value=0, max_value=1000))
+def test_sage_conv_input_gradients(shape, seed):
+    batch, n_in, n_out = shape
+    rng = np.random.default_rng(seed)
+    import scipy.sparse as sp
+
+    conv = SageConv(n_in, n_out, rng=rng)
+    x = rng.normal(size=(batch, n_in))
+    target = rng.normal(size=(batch, n_out))
+    dense = rng.random((batch, batch)) * (rng.random((batch, batch)) < 0.4)
+    row_sums = dense.sum(axis=1, keepdims=True)
+    row_sums[row_sums == 0] = 1.0
+    aggregation = sp.csr_matrix(dense / row_sums)
+    loss = MSELoss()
+
+    def loss_value():
+        return loss.forward(conv.forward(x, aggregation), target)
+
+    loss_value()
+    grad_in = conv.backward(loss.backward())
+    assert np.allclose(grad_in, _numeric_input_gradient(loss_value, x), atol=1e-5)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_activation_gradients(batch, features, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(scale=3.0, size=(batch, features))
+    target = rng.normal(size=(batch, features))
+    for activation in (ReLU6(), Sigmoid()):
+        loss = MSELoss()
+
+        def loss_value():
+            return loss.forward(activation.forward(x), target)
+
+        loss_value()
+        grad_in = activation.backward(loss.backward())
+        numeric = _numeric_input_gradient(loss_value, x)
+        # Ignore points sitting exactly on a ReLU6 kink (numerically unstable).
+        stable = (np.abs(x) > 1e-4) & (np.abs(x - 6.0) > 1e-4)
+        assert np.allclose(grad_in[stable], numeric[stable], atol=1e-4)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=10),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=500),
+)
+def test_batchnorm_gradients(batch, features, seed):
+    rng = np.random.default_rng(seed)
+    layer = BatchNorm1d(features)
+    x = rng.normal(size=(batch, features))
+    target = rng.normal(size=(batch, features))
+    loss = MSELoss()
+
+    def loss_value():
+        return loss.forward(layer.forward(x, training=True), target)
+
+    loss_value()
+    grad_in = layer.backward(loss.backward())
+    assert np.allclose(grad_in, _numeric_input_gradient(loss_value, x), atol=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=30),
+    st.integers(min_value=1, max_value=10),
+)
+def test_ranking_metrics_bounds(values, k):
+    from repro.nn.metrics import best_in_top_k, top_k_overlap
+
+    predictions = np.array(values)
+    targets = np.array(values[::-1])
+    overlap = top_k_overlap(predictions, targets, k=k)
+    assert 0.0 <= overlap <= 1.0
+    assert isinstance(best_in_top_k(predictions, targets, k=k), (bool, np.bool_))

@@ -1,0 +1,70 @@
+"""Property-based tests of the optimization passes: functional safety on random AIGs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.equivalence import check_equivalence
+from repro.aig.random_aig import RandomAigSpec, random_aig
+from repro.orchestration.decision import DecisionVector, Operation
+from repro.orchestration.orchestrate import orchestrate
+from repro.synth.scripts import refactor_pass, resub_pass, rewrite_pass
+
+small_specs = st.builds(
+    RandomAigSpec,
+    num_pis=st.integers(min_value=4, max_value=8),
+    num_pos=st.integers(min_value=1, max_value=3),
+    num_ands=st.integers(min_value=10, max_value=50),
+    redundancy=st.floats(min_value=0.1, max_value=0.7),
+    xor_fraction=st.floats(min_value=0.0, max_value=0.3),
+    mux_fraction=st.floats(min_value=0.0, max_value=0.2),
+    seed=st.integers(min_value=0, max_value=5_000),
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(small_specs)
+def test_rewrite_pass_safety(spec):
+    aig = random_aig(spec)
+    original = aig.copy()
+    stats = rewrite_pass(aig)
+    aig.check()
+    assert stats.size_after <= stats.size_before
+    assert check_equivalence(original, aig)
+
+
+@settings(max_examples=12, deadline=None)
+@given(small_specs)
+def test_resub_pass_safety(spec):
+    aig = random_aig(spec)
+    original = aig.copy()
+    stats = resub_pass(aig)
+    aig.check()
+    assert stats.size_after <= stats.size_before
+    assert check_equivalence(original, aig)
+
+
+@settings(max_examples=12, deadline=None)
+@given(small_specs)
+def test_refactor_pass_safety(spec):
+    aig = random_aig(spec)
+    original = aig.copy()
+    stats = refactor_pass(aig)
+    aig.check()
+    assert stats.size_after <= stats.size_before
+    assert check_equivalence(original, aig)
+
+
+@settings(max_examples=10, deadline=None)
+@given(small_specs, st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=64))
+def test_orchestrated_samples_are_always_functionally_safe(spec, operations):
+    """Any per-node decision vector whatsoever must preserve functionality."""
+    aig = random_aig(spec)
+    nodes = list(aig.nodes())
+    decisions = DecisionVector(
+        {node: Operation(operations[index % len(operations)]) for index, node in enumerate(nodes)}
+    )
+    result = orchestrate(aig, decisions, in_place=False)
+    optimized = result.optimized
+    optimized.check()
+    assert result.size_after <= result.size_before
+    assert check_equivalence(aig, optimized)

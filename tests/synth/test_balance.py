@@ -1,0 +1,45 @@
+"""Tests for AND-tree balancing."""
+
+from repro.aig.aig import Aig
+from repro.aig.equivalence import check_equivalence
+from repro.synth.balance import balance
+from repro.synth.scripts import balance_pass
+
+
+def _unbalanced_chain(width: int = 8) -> Aig:
+    aig = Aig("chain")
+    inputs = [aig.add_pi(f"x{i}") for i in range(width)]
+    acc = inputs[0]
+    for literal in inputs[1:]:
+        acc = aig.add_and(acc, literal)
+    aig.add_po(acc, "y")
+    return aig
+
+
+def test_balance_reduces_depth_of_chain():
+    aig = _unbalanced_chain(8)
+    assert aig.depth() == 7
+    balanced = balance(aig)
+    assert balanced.depth() == 3
+    assert check_equivalence(aig, balanced)
+
+
+def test_balance_preserves_function(small_random_aig):
+    balanced = balance(small_random_aig)
+    balanced.check()
+    assert check_equivalence(small_random_aig, balanced)
+    assert balanced.depth() <= small_random_aig.depth()
+
+
+def test_balance_does_not_blow_up_size(small_random_aig):
+    balanced = balance(small_random_aig)
+    assert balanced.size <= small_random_aig.size + 2
+
+
+def test_balance_pass_in_place_semantics():
+    aig = _unbalanced_chain(8)
+    reference = aig.copy()
+    stats = balance_pass(aig)
+    assert stats.depth_after < stats.depth_before
+    assert aig.depth() == stats.depth_after
+    assert check_equivalence(reference, aig)

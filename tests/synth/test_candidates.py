@@ -1,0 +1,38 @@
+"""Tests for the shared transformation-candidate type."""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.synth.candidates import TransformCandidate
+
+
+def test_apply_invokes_callback(tiny_aig):
+    calls = []
+    node = next(iter(tiny_aig.nodes()))
+    candidate = TransformCandidate(
+        node=node, operation="rw", gain=1, _apply=lambda aig: calls.append(aig)
+    )
+    candidate.apply(tiny_aig)
+    assert calls == [tiny_aig]
+
+
+def test_apply_without_callback_raises(tiny_aig):
+    node = next(iter(tiny_aig.nodes()))
+    candidate = TransformCandidate(node=node, operation="rw", gain=1)
+    with pytest.raises(RuntimeError):
+        candidate.apply(tiny_aig)
+
+
+def test_apply_skips_dead_node():
+    aig = Aig()
+    x, y = aig.add_pi(), aig.add_pi()
+    g = aig.add_and(x, y)
+    aig.add_po(g)
+    node = g >> 1
+    calls = []
+    candidate = TransformCandidate(
+        node=node, operation="rs", gain=1, _apply=lambda a: calls.append(1)
+    )
+    aig.replace(node, x)  # node vanishes before the candidate is applied
+    candidate.apply(aig)
+    assert calls == []

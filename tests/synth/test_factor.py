@@ -1,0 +1,69 @@
+"""Tests for algebraic factoring."""
+
+import random
+
+from repro.aig.truth import cached_table_var, table_mask
+from repro.synth.factor import Expr, expr_truth_table, factor_cover, factor_truth_table
+from repro.synth.isop import isop_cover
+from repro.synth.sop import Cube, cover_num_literals
+
+
+def test_constants():
+    assert factor_cover([]).kind == "const0"
+    assert factor_cover([Cube(0, 0)]).kind == "const1"
+
+
+def test_single_cube_becomes_and_of_literals():
+    expr = factor_cover([Cube(pos=0b101, neg=0b010)])
+    assert expr.literal_count() == 3
+    assert expr_truth_table(expr, 3) == Cube(pos=0b101, neg=0b010).truth_table(3)
+
+
+def test_common_cube_extraction_reduces_literals():
+    # a·b + a·c  ->  a·(b + c): 3 literals instead of 4.
+    cover = [Cube(pos=0b011, neg=0), Cube(pos=0b101, neg=0)]
+    expr = factor_cover(cover)
+    assert expr.literal_count() == 3
+    assert expr_truth_table(expr, 3) == (
+        (cached_table_var(0, 3) & cached_table_var(1, 3))
+        | (cached_table_var(0, 3) & cached_table_var(2, 3))
+    )
+
+
+def test_factoring_preserves_function_on_random_covers():
+    rng = random.Random(1)
+    for num_vars in (3, 4, 5, 6):
+        for _ in range(15):
+            table = rng.getrandbits(1 << num_vars)
+            cover = isop_cover(table, num_vars)
+            expr = factor_cover(cover)
+            assert expr_truth_table(expr, num_vars) == (table & table_mask(num_vars))
+
+
+def test_factored_literal_count_never_worse_than_flat_sop():
+    rng = random.Random(2)
+    for _ in range(20):
+        num_vars = 5
+        table = rng.getrandbits(32)
+        cover = isop_cover(table, num_vars)
+        expr = factor_cover(cover)
+        assert expr.literal_count() <= cover_num_literals(cover)
+
+
+def test_factor_truth_table_shortcut():
+    table = cached_table_var(0, 4) & (cached_table_var(1, 4) | cached_table_var(2, 4))
+    expr = factor_truth_table(table, 4)
+    assert expr_truth_table(expr, 4) == table
+    assert expr.literal_count() <= 3
+
+
+def test_expr_helpers():
+    a = Expr.literal(0)
+    b = Expr.literal(1, negated=True)
+    conj = Expr.and_([a, b])
+    disj = Expr.or_([conj, Expr.const0()])
+    assert conj.depth() == 1
+    assert "x0" in str(disj) and "!x1" in str(disj)
+    assert Expr.and_([]).kind == "const1"
+    assert Expr.or_([]).kind == "const0"
+    assert Expr.and_([a]) is a

@@ -1,0 +1,111 @@
+"""Tests for replacement fragments."""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_not, lit_var
+from repro.aig.truth import cut_truth_table, table_mask
+from repro.synth.factor import Expr, factor_truth_table
+from repro.synth.fragment import Fragment
+
+
+def test_constant_and_single_leaf_fragments():
+    const = Fragment.constant(True, num_leaves=3)
+    assert const.size == 0
+    leaf = Fragment.single_leaf(3, 1, negated=True)
+    assert leaf.size == 0
+    aig = Aig()
+    pis = [aig.add_pi() for _ in range(3)]
+    assert const.instantiate(aig, pis) == 1
+    assert leaf.instantiate(aig, pis) == lit_not(pis[1])
+
+
+def test_fragment_add_and_simplifies():
+    fragment = Fragment(num_leaves=2)
+    a = fragment.leaf_literal(0)
+    assert fragment.add_and(a, 0) == 0
+    assert fragment.add_and(a, 1) == a
+    assert fragment.add_and(a, a) == a
+    assert fragment.add_and(a, a ^ 1) == 0
+    assert fragment.size == 0
+
+
+def test_fragment_strash_avoids_duplicates():
+    fragment = Fragment(num_leaves=2)
+    strash = {}
+    a, b = fragment.leaf_literal(0), fragment.leaf_literal(1)
+    first = fragment.add_and(a, b, strash)
+    second = fragment.add_and(b, a, strash)
+    assert first == second
+    assert fragment.size == 1
+
+
+def test_leaf_literal_bounds():
+    fragment = Fragment(num_leaves=2)
+    with pytest.raises(ValueError):
+        fragment.leaf_literal(2)
+
+
+def test_from_expression_implements_function():
+    # f = x0 & (x1 | !x2)
+    expr = Expr.and_(
+        [Expr.literal(0), Expr.or_([Expr.literal(1), Expr.literal(2, negated=True)])]
+    )
+    fragment = Fragment.from_expression(expr, 3)
+    aig = Aig()
+    pis = [aig.add_pi() for _ in range(3)]
+    output = fragment.instantiate(aig, pis)
+    aig.add_po(output)
+    table = cut_truth_table(aig, lit_var(output), [lit_var(p) for p in pis])
+    table = table ^ table_mask(3) if output & 1 else table
+    from repro.aig.truth import cached_table_var
+
+    expected = cached_table_var(0, 3) & (
+        cached_table_var(1, 3) | (cached_table_var(2, 3) ^ table_mask(3))
+    )
+    assert table == expected
+
+
+def test_instantiate_validates_leaf_count():
+    fragment = Fragment.single_leaf(2, 0)
+    aig = Aig()
+    x = aig.add_pi()
+    with pytest.raises(ValueError):
+        fragment.instantiate(aig, [x])
+
+
+def test_dry_run_counts_new_and_reused_nodes():
+    aig = Aig()
+    x, y, z = aig.add_pi(), aig.add_pi(), aig.add_pi()
+    existing = aig.add_and(x, y)
+    aig.add_po(aig.add_and(existing, z))
+
+    # Fragment computing (x & y) & z over leaves [x, y, z]: both gates exist.
+    expr = Expr.and_([Expr.literal(0), Expr.literal(1), Expr.literal(2)])
+    fragment = Fragment.from_expression(expr, 3)
+    estimate = fragment.dry_run(aig, [x, y, z])
+    assert estimate.new_nodes == 0
+    assert len(estimate.reused_nodes) == 2
+    assert estimate.output_literal is not None
+
+    # Over leaves [z, y, x] the intermediate gate z&y does not exist yet.
+    estimate2 = fragment.dry_run(aig, [z, y, x])
+    assert estimate2.new_nodes >= 1
+
+
+def test_dry_run_matches_actual_instantiation_cost():
+    import random
+
+    rng = random.Random(3)
+    for _ in range(10):
+        aig = Aig()
+        pis = [aig.add_pi() for _ in range(4)]
+        # some pre-existing logic
+        aig.add_po(aig.add_and(pis[0], pis[1]))
+        table = rng.getrandbits(16)
+        fragment = Fragment.from_expression(factor_truth_table(table, 4), 4)
+        estimate = fragment.dry_run(aig, pis)
+        before = aig.size
+        fragment.instantiate(aig, pis)
+        added = aig.size - before
+        assert added <= estimate.new_nodes  # dry run never under-reports sharing

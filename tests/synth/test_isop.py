@@ -1,0 +1,80 @@
+"""Tests for the Minato–Morreale ISOP computation."""
+
+import random
+
+import pytest
+
+from repro.aig.truth import cached_table_var, table_mask
+from repro.synth.isop import isop, isop_cover, verify_cover
+from repro.synth.sop import cover_num_literals, cover_truth_table
+
+
+def test_constant_functions():
+    assert isop_cover(0, 3) == []
+    cover = isop_cover(table_mask(3), 3)
+    assert len(cover) == 1 and cover[0].is_tautology()
+
+
+def test_single_variable():
+    cover = isop_cover(cached_table_var(1, 3), 3)
+    assert cover_truth_table(cover, 3) == cached_table_var(1, 3)
+    assert cover_num_literals(cover) == 1
+
+
+def test_and_function():
+    table = cached_table_var(0, 2) & cached_table_var(1, 2)
+    cover = isop_cover(table, 2)
+    assert len(cover) == 1
+    assert cover[0].num_literals == 2
+
+
+def test_xor_function_needs_two_cubes():
+    table = cached_table_var(0, 2) ^ cached_table_var(1, 2)
+    cover = isop_cover(table, 2)
+    assert len(cover) == 2
+    assert verify_cover(cover, table, 2)
+
+
+def test_random_functions_are_covered_exactly():
+    rng = random.Random(0)
+    for num_vars in (2, 3, 4, 5, 6, 8):
+        for _ in range(15):
+            table = rng.getrandbits(1 << num_vars)
+            cover = isop_cover(table, num_vars)
+            assert verify_cover(cover, table, num_vars), (num_vars, hex(table))
+
+
+def test_cover_is_irredundant_for_random_functions():
+    """Removing any single cube must stop covering the on-set."""
+    rng = random.Random(5)
+    for _ in range(10):
+        num_vars = 4
+        table = rng.getrandbits(16)
+        cover = isop_cover(table, num_vars)
+        if len(cover) <= 1:
+            continue
+        for index in range(len(cover)):
+            reduced = cover[:index] + cover[index + 1 :]
+            assert cover_truth_table(reduced, num_vars) != (table & table_mask(num_vars))
+
+
+def test_incompletely_specified_function():
+    num_vars = 3
+    lower = 0b00000001
+    upper = 0b00001111
+    cover = isop(lower, upper, num_vars)
+    table = cover_truth_table(cover, num_vars)
+    assert (lower & ~table) == 0           # covers the on-set
+    assert (table & ~upper) == 0           # stays inside the care set
+
+
+def test_dont_cares_reduce_literals():
+    num_vars = 3
+    exact = 0b10000000          # minterm 7 only
+    widened = isop(exact, table_mask(num_vars), num_vars)
+    assert cover_num_literals(widened) <= 1  # everything is a don't care except m7
+
+
+def test_isop_rejects_inconsistent_bounds():
+    with pytest.raises(ValueError):
+        isop(0b11, 0b01, 2)

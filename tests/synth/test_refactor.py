@@ -1,0 +1,71 @@
+"""Tests for refactoring."""
+
+from repro.aig.aig import Aig
+from repro.aig.equivalence import check_equivalence
+from repro.aig.literals import lit_var
+from repro.synth.refactor import RefactorParams, find_refactor_candidate
+from repro.synth.scripts import refactor_pass
+
+
+def _flat_sop_example():
+    """a·b + a·c + a·d + a·e built as an unshared flat SOP (factorable to a·(b+c+d+e))."""
+    aig = Aig()
+    a = aig.add_pi("a")
+    others = [aig.add_pi(chr(ord("b") + i)) for i in range(4)]
+    products = [aig.add_and(a, x) for x in others]
+    root = aig.make_or_n(products)
+    aig.add_po(root)
+    return aig, lit_var(root)
+
+
+def test_candidate_found_for_flat_sop():
+    aig, root = _flat_sop_example()
+    candidate = find_refactor_candidate(aig, root, RefactorParams(max_leaves=8))
+    assert candidate is not None
+    assert candidate.operation == "rf"
+    assert candidate.gain >= 1
+
+
+def test_candidate_application_preserves_function():
+    aig, root = _flat_sop_example()
+    original = aig.copy()
+    candidate = find_refactor_candidate(aig, root, RefactorParams(max_leaves=8))
+    before = aig.size
+    candidate.apply(aig)
+    aig.cleanup()
+    aig.check()
+    assert aig.size < before
+    assert check_equivalence(original, aig)
+
+
+def test_none_on_pi_and_optimal_gate():
+    aig = Aig()
+    x, y = aig.add_pi(), aig.add_pi()
+    g = aig.add_and(x, y)
+    aig.add_po(g)
+    assert find_refactor_candidate(aig, lit_var(x)) is None
+    assert find_refactor_candidate(aig, lit_var(g)) is None
+
+
+def test_finder_does_not_modify_network(small_random_aig):
+    before = small_random_aig.edge_list()
+    for node in list(small_random_aig.nodes())[:25]:
+        find_refactor_candidate(small_random_aig, node)
+    assert small_random_aig.edge_list() == before
+
+
+def test_refactor_pass_reduces_and_preserves(medium_random_aig):
+    original = medium_random_aig.copy()
+    stats = refactor_pass(medium_random_aig)
+    medium_random_aig.check()
+    assert stats.size_after <= stats.size_before
+    assert check_equivalence(original, medium_random_aig)
+
+
+def test_max_leaves_parameter_limits_cut(small_random_aig):
+    node = small_random_aig.topological_order()[-1]
+    candidate = find_refactor_candidate(
+        small_random_aig, node, RefactorParams(max_leaves=4)
+    )
+    if candidate is not None:
+        assert len(candidate.leaves) <= 4

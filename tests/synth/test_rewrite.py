@@ -1,0 +1,81 @@
+"""Tests for DAG-aware rewriting."""
+
+from repro.aig.aig import Aig
+from repro.aig.equivalence import check_equivalence
+from repro.aig.literals import lit_not, lit_var
+from repro.synth.rewrite import RewriteParams, find_rewrite_candidate
+from repro.synth.scripts import rewrite_pass
+
+
+def _redundant_xor_pair():
+    """Two structurally different copies of the same XOR."""
+    aig = Aig()
+    r, t = aig.add_pi(), aig.add_pi()
+    standard = aig.make_xor(r, t)
+    variant = aig.add_and(aig.make_or(r, t), lit_not(aig.add_and(r, t)))
+    aig.add_po(standard, "a")
+    aig.add_po(variant, "b")
+    return aig, lit_var(variant)
+
+
+def test_candidate_found_for_redundant_structure():
+    aig, variant_node = _redundant_xor_pair()
+    candidate = find_rewrite_candidate(aig, variant_node)
+    assert candidate is not None
+    assert candidate.operation == "rw"
+    assert candidate.gain >= 1
+
+
+def test_candidate_is_none_on_pi(tiny_aig):
+    assert find_rewrite_candidate(tiny_aig, tiny_aig.pis()[0]) is None
+
+
+def test_candidate_application_reduces_size_and_preserves_function():
+    aig, variant_node = _redundant_xor_pair()
+    original = aig.copy()
+    before = aig.size
+    candidate = find_rewrite_candidate(aig, variant_node)
+    candidate.apply(aig)
+    aig.cleanup()
+    aig.check()
+    assert aig.size < before
+    assert check_equivalence(original, aig)
+
+
+def test_finder_does_not_modify_network(medium_random_aig):
+    baseline_edges = medium_random_aig.edge_list()
+    for node in list(medium_random_aig.nodes())[:30]:
+        find_rewrite_candidate(medium_random_aig, node)
+    assert medium_random_aig.edge_list() == baseline_edges
+
+
+def test_no_candidate_on_already_optimal_gate():
+    aig = Aig()
+    x, y = aig.add_pi(), aig.add_pi()
+    g = aig.add_and(x, y)
+    aig.add_po(g)
+    assert find_rewrite_candidate(aig, lit_var(g)) is None
+
+
+def test_zero_cost_parameter_relaxes_threshold():
+    params_strict = RewriteParams(use_zero_cost=False)
+    params_zero = RewriteParams(use_zero_cost=True)
+    assert params_strict.effective_min_gain() == 1
+    assert params_zero.effective_min_gain() == 0
+
+
+def test_rewrite_pass_reduces_and_preserves(medium_random_aig):
+    original = medium_random_aig.copy()
+    stats = rewrite_pass(medium_random_aig)
+    medium_random_aig.check()
+    assert stats.size_after <= stats.size_before
+    assert stats.size_after == medium_random_aig.size
+    assert stats.applied >= 1
+    assert check_equivalence(original, medium_random_aig)
+
+
+def test_rewrite_pass_is_idempotent_eventually(small_random_aig):
+    rewrite_pass(small_random_aig)
+    size_after_first = small_random_aig.size
+    rewrite_pass(small_random_aig)
+    assert small_random_aig.size <= size_after_first

@@ -1,0 +1,82 @@
+"""Tests for the rewriting structure library."""
+
+import random
+
+from repro.aig.aig import Aig
+from repro.aig.literals import lit_var
+from repro.aig.truth import cached_table_var, cut_truth_table, table_mask
+from repro.synth.rewrite_lib import DEFAULT_LIBRARY, RewriteLibrary
+
+
+def _check_fragment_function(fragment, table, num_vars):
+    """Instantiate the fragment on fresh PIs and compare truth tables."""
+    aig = Aig()
+    pis = [aig.add_pi() for _ in range(num_vars)]
+    output = fragment.instantiate(aig, pis)
+    if output == 0:
+        realized = 0
+    elif output == 1:
+        realized = table_mask(num_vars)
+    else:
+        realized = cut_truth_table(aig, lit_var(output), [lit_var(p) for p in pis])
+        if output & 1:
+            realized ^= table_mask(num_vars)
+    assert realized == (table & table_mask(num_vars)), hex(table)
+
+
+def test_constant_and_projection_functions():
+    library = RewriteLibrary()
+    for num_vars in (2, 3, 4):
+        _check_fragment_function(library.lookup(0, num_vars), 0, num_vars)
+        _check_fragment_function(
+            library.lookup(table_mask(num_vars), num_vars), table_mask(num_vars), num_vars
+        )
+        for var in range(num_vars):
+            table = cached_table_var(var, num_vars)
+            fragment = library.lookup(table, num_vars)
+            assert fragment.size == 0
+            _check_fragment_function(fragment, table, num_vars)
+
+
+def test_random_functions_synthesized_correctly():
+    library = RewriteLibrary()
+    rng = random.Random(0)
+    for num_vars in (2, 3, 4):
+        for _ in range(25):
+            table = rng.getrandbits(1 << num_vars)
+            fragment = library.lookup(table, num_vars)
+            _check_fragment_function(fragment, table, num_vars)
+
+
+def test_npn_and_direct_synthesis_agree_functionally():
+    direct = RewriteLibrary(use_npn=False)
+    npn = RewriteLibrary(use_npn=True)
+    rng = random.Random(4)
+    for _ in range(20):
+        table = rng.getrandbits(16)
+        _check_fragment_function(direct.lookup(table, 4), table, 4)
+        _check_fragment_function(npn.lookup(table, 4), table, 4)
+
+
+def test_lookup_is_cached():
+    library = RewriteLibrary()
+    table = 0b0110
+    first = library.lookup(table, 2)
+    second = library.lookup(table, 2)
+    assert first is second
+    assert len(library) >= 1
+
+
+def test_npn_cache_shares_structures_across_class_members():
+    library = RewriteLibrary(use_npn=True)
+    # AND(x0, x1) and AND(!x0, x1) are NPN-equivalent.
+    library.lookup(0b1000, 2)
+    classes_after_first = len(library._by_class)
+    library.lookup(0b0100, 2)
+    assert len(library._by_class) == classes_after_first
+
+
+def test_default_library_exists():
+    fragment = DEFAULT_LIBRARY.lookup(0b0110, 2)  # XOR
+    _check_fragment_function(fragment, 0b0110, 2)
+    assert fragment.size == 3  # XOR needs three AND nodes

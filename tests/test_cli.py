@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, load_design, main, save_design
+from repro.circuits.generators import alu_slice
+from repro.io.aiger import read_aiger, write_aiger
+
+
+@pytest.fixture
+def design_file(tmp_path):
+    aig = alu_slice(2, name="alu2")
+    path = tmp_path / "alu2.aag"
+    write_aiger(aig, path)
+    return str(path)
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_load_design_from_file_and_registry(design_file):
+    from_file = load_design(design_file)
+    assert from_file.size > 0
+    from_registry = load_design("b08")
+    assert from_registry.name == "b08"
+
+
+def test_load_design_unknown_spec():
+    with pytest.raises(ValueError):
+        load_design("definitely_not_a_design")
+
+
+def test_save_design_formats(tmp_path, design_file):
+    aig = load_design(design_file)
+    for extension in (".aag", ".aig", ".bench", ".blif"):
+        path = tmp_path / f"out{extension}"
+        save_design(aig, str(path))
+        assert path.exists()
+    with pytest.raises(ValueError):
+        save_design(aig, str(tmp_path / "out.v"))
+
+
+def test_stats_command(design_file, capsys):
+    assert main(["stats", design_file]) == 0
+    captured = capsys.readouterr().out
+    assert "Design statistics" in captured
+    assert "alu2" in captured
+
+
+def test_stats_command_unknown_design(capsys):
+    assert main(["stats", "no_such_design"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_optimize_command_with_verification(design_file, tmp_path, capsys):
+    output = tmp_path / "optimized.aag"
+    code = main(
+        ["optimize", design_file, "--script", "rw,rs", "--output", str(output), "--verify"]
+    )
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "equivalence check" in captured
+    assert output.exists()
+    optimized = read_aiger(output)
+    original = load_design(design_file)
+    assert optimized.size <= original.size
+
+
+def test_optimize_command_rejects_unknown_pass(design_file, capsys):
+    assert main(["optimize", design_file, "--script", "magic"]) == 2
+    assert "unknown pass" in capsys.readouterr().err
+
+
+def test_orchestrate_command_guided(design_file, tmp_path, capsys):
+    output = tmp_path / "orchestrated.bench"
+    code = main(
+        ["orchestrate", design_file, "--guided", "--verify", "--output", str(output)]
+    )
+    assert code == 0
+    assert "orchestrate" in capsys.readouterr().out
+    assert output.exists()
+
+
+def test_orchestrate_command_with_decision_csv(design_file, tmp_path, capsys):
+    from repro.orchestration.decision import DecisionVector, Operation
+
+    design = load_design(design_file)
+    decisions = DecisionVector.uniform(design, Operation.REWRITE)
+    csv_path = tmp_path / "decisions.csv"
+    decisions.to_csv(str(csv_path))
+    code = main(["orchestrate", design_file, "--decisions", str(csv_path)])
+    assert code == 0
+    assert "orchestrate" in capsys.readouterr().out
+
+
+def test_sample_command_writes_outputs(design_file, tmp_path, capsys):
+    csv_path = tmp_path / "samples.csv"
+    decisions_dir = tmp_path / "decisions"
+    code = main(
+        [
+            "sample",
+            design_file,
+            "-n",
+            "3",
+            "--guided",
+            "--output",
+            str(csv_path),
+            "--save-decisions",
+            str(decisions_dir),
+        ]
+    )
+    assert code == 0
+    assert csv_path.exists()
+    assert len(csv_path.read_text().splitlines()) == 4  # header + 3 samples
+    assert len(os.listdir(decisions_dir)) == 3
+    assert "sampling" in capsys.readouterr().out.lower()
+
+
+def test_benchmarks_command(capsys):
+    assert main(["benchmarks"]) == 0
+    captured = capsys.readouterr().out
+    assert "b11" in captured and "c5315" in captured

@@ -1,0 +1,87 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the realistic path a downstream user follows: load a benchmark
+design, optimize it with stand-alone passes and with orchestrated samples,
+train the predictor on the samples and use it to pick candidates — asserting
+functional safety and the qualitative relationships the paper builds on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aig.equivalence import check_equivalence
+from repro.circuits.benchmarks import load_benchmark
+from repro.features.dataset import build_dataset
+from repro.flow.baselines import run_baselines
+from repro.flow.boolgebra import BoolGebraFlow
+from repro.flow.config import fast_config
+from repro.nn.trainer import Trainer, TrainingConfig
+from repro.nn.model import ModelConfig
+from repro.orchestration.sampling import PriorityGuidedSampler, evaluate_samples
+from repro.synth.scripts import compress_script
+
+
+@pytest.fixture(scope="module")
+def design():
+    return load_benchmark("b08")
+
+
+@pytest.fixture(scope="module")
+def guided_records(design):
+    sampler = PriorityGuidedSampler(design, seed=0)
+    return sampler, evaluate_samples(design, sampler.generate(8))
+
+
+@pytest.mark.slow
+def test_standalone_flow_on_benchmark(design):
+    optimized = design.copy()
+    stats = compress_script(optimized, rounds=1)
+    optimized.check()
+    assert optimized.size < design.size
+    assert check_equivalence(design, optimized)
+    assert len(stats) == 3
+
+
+@pytest.mark.slow
+def test_orchestrated_samples_beat_random_baseline_quality(design, guided_records):
+    _, records = guided_records
+    baselines = run_baselines(design)
+    best_orchestrated = min(record.size_after for record in records)
+    best_standalone = min(result.size_after for result in baselines.values())
+    # Orchestration explores all three ops per node; its best sample should be
+    # competitive with (paper: better than) the best stand-alone pass.
+    assert best_orchestrated <= best_standalone * 1.05
+
+
+@pytest.mark.slow
+def test_dataset_to_training_to_selection_pipeline(design, guided_records):
+    sampler, records = guided_records
+    dataset = build_dataset(design, records, analysis=sampler.analysis)
+    trainer = Trainer(
+        config=TrainingConfig.fast(epochs=15, seed=0),
+        model_config=ModelConfig.small(),
+    )
+    history = trainer.train_on_dataset(dataset, train_fraction=0.75)
+    assert history.epochs == 15
+    predictions = trainer.predict(dataset.samples)
+    assert predictions.shape == (len(dataset),)
+    assert np.all((predictions >= 0.0) & (predictions <= 1.0))
+    # Selecting by prediction must never pick a sample worse than the dataset's
+    # worst (a trivial sanity bound) and the selected top-2 must exist.
+    order = np.argsort(predictions)[:2]
+    selected_sizes = [dataset.samples[int(i)].size_after for i in order]
+    assert max(selected_sizes) <= max(s.size_after for s in dataset.samples)
+
+
+@pytest.mark.slow
+def test_full_flow_object_on_benchmark(design):
+    flow = BoolGebraFlow(fast_config(num_samples=8, top_k=3, epochs=10, seed=1))
+    result = flow.run(design)
+    assert result.original_size == design.size
+    assert 0.0 < result.best_ratio <= 1.0
+    assert len(result.evaluated_sizes) == 3
+    assert result.training_history is not None
+    baselines = run_baselines(design)
+    # Qualitative Table-I relationship at miniature scale: BoolGebra's best
+    # pick is competitive with the stand-alone passes.
+    assert result.best_size <= min(r.size_after for r in baselines.values()) * 1.1

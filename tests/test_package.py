@@ -1,0 +1,27 @@
+"""Package-level smoke tests: the public API re-exports resolve."""
+
+import repro
+
+
+def test_version_string():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") >= 1
+
+
+def test_public_api_symbols_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_public_api_contains_core_entry_points():
+    assert "Aig" in repro.__all__
+    assert "BoolGebraFlow" in repro.__all__
+    assert "orchestrate" in repro.__all__
+
+
+def test_top_level_flow_config_factories():
+    fast = repro.fast_config()
+    paper = repro.paper_config()
+    assert fast.num_samples < paper.num_samples
+    assert paper.num_samples == 600
+    assert paper.top_k == 10
