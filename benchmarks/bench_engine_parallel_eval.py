@@ -1,0 +1,93 @@
+"""Engine micro-benchmark — serial vs. parallel batch candidate evaluation.
+
+Candidate evaluation (one orchestrated Algorithm-1 run per sampled decision
+vector, each on a copy of the design) is the hot path of dataset generation
+and of the BoolGebra flow.  This benchmark records the wall time of the
+:class:`~repro.engine.evaluator.SerialEvaluator` against
+:class:`~repro.engine.evaluator.ProcessPoolEvaluator` on a mid-size benchmark
+circuit and asserts the two backends agree sample-for-sample.
+
+Run under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_parallel_eval.py --benchmark-only
+
+or stand-alone (prints a small table; honours ``REPRO_BENCH_SCALE``)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_parallel_eval.py [design] [num_samples] [jobs]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+try:
+    from benchmarks.conftest import run_once, scaled
+except ModuleNotFoundError:  # stand-alone: python benchmarks/bench_engine_parallel_eval.py
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from benchmarks.conftest import run_once, scaled
+from repro.engine import Engine, ProcessPoolEvaluator, SerialEvaluator, record_signature
+from repro.orchestration.sampling import PriorityGuidedSampler
+
+DESIGN = "b11"  # the paper's training design, ~600 ANDs
+
+
+def _vectors(engine: Engine, num_samples: int, seed: int = 0):
+    return PriorityGuidedSampler(engine.aig, seed=seed).generate(num_samples)
+
+
+def _time_backend(evaluator, aig, vectors):
+    start = time.perf_counter()
+    records = evaluator.evaluate(aig, vectors)
+    return records, time.perf_counter() - start
+
+
+def test_bench_serial_eval(benchmark):
+    engine = Engine.load(DESIGN)
+    vectors = _vectors(engine, scaled(8))
+    records = run_once(benchmark, SerialEvaluator().evaluate, engine.aig, vectors)
+    assert len(records) == len(vectors)
+
+
+def test_bench_parallel_eval(benchmark):
+    engine = Engine.load(DESIGN)
+    vectors = _vectors(engine, scaled(8))
+    evaluator = ProcessPoolEvaluator(max_workers=min(4, os.cpu_count() or 1))
+    records = run_once(benchmark, evaluator.evaluate, engine.aig, vectors)
+    assert len(records) == len(vectors)
+    serial = SerialEvaluator().evaluate(engine.aig, vectors)
+    assert [record_signature(r) for r in records] == [record_signature(r) for r in serial]
+
+
+def main() -> None:
+    design = sys.argv[1] if len(sys.argv) > 1 else DESIGN
+    num_samples = int(sys.argv[2]) if len(sys.argv) > 2 else scaled(16)
+    jobs = int(sys.argv[3]) if len(sys.argv) > 3 else (os.cpu_count() or 1)
+
+    engine = Engine.load(design)
+    print(f"design {design}: {engine.stats()}")
+    print(f"evaluating {num_samples} guided decision vectors; pool size {jobs}\n")
+    vectors = _vectors(engine, num_samples)
+
+    serial_records, serial_time = _time_backend(SerialEvaluator(), engine.aig, vectors)
+    pool_records, pool_time = _time_backend(
+        ProcessPoolEvaluator(max_workers=jobs), engine.aig, vectors
+    )
+
+    identical = [record_signature(r) for r in serial_records] == [
+        record_signature(r) for r in pool_records
+    ]
+    speedup = serial_time / pool_time if pool_time > 0 else float("inf")
+    print(f"{'backend':<28}{'wall time':>12}{'samples/s':>12}")
+    print(f"{'SerialEvaluator':<28}{serial_time:>11.2f}s{num_samples / serial_time:>12.2f}")
+    print(
+        f"{'ProcessPoolEvaluator':<28}{pool_time:>11.2f}s{num_samples / pool_time:>12.2f}"
+    )
+    print(f"\nspeedup {speedup:.2f}x on {jobs} workers; results identical: {identical}")
+    if not identical:
+        raise SystemExit("backend results diverged")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,7 @@ Run with::
 
 import sys
 
-from repro.circuits.benchmarks import load_benchmark
+from repro import Engine
 from repro.flow.baselines import run_baselines
 from repro.flow.boolgebra import BoolGebraFlow
 from repro.flow.config import fast_config
@@ -26,8 +26,8 @@ def main() -> None:
     train_name = sys.argv[1] if len(sys.argv) > 1 else "b09"
     infer_name = sys.argv[2] if len(sys.argv) > 2 else "b10"
 
-    train_design = load_benchmark(train_name)
-    infer_design = load_benchmark(infer_name)
+    train_design = Engine.load(train_name).aig
+    infer_design = Engine.load(infer_name).aig
     print(f"training design  {train_name}: {train_design.stats()}")
     print(f"inference design {infer_name}: {infer_design.stats()}")
 

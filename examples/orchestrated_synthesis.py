@@ -7,40 +7,47 @@ Scenario: you have a technology-independent netlist (here the synthetic
 better per-node orchestration of ``rw``/``rs``/``rf`` does compared to the
 stand-alone passes — without training any model, just by sampling Algorithm 1.
 
+Everything runs through the :class:`repro.Engine` facade; pass ``--jobs N``
+to evaluate the sampled candidates across N worker processes (the records
+come back in the same order as the serial backend).
+
 Run with::
 
-    python examples/orchestrated_synthesis.py [design] [num_samples]
+    python examples/orchestrated_synthesis.py [design] [num_samples] [--jobs N]
 """
 
 import sys
 
-from repro.circuits.benchmarks import load_benchmark
+from repro import Engine, get_evaluator
 from repro.flow.baselines import run_baselines
 from repro.flow.reporting import format_table
 from repro.orchestration.decision import Operation
-from repro.orchestration.sampling import (
-    PriorityGuidedSampler,
-    RandomSampler,
-    evaluate_samples,
-)
 
 
 def main() -> None:
-    design_name = sys.argv[1] if len(sys.argv) > 1 else "b10"
-    num_samples = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+    argv = list(sys.argv[1:])
+    jobs = 1
+    if "--jobs" in argv:
+        at = argv.index("--jobs")
+        try:
+            jobs = int(argv[at + 1])
+        except (IndexError, ValueError):
+            raise SystemExit("usage: orchestrated_synthesis.py [design] [num_samples] [--jobs N]")
+        del argv[at : at + 2]
+    design_name = argv[0] if argv else "b10"
+    num_samples = int(argv[1]) if len(argv) > 1 else 12
 
-    design = load_benchmark(design_name)
-    print(f"design {design_name}: {design.stats()}")
+    engine = Engine.load(design_name)
+    design = engine.aig
+    print(f"design {design_name}: {engine.stats()}")
 
     print("\nrunning stand-alone baselines ...")
     baselines = run_baselines(design)
 
+    evaluator = get_evaluator(jobs)
     print(f"sampling {num_samples} random and {num_samples} guided decision vectors ...")
-    random_records = evaluate_samples(
-        design, RandomSampler(design, seed=1).generate(num_samples)
-    )
-    guided_sampler = PriorityGuidedSampler(design, seed=1)
-    guided_records = evaluate_samples(design, guided_sampler.generate(num_samples))
+    random_records = engine.sample(num_samples, guided=False, seed=1, evaluator=evaluator)
+    guided_records = engine.sample(num_samples, guided=True, seed=1, evaluator=evaluator)
 
     def best_size(records):
         return min(record.size_after for record in records)

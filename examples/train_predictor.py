@@ -14,7 +14,7 @@ Run with::
 
 import sys
 
-from repro.circuits.benchmarks import load_benchmark
+from repro import Engine
 from repro.flow.boolgebra import BoolGebraFlow
 from repro.flow.config import fast_config
 
@@ -24,8 +24,11 @@ def main() -> None:
     num_samples = int(sys.argv[2]) if len(sys.argv) > 2 else 20
     epochs = int(sys.argv[3]) if len(sys.argv) > 3 else 60
 
-    design = load_benchmark(design_name)
-    print(f"design {design_name}: {design.stats()}")
+    # ``Engine.load(name).flow(config)`` runs this whole example in one call;
+    # the staged version below shows what happens inside.
+    engine = Engine.load(design_name)
+    design = engine.aig
+    print(f"design {design_name}: {engine.stats()}")
 
     config = fast_config(num_samples=num_samples, top_k=5, epochs=epochs, seed=0)
     flow = BoolGebraFlow(config)

@@ -19,30 +19,63 @@ Algebraic Manipulation"* (DATE 2024):
   top candidates) and the stand-alone SOTA baselines (:mod:`repro.flow`),
 * synthetic benchmark circuits standing in for the ISCAS'85/ITC'99 designs
   (:mod:`repro.circuits`) and the experiment harness regenerating every table
-  and figure of the paper (:mod:`repro.experiments`).
+  and figure of the paper (:mod:`repro.experiments`),
+* the unified optimization engine — pass registry, pipeline script parser,
+  pluggable serial/parallel batch evaluation and the :class:`Engine` facade
+  that the CLI, examples and experiments run on (:mod:`repro.engine`).
 """
 
 from repro.aig.aig import Aig
+from repro.engine import (
+    Engine,
+    Evaluator,
+    Pass,
+    PassError,
+    Pipeline,
+    PipelineReport,
+    ProcessPoolEvaluator,
+    SerialEvaluator,
+    available_passes,
+    create_pass,
+    get_evaluator,
+    get_pass,
+    register_pass,
+)
 from repro.flow.baselines import run_baselines
 from repro.flow.boolgebra import BoolGebraFlow, BoolGebraResult
 from repro.flow.config import FlowConfig, fast_config, paper_config
 from repro.orchestration.decision import DecisionVector, Operation
 from repro.orchestration.orchestrate import orchestrate
 from repro.orchestration.sampling import PriorityGuidedSampler, RandomSampler
+from repro.synth.scripts import PassStats
 
 __all__ = [
     "Aig",
     "BoolGebraFlow",
     "BoolGebraResult",
     "DecisionVector",
+    "Engine",
+    "Evaluator",
     "FlowConfig",
     "Operation",
+    "Pass",
+    "PassError",
+    "PassStats",
+    "Pipeline",
+    "PipelineReport",
     "PriorityGuidedSampler",
+    "ProcessPoolEvaluator",
     "RandomSampler",
+    "SerialEvaluator",
+    "available_passes",
+    "create_pass",
     "fast_config",
+    "get_evaluator",
+    "get_pass",
     "orchestrate",
     "paper_config",
+    "register_pass",
     "run_baselines",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

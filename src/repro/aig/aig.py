@@ -620,6 +620,23 @@ class Aig:
         node_map = {old: lit_var(new_lit) for old, new_lit in mapping.items()}
         return other, node_map
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Canonical pickle state.
+
+        Fanout sets iterate in hash-table order, which depends on the mutation
+        history of the network; serializing them sorted makes equal networks
+        pickle to equal bytes, so results shipped back from evaluator worker
+        processes are bit-for-bit comparable across backends.
+        """
+        state = self.__dict__.copy()
+        state["_fanouts"] = [sorted(fanouts) for fanouts in self._fanouts]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        state = dict(state)
+        state["_fanouts"] = [set(fanouts) for fanouts in state["_fanouts"]]
+        self.__dict__.update(state)
+
     def to_networkx(self):
         """Export the AIG as a ``networkx.DiGraph`` (edges carry ``inverted`` flags)."""
         import networkx as nx

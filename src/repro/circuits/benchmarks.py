@@ -12,6 +12,7 @@ name       target size     character
 ``b10``    ≈ 180 ANDs      ITC'99 voting control
 ``b11``    ≈ 600 ANDs      ITC'99 scramble/arith mix (the paper's training design)
 ``b12``    ≈ 1000 ANDs     ITC'99 1-player game controller
+``c880``   ≈ 360 ANDs      ISCAS'85 8-bit ALU
 ``c2670``  ≈ 700 ANDs      ISCAS'85 ALU and controller
 ``c5315``  ≈ 1750 ANDs     ISCAS'85 9-bit ALU
 ``voter``  ≈ 13700 ANDs    EPFL majority voter (large; generated on demand)
@@ -66,6 +67,7 @@ BENCHMARK_SPECS: Dict[str, BenchmarkSpec] = {
     "b10": BenchmarkSpec("b10", 180, 22, 12, "control", 110),
     "b11": BenchmarkSpec("b11", 600, 30, 16, "control", 111),
     "b12": BenchmarkSpec("b12", 1000, 34, 20, "control", 112),
+    "c880": BenchmarkSpec("c880", 360, 60, 26, "arith", 880),
     "c2670": BenchmarkSpec("c2670", 700, 40, 24, "arith", 267),
     "c5315": BenchmarkSpec("c5315", 1750, 48, 30, "arith", 531),
     "voter": BenchmarkSpec("voter", 13700, 64, 1, "arith", 999),

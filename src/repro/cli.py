@@ -1,21 +1,25 @@
 """Command-line interface.
 
 Installed as the ``boolgebra`` console script (also runnable via
-``python -m repro.cli``).  The sub-commands cover the everyday workflows of
-the library without writing Python:
+``python -m repro.cli``).  The sub-commands are thin layers over the
+:class:`repro.engine.Engine` facade and the pass registry, covering the
+everyday workflows of the library without writing Python:
 
 ``stats``
     Print size / depth / interface statistics of a netlist (or a registered
     benchmark).
 ``optimize``
-    Run a sequence of stand-alone passes (``rw``, ``rs``, ``rf``, ``b``) and
-    write the optimized netlist.
+    Run an optimization script (``"rw; rs -K 8; b; rw -z"`` — the registered
+    passes with ABC-style options) and write the optimized netlist.
 ``orchestrate``
     Run the paper's Algorithm 1 under a decision vector read from CSV, or
     under a freshly sampled random / priority-guided assignment.
 ``sample``
-    Draw and evaluate a batch of decision vectors and write their
-    quality-of-results (and optionally the vectors themselves) to CSV.
+    Draw and evaluate a batch of decision vectors (optionally in parallel
+    across worker processes) and write their quality-of-results (and
+    optionally the vectors themselves) to CSV.
+``passes``
+    List the registered optimization passes and their script options.
 ``benchmarks``
     List the registered benchmark designs and their statistics.
 """
@@ -27,81 +31,61 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.aig.aig import Aig
-from repro.aig.equivalence import check_equivalence
 from repro.circuits.benchmarks import BENCHMARK_SPECS, available_benchmarks, load_benchmark
+from repro.engine.engine import Engine, load_design, save_design
+from repro.engine.evaluator import get_evaluator
+from repro.engine.pipeline import Pipeline
+from repro.engine.registry import create_pass, iter_passes, registered_names
 from repro.flow.reporting import format_table
-from repro.io.aiger import read_aiger, write_aiger
-from repro.io.bench import read_bench, write_bench
-from repro.io.blif import read_blif, write_blif
 from repro.orchestration.decision import DecisionVector
-from repro.orchestration.orchestrate import orchestrate
-from repro.orchestration.sampling import (
-    PriorityGuidedSampler,
-    RandomSampler,
-    evaluate_samples,
-)
-from repro.synth.scripts import balance_pass, refactor_pass, resub_pass, rewrite_pass
-
-_PASSES = {
-    "rw": rewrite_pass,
-    "rewrite": rewrite_pass,
-    "rs": resub_pass,
-    "resub": resub_pass,
-    "rf": refactor_pass,
-    "refactor": refactor_pass,
-    "b": balance_pass,
-    "balance": balance_pass,
-}
+from repro.orchestration.sampling import PriorityGuidedSampler, RandomSampler
 
 
-# --------------------------------------------------------------------------- #
-# Netlist loading / saving
-# --------------------------------------------------------------------------- #
-def load_design(spec: str) -> Aig:
-    """Load ``spec``: a netlist path (by extension) or a registered benchmark name."""
-    if os.path.exists(spec):
-        extension = os.path.splitext(spec)[1].lower()
-        if extension in (".aag", ".aig"):
-            return read_aiger(spec)
-        if extension == ".bench":
-            return read_bench(spec)
-        if extension == ".blif":
-            return read_blif(spec)
-        raise ValueError(f"unsupported netlist extension {extension!r} for {spec!r}")
-    if spec in BENCHMARK_SPECS:
-        return load_benchmark(spec)
-    raise ValueError(
-        f"{spec!r} is neither an existing netlist file nor a registered benchmark "
-        f"({', '.join(available_benchmarks())})"
-    )
+class _LegacyPassTable:
+    """Deprecated read-only view of the pass registry.
+
+    Kept so that pre-engine call sites (``from repro.cli import _PASSES;
+    _PASSES["rw"](aig)``) continue to work; new code should use
+    :func:`repro.engine.create_pass` / :class:`repro.engine.Pipeline`.
+    """
+
+    def __contains__(self, name: str) -> bool:
+        return name in registered_names()
+
+    def __getitem__(self, name: str):
+        if name not in registered_names():
+            raise KeyError(name)
+        return lambda aig, _name=name: create_pass(_name).run(aig)
+
+    def __iter__(self):
+        return iter(registered_names())
+
+    def __len__(self) -> int:
+        return len(registered_names())
+
+    def keys(self):
+        return list(registered_names())
+
+    def values(self):
+        return [self[name] for name in registered_names()]
+
+    def items(self):
+        return [(name, self[name]) for name in registered_names()]
 
 
-def save_design(aig: Aig, path: str) -> None:
-    """Write ``aig`` to ``path`` in the format implied by the extension."""
-    extension = os.path.splitext(path)[1].lower()
-    if extension == ".aag":
-        write_aiger(aig, path)
-    elif extension == ".aig":
-        write_aiger(aig, path, binary=True)
-    elif extension == ".bench":
-        write_bench(aig, path)
-    elif extension == ".blif":
-        write_blif(aig, path)
-    else:
-        raise ValueError(f"unsupported output extension {extension!r}")
+_PASSES = _LegacyPassTable()
 
 
 # --------------------------------------------------------------------------- #
 # Sub-commands
 # --------------------------------------------------------------------------- #
 def _cmd_stats(args: argparse.Namespace) -> int:
-    aig = load_design(args.design)
-    stats = aig.stats()
+    engine = Engine.load(args.design)
+    stats = engine.stats()
     print(
         format_table(
             headers=["design", "PIs", "POs", "ANDs", "depth"],
-            rows=[[aig.name, stats["pis"], stats["pos"], stats["ands"], stats["depth"]]],
+            rows=[[engine.name, stats["pis"], stats["pos"], stats["ands"], stats["depth"]]],
             title="Design statistics",
         )
     )
@@ -109,18 +93,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
-    aig = load_design(args.design)
-    original = aig.copy()
-    rows = [["original", aig.size, aig.depth(), "-"]]
-    for pass_name in args.script.split(","):
-        pass_name = pass_name.strip().lower()
-        if pass_name not in _PASSES:
-            print(f"error: unknown pass {pass_name!r}", file=sys.stderr)
-            return 2
-        stats = _PASSES[pass_name](aig)
-        rows.append([pass_name, aig.size, aig.depth(), f"{stats.runtime_seconds:.2f}s"])
+    engine = Engine.load(args.design)
+    pipeline = Pipeline.parse(args.script)
+    rows = [["original", engine.size, engine.aig.depth(), "-"]]
+    report = engine.run(pipeline, verify=args.verify)
+    for stats in report.pass_stats:
+        rows.append(
+            [stats.name, stats.size_after, stats.depth_after, f"{stats.runtime_seconds:.2f}s"]
+        )
     if args.verify:
-        if not check_equivalence(original, aig):
+        if not report.equivalent:
             print("error: optimized network is NOT equivalent to the original", file=sys.stderr)
             return 1
         rows.append(["equivalence check", "OK", "", ""])
@@ -128,43 +110,48 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         format_table(
             headers=["step", "ANDs", "depth", "runtime"],
             rows=rows,
-            title=f"Optimization of {aig.name}",
+            title=f"Optimization of {engine.name}",
         )
     )
     if args.output:
-        save_design(aig, args.output)
+        engine.save(args.output)
         print(f"wrote {args.output}")
     return 0
 
 
 def _cmd_orchestrate(args: argparse.Namespace) -> int:
-    aig = load_design(args.design)
-    original = aig.copy()
+    from repro.aig.equivalence import check_equivalence
+    from repro.orchestration.orchestrate import orchestrate
+
+    engine = Engine.load(args.design)
+    aig = engine.aig
     if args.decisions:
         decisions = DecisionVector.from_csv(args.decisions)
     elif args.guided:
         decisions = PriorityGuidedSampler(aig, seed=args.seed).base_sample()
     else:
         decisions = RandomSampler(aig, seed=args.seed).sample()
+    original = aig.copy() if args.verify else None
     result = orchestrate(aig, decisions)
     print(result)
     if args.verify and not check_equivalence(original, aig):
         print("error: orchestrated network is NOT equivalent to the original", file=sys.stderr)
         return 1
     if args.output:
-        save_design(aig, args.output)
+        engine.save(args.output)
         print(f"wrote {args.output}")
     return 0
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
-    aig = load_design(args.design)
+    engine = Engine.load(args.design)
+    aig = engine.aig
     if args.guided:
         sampler = PriorityGuidedSampler(aig, seed=args.seed)
     else:
         sampler = RandomSampler(aig, seed=args.seed)
     vectors = sampler.generate(args.num_samples)
-    records = evaluate_samples(aig, vectors)
+    records = get_evaluator(args.jobs).evaluate(aig, vectors)
     rows = []
     for index, record in enumerate(records):
         rows.append([index, record.size_after, record.reduction])
@@ -189,6 +176,26 @@ def _cmd_sample(args: argparse.Namespace) -> int:
         for index, vector in enumerate(vectors):
             vector.to_csv(os.path.join(args.save_decisions, f"sample_{index:04d}.csv"))
         print(f"wrote {len(vectors)} decision vectors to {args.save_decisions}")
+    return 0
+
+
+def _cmd_passes(args: argparse.Namespace) -> int:
+    rows = []
+    for pass_cls in sorted(iter_passes(), key=lambda cls: cls.name):
+        options = ", ".join(
+            f"{option.flag}" + ("" if option.type is bool else f" <{option.dest}>")
+            for option in pass_cls.options
+        )
+        rows.append(
+            [pass_cls.name, ", ".join(pass_cls.aliases) or "-", options or "-", pass_cls.summary]
+        )
+    print(
+        format_table(
+            headers=["pass", "aliases", "options", "summary"],
+            rows=rows,
+            title="Registered optimization passes",
+        )
+    )
     return 0
 
 
@@ -226,10 +233,13 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("design", help="netlist path (.aag/.aig/.bench/.blif) or benchmark name")
     stats.set_defaults(handler=_cmd_stats)
 
-    optimize = subparsers.add_parser("optimize", help="run stand-alone optimization passes")
+    optimize = subparsers.add_parser("optimize", help="run an optimization pass script")
     optimize.add_argument("design")
     optimize.add_argument(
-        "--script", "-s", default="rw,rs,rf", help="comma-separated passes (rw,rs,rf,b)"
+        "--script",
+        "-s",
+        default="rw; rs; rf",
+        help="pass script, e.g. 'rw; rs -K 8; b; rw -z' (see the 'passes' sub-command)",
     )
     optimize.add_argument("--output", "-o", help="write the optimized netlist here")
     optimize.add_argument(
@@ -257,11 +267,21 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--num-samples", "-n", type=int, default=10)
     sample.add_argument("--guided", action="store_true")
     sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="evaluate candidates across this many worker processes (default 1: serial)",
+    )
     sample.add_argument("--output", "-o", help="write sample qualities to this CSV")
     sample.add_argument(
         "--save-decisions", help="directory to store the sampled decision vectors as CSV"
     )
     sample.set_defaults(handler=_cmd_sample)
+
+    passes = subparsers.add_parser("passes", help="list registered optimization passes")
+    passes.set_defaults(handler=_cmd_passes)
 
     benchmarks = subparsers.add_parser("benchmarks", help="list registered benchmark designs")
     benchmarks.add_argument(

@@ -1,0 +1,63 @@
+"""The unified optimization engine: passes, pipelines, evaluators, facade.
+
+This package is the canonical public API of the library:
+
+* :class:`~repro.engine.registry.Pass` + :func:`~repro.engine.registry.register_pass`
+  — the pass protocol and the global registry the CLI and scripts resolve
+  names against (importing this package registers the built-in passes).
+* :class:`~repro.engine.pipeline.Pipeline` — ordered pass sequences with the
+  compact ABC-style script parser (``Pipeline.parse("rw; rs -K 8; b")``).
+* :class:`~repro.engine.evaluator.Evaluator` and its serial / process-pool
+  implementations — pluggable, deterministic batch candidate evaluation.
+* :class:`~repro.engine.engine.Engine` — the facade tying one design to all
+  of the above plus the ML flow.
+"""
+
+from repro.engine.engine import Engine, load_design, save_design
+from repro.engine.evaluator import (
+    Evaluator,
+    ProcessPoolEvaluator,
+    SerialEvaluator,
+    get_evaluator,
+    record_signature,
+)
+from repro.engine.pipeline import Pipeline, PipelineReport, as_pipeline
+from repro.engine.registry import (
+    Pass,
+    PassError,
+    PassOption,
+    PassRegistrationError,
+    available_passes,
+    create_pass,
+    get_pass,
+    iter_passes,
+    register_pass,
+    registered_names,
+)
+
+# Importing the built-in passes populates the registry as a side effect.
+from repro.engine import passes as _builtin_passes  # noqa: E402,F401  isort: skip
+
+__all__ = [
+    "Engine",
+    "Evaluator",
+    "Pass",
+    "PassError",
+    "PassOption",
+    "PassRegistrationError",
+    "Pipeline",
+    "PipelineReport",
+    "ProcessPoolEvaluator",
+    "SerialEvaluator",
+    "as_pipeline",
+    "available_passes",
+    "create_pass",
+    "get_evaluator",
+    "get_pass",
+    "iter_passes",
+    "load_design",
+    "record_signature",
+    "register_pass",
+    "registered_names",
+    "save_design",
+]

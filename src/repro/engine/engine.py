@@ -1,0 +1,165 @@
+"""The :class:`Engine` facade — one entry point for every workflow.
+
+The engine wraps one design and exposes the library's workflows behind a
+single object::
+
+    engine = Engine.load("c880")                      # benchmark or netlist path
+    report = engine.run(Pipeline.parse("rw; rs; b"))  # or engine.run("rw; rs; b")
+    records = engine.sample(64, evaluator="process")  # parallel batch evaluation
+    result = engine.flow()                            # the full BoolGebra ML flow
+    engine.save("c880_opt.aag")
+
+The CLI, the examples and the experiment harness are thin layers over this
+facade, so improvements to evaluation (parallelism, caching) or new passes
+land everywhere at once.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+from repro.aig.aig import Aig
+from repro.circuits.benchmarks import BENCHMARK_SPECS, available_benchmarks, load_benchmark
+from repro.engine.evaluator import Evaluator, get_evaluator
+from repro.engine.pipeline import Pipeline, PipelineLike, PipelineReport, as_pipeline
+from repro.io.aiger import read_aiger, write_aiger
+from repro.io.bench import read_bench, write_bench
+from repro.io.blif import read_blif, write_blif
+from repro.orchestration.sampling import (
+    PriorityGuidedSampler,
+    RandomSampler,
+    SampleRecord,
+)
+from repro.orchestration.transformability import OperationParams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.flow.boolgebra import BoolGebraResult
+    from repro.flow.config import FlowConfig
+
+
+# --------------------------------------------------------------------------- #
+# Netlist loading / saving (canonical home; re-exported by repro.cli)
+# --------------------------------------------------------------------------- #
+def load_design(spec: str) -> Aig:
+    """Load ``spec``: a netlist path (by extension) or a registered benchmark name."""
+    if os.path.exists(spec):
+        extension = os.path.splitext(spec)[1].lower()
+        if extension in (".aag", ".aig"):
+            return read_aiger(spec)
+        if extension == ".bench":
+            return read_bench(spec)
+        if extension == ".blif":
+            return read_blif(spec)
+        raise ValueError(f"unsupported netlist extension {extension!r} for {spec!r}")
+    if spec in BENCHMARK_SPECS:
+        return load_benchmark(spec)
+    raise ValueError(
+        f"{spec!r} is neither an existing netlist file nor a registered benchmark "
+        f"({', '.join(available_benchmarks())})"
+    )
+
+
+def save_design(aig: Aig, path: str) -> None:
+    """Write ``aig`` to ``path`` in the format implied by the extension."""
+    extension = os.path.splitext(path)[1].lower()
+    if extension == ".aag":
+        write_aiger(aig, path)
+    elif extension == ".aig":
+        write_aiger(aig, path, binary=True)
+    elif extension == ".bench":
+        write_bench(aig, path)
+    elif extension == ".blif":
+        write_blif(aig, path)
+    else:
+        raise ValueError(f"unsupported output extension {extension!r}")
+
+
+class Engine:
+    """One design plus the workflows that operate on it."""
+
+    def __init__(self, aig: Aig) -> None:
+        self.aig = aig
+        #: Reports of every pipeline run on this engine, in order.
+        self.history: List[PipelineReport] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, spec: str) -> "Engine":
+        """Load a netlist path or registered benchmark name into an engine.
+
+        Benchmark designs come from a process-wide cache, so the engine works
+        on a private copy — running passes never corrupts later loads.
+        """
+        aig = load_design(spec)
+        if not os.path.exists(spec):
+            aig = aig.copy()
+        return cls(aig)
+
+    @classmethod
+    def from_aig(cls, aig: Aig, copy: bool = False) -> "Engine":
+        """Wrap an existing in-memory network (optionally a private copy of it)."""
+        return cls(aig.copy() if copy else aig)
+
+    def copy(self) -> "Engine":
+        """An independent engine on a copy of the current network."""
+        return Engine(self.aig.copy())
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self.aig.name
+
+    @property
+    def size(self) -> int:
+        return self.aig.size
+
+    def stats(self) -> Dict[str, int]:
+        """Size / depth / interface statistics of the current network."""
+        return self.aig.stats()
+
+    # ------------------------------------------------------------------ #
+    # Workflows
+    # ------------------------------------------------------------------ #
+    def run(self, pipeline: PipelineLike, verify: bool = False) -> PipelineReport:
+        """Run a pipeline (or script string) on the network in place."""
+        report = as_pipeline(pipeline).run(self.aig, verify=verify)
+        self.history.append(report)
+        return report
+
+    def sample(
+        self,
+        num_samples: int = 10,
+        guided: bool = True,
+        seed: int = 0,
+        evaluator: Union[None, str, Evaluator] = None,
+        params: Optional[OperationParams] = None,
+    ) -> List[SampleRecord]:
+        """Draw and evaluate a batch of decision vectors (network untouched).
+
+        ``evaluator`` selects the batch-evaluation backend (``"serial"``,
+        ``"process"``/``"process:N"``, or an :class:`Evaluator` instance).
+        """
+        if guided:
+            sampler = PriorityGuidedSampler(self.aig, seed=seed, params=params)
+        else:
+            sampler = RandomSampler(self.aig, seed=seed)
+        vectors = sampler.generate(num_samples)
+        return get_evaluator(evaluator).evaluate(self.aig, vectors, params=params)
+
+    def flow(self, config: Optional["FlowConfig"] = None) -> "BoolGebraResult":
+        """Run the end-to-end BoolGebra flow (sample, train, prune, evaluate)."""
+        from repro.flow.boolgebra import BoolGebraFlow
+
+        return BoolGebraFlow(config).run(self.aig)
+
+    def save(self, path: str) -> None:
+        """Write the current network in the format implied by the extension."""
+        save_design(self.aig, path)
+
+    def __repr__(self) -> str:
+        return f"<Engine {self.name!r}: {self.size} ANDs, {len(self.history)} runs>"

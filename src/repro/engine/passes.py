@@ -1,0 +1,154 @@
+"""The built-in passes: the stand-alone baselines plus orchestration.
+
+Importing this module populates the registry with the passes every layer of
+the library shares:
+
+=============  =========================  =====================================
+name           aliases                    operation
+=============  =========================  =====================================
+``rw``         ``rewrite``                DAG-aware cut rewriting
+``rs``         ``resub``                  reconvergence-driven resubstitution
+``rf``         ``refactor``               MFFC refactoring via algebraic factoring
+``b``          ``balance``                AND-tree depth balancing
+``orch``       ``orchestrate``            Algorithm 1 under a sampled decision vector
+``compress``                              rw; rs; rf compound rounds (ABC-style)
+=============  =========================  =====================================
+
+Each pass is a thin, typed wrapper over the corresponding driver in
+:mod:`repro.synth.scripts` / :mod:`repro.orchestration`, so the stand-alone
+functions remain the single implementation and the registry only adds naming,
+parameter parsing and composition.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.aig.aig import Aig
+from repro.engine.evaluator import get_evaluator
+from repro.engine.registry import Pass, PassOption, register_pass
+from repro.orchestration.orchestrate import orchestrate
+from repro.orchestration.sampling import PriorityGuidedSampler, RandomSampler
+from repro.synth.refactor import RefactorParams
+from repro.synth.resub import ResubParams
+from repro.synth.rewrite import RewriteParams
+from repro.synth.scripts import (
+    PassStats,
+    balance_pass,
+    compress_script,
+    refactor_pass,
+    resub_pass,
+    rewrite_pass,
+)
+
+
+@register_pass("rw", "rewrite", summary="DAG-aware cut rewriting")
+class RewritePass(Pass):
+    options = (
+        PassOption("-K", "cut_size", int, "cut size (default 4)"),
+        PassOption("-C", "cuts_per_node", int, "cuts kept per node (default 8)"),
+        PassOption("-z", "use_zero_cost", bool, "accept zero-gain replacements"),
+    )
+
+    def run(self, aig: Aig) -> PassStats:
+        return rewrite_pass(aig, RewriteParams(**self.params))
+
+
+@register_pass("rs", "resub", summary="reconvergence-driven resubstitution")
+class ResubPass(Pass):
+    options = (
+        PassOption("-K", "max_leaves", int, "cut leaf limit (default 8)"),
+        PassOption("-N", "max_resub_nodes", int, "added-node budget 0..2 (default 1)"),
+        PassOption("-W", "max_window", int, "window node limit (default 120)"),
+    )
+
+    def run(self, aig: Aig) -> PassStats:
+        return resub_pass(aig, ResubParams(**self.params))
+
+
+@register_pass("rf", "refactor", summary="MFFC refactoring via algebraic factoring")
+class RefactorPass(Pass):
+    options = (
+        PassOption("-K", "max_leaves", int, "cone leaf limit (default 10)"),
+        PassOption("-z", "use_zero_cost", bool, "accept zero-gain refactorings"),
+    )
+
+    def run(self, aig: Aig) -> PassStats:
+        return refactor_pass(aig, RefactorParams(**self.params))
+
+
+@register_pass("b", "balance", summary="AND-tree depth balancing")
+class BalancePass(Pass):
+    options = ()
+
+    def run(self, aig: Aig) -> PassStats:
+        return balance_pass(aig)
+
+
+@register_pass("orch", "orchestrate", summary="Algorithm 1 under a sampled decision vector")
+class OrchestratePass(Pass):
+    """Orchestrated Boolean manipulation as a pipeline step.
+
+    With ``-n 1`` (the default) the decision vector is the guided base sample
+    (``-g``) or one random sample; with ``-n N`` a batch of ``N`` vectors is
+    sampled, evaluated on copies (in parallel when ``-j`` > 1) and the best
+    one is applied to the network.
+    """
+
+    options = (
+        PassOption("-s", "seed", int, "sampling seed (default 0)"),
+        PassOption("-g", "guided", bool, "use the priority-guided sampler"),
+        PassOption("-n", "num_samples", int, "sample n vectors, apply the best (default 1)"),
+        PassOption("-j", "jobs", int, "worker processes for batch evaluation (default 1)"),
+    )
+
+    def run(self, aig: Aig) -> PassStats:
+        seed = self.params.get("seed", 0)
+        guided = self.params.get("guided", False)
+        num_samples = max(1, self.params.get("num_samples", 1))
+        jobs = self.params.get("jobs", 1)
+        size_before = aig.size
+        depth_before = aig.depth()
+        start = time.perf_counter()
+        if guided:
+            sampler = PriorityGuidedSampler(aig, seed=seed)
+        else:
+            sampler = RandomSampler(aig, seed=seed)
+        vectors = sampler.generate(num_samples)
+        if len(vectors) == 1:
+            best = vectors[0]
+        else:
+            records = get_evaluator(jobs).evaluate(aig, vectors)
+            best = min(records, key=lambda record: record.size_after).decisions
+        result = orchestrate(aig, best)
+        return PassStats(
+            name="orch",
+            size_before=size_before,
+            size_after=aig.size,
+            depth_before=depth_before,
+            depth_after=aig.depth(),
+            applied=result.total_applied,
+            runtime_seconds=time.perf_counter() - start,
+        )
+
+
+@register_pass("compress", summary="rw; rs; rf compound rounds")
+class CompressPass(Pass):
+    options = (
+        PassOption("-R", "rounds", int, "number of rw/rs/rf rounds (default 1)"),
+    )
+
+    def run(self, aig: Aig) -> PassStats:
+        size_before = aig.size
+        depth_before = aig.depth()
+        start = time.perf_counter()
+        round_stats = compress_script(aig, rounds=self.params.get("rounds", 1))
+        return PassStats(
+            name="compress",
+            size_before=size_before,
+            size_after=aig.size,
+            depth_before=depth_before,
+            depth_after=aig.depth(),
+            applied=sum(stats.applied for stats in round_stats),
+            runtime_seconds=time.perf_counter() - start,
+        )

@@ -1,0 +1,164 @@
+"""Pass pipelines and the compact optimization-script parser.
+
+A :class:`Pipeline` is an ordered list of configured passes, built either
+programmatically or from a compact script in the spirit of ABC::
+
+    Pipeline.parse("rw; rs -K 8; b; rw -z")
+
+Passes are separated by ``;`` (``,`` and newlines are accepted too, so the
+legacy CLI scripts keep parsing); tokens after a pass name are that pass's
+ABC-style options.  Running a pipeline yields a :class:`PipelineReport` with
+one :class:`~repro.synth.scripts.PassStats` per step plus aggregate metrics
+and an optional equivalence verdict.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.aig.aig import Aig
+from repro.engine.registry import Pass, PassError, get_pass
+from repro.synth.scripts import PassStats
+
+_SEPARATORS = re.compile(r"[;,\n]+")
+
+
+@dataclass
+class PipelineReport:
+    """Aggregate outcome of one pipeline run on one design."""
+
+    design: str
+    size_before: int
+    size_after: int
+    depth_before: int
+    depth_after: int
+    pass_stats: List[PassStats] = field(default_factory=list)
+    runtime_seconds: float = 0.0
+    #: Set when the run was asked to verify functional equivalence.
+    equivalent: Optional[bool] = None
+
+    @property
+    def reduction(self) -> int:
+        """Absolute AND-node reduction across the whole pipeline."""
+        return self.size_before - self.size_after
+
+    @property
+    def size_ratio(self) -> float:
+        """Final size over original size (the paper's Table I metric)."""
+        if self.size_before == 0:
+            return 1.0
+        return self.size_after / self.size_before
+
+    @property
+    def total_applied(self) -> int:
+        """Total number of transformations applied across all passes."""
+        return sum(stats.applied for stats in self.pass_stats)
+
+    def __str__(self) -> str:
+        steps = "; ".join(
+            f"{stats.name} {stats.size_before}->{stats.size_after}"
+            for stats in self.pass_stats
+        )
+        verdict = ""
+        if self.equivalent is not None:
+            verdict = ", equivalent" if self.equivalent else ", NOT EQUIVALENT"
+        return (
+            f"pipeline[{self.design}]: {self.size_before} -> {self.size_after} ANDs "
+            f"({steps}, depth {self.depth_before} -> {self.depth_after}, "
+            f"{self.runtime_seconds:.2f}s{verdict})"
+        )
+
+
+class Pipeline:
+    """An ordered, reusable sequence of configured optimization passes."""
+
+    def __init__(self, passes: Sequence[Pass]) -> None:
+        self.passes: List[Pass] = list(passes)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(cls, script: str) -> "Pipeline":
+        """Parse a compact optimization script into a pipeline.
+
+        Raises :class:`~repro.engine.registry.PassError` on unknown pass
+        names, unknown options, missing or ill-typed option values, and on
+        scripts containing no passes at all.
+        """
+        passes: List[Pass] = []
+        for segment in _SEPARATORS.split(script):
+            tokens = segment.split()
+            if not tokens:
+                continue
+            pass_cls = get_pass(tokens[0])
+            passes.append(pass_cls.from_tokens(tokens[1:]))
+        if not passes:
+            raise PassError(f"script {script!r} contains no passes")
+        return cls(passes)
+
+    def script(self) -> str:
+        """The canonical script text recreating this pipeline."""
+        return "; ".join(p.script_fragment() for p in self.passes)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, aig: Aig, verify: bool = False) -> PipelineReport:
+        """Run every pass on ``aig`` in place and return the aggregate report.
+
+        With ``verify=True`` the original network is kept aside and checked
+        for functional equivalence after the last pass (``report.equivalent``).
+        """
+        original = aig.copy() if verify else None
+        size_before = aig.size
+        depth_before = aig.depth()
+        start = time.perf_counter()
+        stats = [p.run(aig) for p in self.passes]
+        report = PipelineReport(
+            design=aig.name,
+            size_before=size_before,
+            size_after=aig.size,
+            depth_before=depth_before,
+            depth_after=aig.depth(),
+            pass_stats=stats,
+            runtime_seconds=time.perf_counter() - start,
+        )
+        if original is not None:
+            from repro.aig.equivalence import check_equivalence
+
+            report.equivalent = bool(check_equivalence(original, aig))
+        return report
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.passes)
+
+    def __iter__(self) -> Iterator[Pass]:
+        return iter(self.passes)
+
+    def __add__(self, other: "Pipeline") -> "Pipeline":
+        if not isinstance(other, Pipeline):
+            return NotImplemented
+        return Pipeline(self.passes + other.passes)
+
+    def __str__(self) -> str:
+        return self.script()
+
+    def __repr__(self) -> str:
+        return f"Pipeline.parse({self.script()!r})"
+
+
+PipelineLike = Union[str, Pipeline]
+
+
+def as_pipeline(pipeline: PipelineLike) -> Pipeline:
+    """Coerce a script string or a pipeline into a :class:`Pipeline`."""
+    if isinstance(pipeline, Pipeline):
+        return pipeline
+    if isinstance(pipeline, str):
+        return Pipeline.parse(pipeline)
+    raise PassError(f"expected a script string or Pipeline, got {pipeline!r}")

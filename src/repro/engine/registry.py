@@ -1,0 +1,197 @@
+"""The :class:`Pass` protocol and the global pass registry.
+
+Every optimization the library offers — the stand-alone DAG-aware passes,
+balancing, the orchestrated Algorithm 1 — is exposed as a *pass*: a small
+object configured once (with typed parameters) and runnable on any number of
+networks.  Passes self-register under a canonical name plus short aliases via
+the :func:`register_pass` class decorator, which is what the pipeline script
+parser, the CLI and the :class:`~repro.engine.engine.Engine` facade resolve
+names against.
+
+A pass declares its script-level options ABC-style (``rw -z``, ``rs -K 8``)
+through :class:`PassOption` tuples; :meth:`Pass.from_tokens` turns the raw
+script tokens into validated, typed constructor parameters.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Iterable, List, Sequence, Tuple, Type
+
+from repro.aig.aig import Aig
+from repro.synth.scripts import PassStats
+
+
+class PassError(ValueError):
+    """Raised for unknown pass names or malformed pass parameters."""
+
+
+class PassRegistrationError(ValueError):
+    """Raised when a pass registration collides with an existing name/alias."""
+
+
+@dataclass(frozen=True)
+class PassOption:
+    """One script-level option of a pass (an ABC-style flag).
+
+    ``type`` is ``int``, ``float`` or ``bool``; boolean options are plain
+    flags and take no value (``rw -z``), the others consume the next token
+    (``rs -K 8``).
+    """
+
+    flag: str
+    dest: str
+    type: type = int
+    help: str = ""
+
+
+class Pass(abc.ABC):
+    """One optimization pass: configured once, runnable on many networks.
+
+    Subclasses declare ``options`` (their typed script parameters) and
+    implement :meth:`run`, which modifies the network in place and returns a
+    :class:`~repro.synth.scripts.PassStats`.
+    """
+
+    name: ClassVar[str] = "abstract"
+    aliases: ClassVar[Tuple[str, ...]] = ()
+    summary: ClassVar[str] = ""
+    options: ClassVar[Tuple[PassOption, ...]] = ()
+
+    def __init__(self, **params: Any) -> None:
+        allowed = {option.dest for option in self.options}
+        unknown = sorted(set(params) - allowed)
+        if unknown:
+            raise PassError(
+                f"pass {self.name!r} does not accept parameter(s) {', '.join(unknown)}"
+                f" (allowed: {', '.join(sorted(allowed)) if allowed else 'none'})"
+            )
+        self.params: Dict[str, Any] = dict(params)
+
+    @abc.abstractmethod
+    def run(self, aig: Aig) -> PassStats:
+        """Apply the pass to ``aig`` in place and return its statistics."""
+
+    # ------------------------------------------------------------------ #
+    # Script round-tripping
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_tokens(cls, tokens: Sequence[str]) -> "Pass":
+        """Build a configured pass from the script tokens after its name."""
+        by_flag = {option.flag: option for option in cls.options}
+        params: Dict[str, Any] = {}
+        tokens = list(tokens)
+        index = 0
+        while index < len(tokens):
+            token = tokens[index]
+            option = by_flag.get(token)
+            if option is None:
+                known = ", ".join(sorted(by_flag)) if by_flag else "none"
+                raise PassError(
+                    f"pass {cls.name!r}: unknown option {token!r} (known: {known})"
+                )
+            if option.type is bool:
+                params[option.dest] = True
+                index += 1
+                continue
+            if index + 1 >= len(tokens):
+                raise PassError(f"pass {cls.name!r}: option {token} expects a value")
+            raw = tokens[index + 1]
+            try:
+                params[option.dest] = option.type(raw)
+            except ValueError as error:
+                raise PassError(
+                    f"pass {cls.name!r}: option {token} expects "
+                    f"{option.type.__name__}, got {raw!r}"
+                ) from error
+            index += 2
+        return cls(**params)
+
+    def script_fragment(self) -> str:
+        """The canonical script text recreating this configured pass."""
+        parts = [self.name]
+        by_dest = {option.dest: option for option in self.options}
+        for dest, value in self.params.items():
+            option = by_dest[dest]
+            if option.type is bool:
+                if value:
+                    parts.append(option.flag)
+            else:
+                parts.extend([option.flag, str(value)])
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.script_fragment()!r}>"
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: Dict[str, Type[Pass]] = {}
+
+
+def register_pass(name: str, *aliases: str, summary: str = ""):
+    """Class decorator registering a :class:`Pass` under ``name`` (+ aliases).
+
+    Raises :class:`PassRegistrationError` if any of the names is already taken
+    by a *different* pass class (re-registering the same class is idempotent,
+    which keeps module reloads harmless).
+    """
+
+    def decorate(cls: Type[Pass]) -> Type[Pass]:
+        if not (isinstance(cls, type) and issubclass(cls, Pass)):
+            raise PassRegistrationError(
+                f"@register_pass target must be a Pass subclass, got {cls!r}"
+            )
+        keys = (name, *aliases)
+        for key in keys:
+            existing = _REGISTRY.get(key)
+            if existing is not None and existing is not cls:
+                raise PassRegistrationError(
+                    f"pass name {key!r} is already registered to {existing.__name__}"
+                )
+        cls.name = name
+        cls.aliases = tuple(aliases)
+        if summary:
+            cls.summary = summary
+        for key in keys:
+            _REGISTRY[key] = cls
+        return cls
+
+    return decorate
+
+
+def get_pass(name: str) -> Type[Pass]:
+    """Resolve a pass name or alias to its registered class."""
+    key = name.strip().lower()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise PassError(
+            f"unknown pass {name!r}; available: {', '.join(available_passes())}"
+        ) from None
+
+
+def create_pass(name: str, **params: Any) -> Pass:
+    """Instantiate a registered pass with keyword parameters."""
+    return get_pass(name)(**params)
+
+
+def available_passes() -> List[str]:
+    """Sorted canonical names of all registered passes (aliases excluded)."""
+    return sorted({cls.name for cls in _REGISTRY.values()})
+
+
+def registered_names() -> List[str]:
+    """Every name the registry resolves, canonical names and aliases alike."""
+    return sorted(_REGISTRY)
+
+
+def iter_passes() -> Iterable[Type[Pass]]:
+    """Iterate over the registered pass classes (each exactly once)."""
+    seen = set()
+    for cls in _REGISTRY.values():
+        if cls.name not in seen:
+            seen.add(cls.name)
+            yield cls

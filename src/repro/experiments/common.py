@@ -29,8 +29,13 @@ def sample_dataset(
     guided: bool,
     seed: int,
     config: Optional[FlowConfig] = None,
+    evaluator=None,
 ) -> BoolGebraDataset:
-    """Sample, evaluate and embed ``num_samples`` decisions for ``aig``."""
+    """Sample, evaluate and embed ``num_samples`` decisions for ``aig``.
+
+    ``evaluator`` overrides the batch-evaluation backend (defaults to the
+    one configured in ``config``, which itself defaults to serial).
+    """
     config = config or fast_config()
     if guided:
         sampler = PriorityGuidedSampler(aig, seed=seed, params=config.operations)
@@ -40,7 +45,12 @@ def sample_dataset(
         sampler = RandomSampler(aig, seed=seed)
         vectors = sampler.generate(num_samples)
         analysis = None
-    records = evaluate_samples(aig, vectors, params=config.operations)
+    records = evaluate_samples(
+        aig,
+        vectors,
+        params=config.operations,
+        evaluator=evaluator if evaluator is not None else config.evaluator,
+    )
     return build_dataset(aig, records, analysis=analysis, params=config.operations)
 
 

@@ -44,6 +44,11 @@ class BoolGebraResult:
     predicted_scores: List[float] = field(default_factory=list)
     best_size: int = 0
     mean_size: float = 0.0
+    #: Number of candidates actually evaluated: ``min(top_k, #candidates)``.
+    #: Smaller than the requested ``top_k`` when the candidate batch is short;
+    #: ``0`` means no candidate was available and the sizes fell back to the
+    #: unoptimized design.
+    top_k_effective: int = 0
     training_history: Optional[TrainingHistory] = None
     prediction_report: Dict[str, float] = field(default_factory=dict)
     runtime_seconds: float = 0.0
@@ -104,7 +109,9 @@ class BoolGebraFlow:
             sampler = RandomSampler(aig, seed=seed)
             vectors = sampler.generate(num_samples)
             analysis = None
-        records = evaluate_samples(aig, vectors, params=config.operations)
+        records = evaluate_samples(
+            aig, vectors, params=config.operations, evaluator=config.evaluator
+        )
         return build_dataset(
             aig, records, analysis=analysis, params=config.operations
         )
@@ -151,12 +158,18 @@ class BoolGebraFlow:
             candidates = self.generate_dataset(aig, seed=config.seed + 1)
         predictions = self.trainer.predict(candidates.samples)
         targets = candidates.labels()
-        order = np.argsort(predictions, kind="stable")[: min(top_k, len(predictions))]
+        top_k_effective = min(top_k, len(predictions))
+        order = np.argsort(predictions, kind="stable")[:top_k_effective]
 
         evaluated_sizes = [candidates.samples[int(i)].size_after for i in order]
         predicted_scores = [float(predictions[int(i)]) for i in order]
-        best_size = min(evaluated_sizes) if evaluated_sizes else aig.size
-        mean_size = float(np.mean(evaluated_sizes)) if evaluated_sizes else float(aig.size)
+        if not evaluated_sizes:
+            # No candidate at all: fall back to the unoptimized design, and
+            # keep ``evaluated_sizes`` consistent with best/mean so that
+            # ``best_size == min(evaluated_sizes)`` holds unconditionally.
+            evaluated_sizes = [aig.size]
+        best_size = min(evaluated_sizes)
+        mean_size = float(np.mean(evaluated_sizes))
         result = BoolGebraResult(
             design=aig.name,
             original_size=aig.size,
@@ -164,6 +177,7 @@ class BoolGebraFlow:
             predicted_scores=predicted_scores,
             best_size=best_size,
             mean_size=mean_size,
+            top_k_effective=top_k_effective,
             prediction_report=regression_report(predictions, targets, k=top_k),
             runtime_seconds=time.perf_counter() - start,
         )

@@ -39,6 +39,10 @@ class FlowConfig:
     guided_sampling: bool = True
     #: Random seed for sampling, splitting and model initialization.
     seed: int = 0
+    #: Batch-evaluation backend for candidate samples: ``None``/``"serial"``
+    #: for the in-process loop, ``"process"`` (optionally ``"process:N"``) for
+    #: a worker pool, or an :class:`~repro.engine.evaluator.Evaluator`.
+    evaluator: Optional[str] = None
     #: Architecture of the GNN predictor.
     model: ModelConfig = field(default_factory=ModelConfig.paper)
     #: Training schedule.

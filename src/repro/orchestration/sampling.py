@@ -167,8 +167,20 @@ def evaluate_samples(
     aig: Aig,
     decision_vectors: Sequence[DecisionVector],
     params: Optional[OperationParams] = None,
+    evaluator=None,
 ) -> List[SampleRecord]:
-    """Run Algorithm 1 for every decision vector (on copies) and record the results."""
+    """Run Algorithm 1 for every decision vector (on copies) and record the results.
+
+    ``evaluator`` selects the batch-evaluation backend: ``None`` keeps the
+    historical in-process loop, anything else is resolved through
+    :func:`repro.engine.evaluator.get_evaluator` (accepting ``"serial"``,
+    ``"process[:N]"`` or an :class:`~repro.engine.evaluator.Evaluator`
+    instance).  All backends return records in input order.
+    """
+    if evaluator is not None:
+        from repro.engine.evaluator import get_evaluator
+
+        return get_evaluator(evaluator).evaluate(aig, decision_vectors, params=params)
     records = []
     for decisions in decision_vectors:
         result = orchestrate(aig, decisions, params=params, in_place=False)

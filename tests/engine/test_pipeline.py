@@ -1,0 +1,85 @@
+"""Tests for pipeline script parsing and execution."""
+
+import pytest
+
+from repro.engine.pipeline import Pipeline, PipelineReport, as_pipeline
+from repro.engine.registry import PassError
+
+
+def test_parse_simple_script():
+    pipeline = Pipeline.parse("rw; rs; rf; b")
+    assert len(pipeline) == 4
+    assert [p.name for p in pipeline] == ["rw", "rs", "rf", "b"]
+
+
+def test_parse_with_per_pass_params():
+    pipeline = Pipeline.parse("rw; rs -K 8; b; rw -z")
+    assert pipeline.passes[0].params == {}
+    assert pipeline.passes[1].params == {"max_leaves": 8}
+    assert pipeline.passes[3].params == {"use_zero_cost": True}
+
+
+def test_parse_accepts_commas_and_newlines_and_aliases():
+    legacy = Pipeline.parse("rw,rs,rf")  # the pre-engine CLI format
+    assert [p.name for p in legacy] == ["rw", "rs", "rf"]
+    multi = Pipeline.parse("rewrite\nresub -K 6\nbalance")
+    assert [p.name for p in multi] == ["rw", "rs", "b"]
+    assert multi.passes[1].params == {"max_leaves": 6}
+
+
+def test_parse_invalid_scripts():
+    with pytest.raises(PassError, match="unknown pass"):
+        Pipeline.parse("rw; magic")
+    with pytest.raises(PassError, match="unknown option"):
+        Pipeline.parse("rw -Q 3")
+    with pytest.raises(PassError, match="expects a value"):
+        Pipeline.parse("rs -K")
+    with pytest.raises(PassError, match="expects int"):
+        Pipeline.parse("rs -K six")
+    with pytest.raises(PassError, match="no passes"):
+        Pipeline.parse("  ;  ,  ")
+
+
+def test_script_round_trip():
+    script = "rw; rs -K 8; b; rw -z"
+    pipeline = Pipeline.parse(script)
+    assert pipeline.script() == script
+    assert str(pipeline) == script
+    assert Pipeline.parse(pipeline.script()).script() == script
+
+
+def test_run_produces_per_pass_stats_and_aggregate(example_aig):
+    report = Pipeline.parse("rw; rs; b").run(example_aig)
+    assert isinstance(report, PipelineReport)
+    assert [s.name for s in report.pass_stats] == ["rewrite", "resub", "balance"]
+    assert report.size_before >= report.size_after == example_aig.size
+    # Pass stats chain: each step starts where the previous one ended.
+    assert report.pass_stats[0].size_before == report.size_before
+    for previous, current in zip(report.pass_stats, report.pass_stats[1:]):
+        assert current.size_before == previous.size_after
+    assert report.pass_stats[-1].size_after == report.size_after
+    assert report.reduction == report.size_before - report.size_after
+    assert 0.0 < report.size_ratio <= 1.0
+    assert report.equivalent is None
+    assert "pipeline[" in str(report)
+
+
+def test_run_with_verification(example_aig):
+    report = Pipeline.parse("rw; rs; rf; b").run(example_aig, verify=True)
+    assert report.equivalent is True
+    assert "equivalent" in str(report)
+
+
+def test_pipeline_concatenation(example_aig):
+    combined = Pipeline.parse("rw") + Pipeline.parse("b")
+    assert [p.name for p in combined] == ["rw", "b"]
+    report = combined.run(example_aig)
+    assert len(report.pass_stats) == 2
+
+
+def test_as_pipeline_coercion():
+    assert as_pipeline("rw; b").script() == "rw; b"
+    pipeline = Pipeline.parse("rw")
+    assert as_pipeline(pipeline) is pipeline
+    with pytest.raises(PassError):
+        as_pipeline(42)

@@ -1,0 +1,118 @@
+"""Tests for the pass protocol and registry."""
+
+import pytest
+
+from repro.engine.registry import (
+    Pass,
+    PassError,
+    PassOption,
+    PassRegistrationError,
+    available_passes,
+    create_pass,
+    get_pass,
+    iter_passes,
+    register_pass,
+    registered_names,
+)
+from repro.synth.scripts import PassStats
+
+
+def test_builtin_passes_registered():
+    names = available_passes()
+    for name in ("rw", "rs", "rf", "b", "orch", "compress"):
+        assert name in names
+    for alias in ("rewrite", "resub", "refactor", "balance", "orchestrate"):
+        assert alias in registered_names()
+
+
+def test_aliases_resolve_to_same_class():
+    assert get_pass("rw") is get_pass("rewrite")
+    assert get_pass("RW") is get_pass("rw")  # case-insensitive
+    assert get_pass(" b ") is get_pass("balance")
+
+
+def test_unknown_pass_raises_pass_error():
+    with pytest.raises(PassError, match="unknown pass"):
+        get_pass("magic")
+    assert issubclass(PassError, ValueError)
+
+
+def test_registration_collision_raises():
+    with pytest.raises(PassRegistrationError, match="already registered"):
+
+        @register_pass("rw")
+        class Clashing(Pass):
+            def run(self, aig):  # pragma: no cover - never constructed
+                raise NotImplementedError
+
+    # The registry is unchanged by the failed registration.
+    assert get_pass("rw").__name__ == "RewritePass"
+
+
+def test_alias_collision_raises():
+    with pytest.raises(PassRegistrationError, match="already registered"):
+
+        @register_pass("fresh_name_xyz", "rewrite")
+        class AliasClash(Pass):
+            def run(self, aig):  # pragma: no cover
+                raise NotImplementedError
+
+    assert "fresh_name_xyz" not in registered_names()
+
+
+def test_register_non_pass_raises():
+    with pytest.raises(PassRegistrationError):
+        register_pass("not_a_pass")(object)
+
+
+def test_reregistering_same_class_is_idempotent():
+    cls = get_pass("rw")
+    assert register_pass("rw", "rewrite")(cls) is cls
+    assert get_pass("rw") is cls
+
+
+def test_typed_params_accepted_and_unknown_rejected():
+    rw = create_pass("rw", cut_size=5, use_zero_cost=True)
+    assert rw.params == {"cut_size": 5, "use_zero_cost": True}
+    with pytest.raises(PassError, match="does not accept"):
+        create_pass("rw", bogus=1)
+    with pytest.raises(PassError, match="does not accept"):
+        create_pass("b", rounds=2)  # balance takes no parameters
+
+
+def test_from_tokens_parses_typed_options():
+    rs = get_pass("rs").from_tokens(["-K", "6", "-N", "2"])
+    assert rs.params == {"max_leaves": 6, "max_resub_nodes": 2}
+    rw = get_pass("rw").from_tokens(["-z"])
+    assert rw.params == {"use_zero_cost": True}
+
+
+def test_from_tokens_rejects_malformed_options():
+    with pytest.raises(PassError, match="unknown option"):
+        get_pass("rw").from_tokens(["-Q", "3"])
+    with pytest.raises(PassError, match="expects a value"):
+        get_pass("rs").from_tokens(["-K"])
+    with pytest.raises(PassError, match="expects int"):
+        get_pass("rs").from_tokens(["-K", "six"])
+
+
+def test_script_fragment_round_trips():
+    rs = create_pass("rs", max_leaves=6)
+    assert rs.script_fragment() == "rs -K 6"
+    again = get_pass("rs").from_tokens(rs.script_fragment().split()[1:])
+    assert again.params == rs.params
+
+
+def test_passes_run_and_return_stats(example_aig):
+    for name in ("rw", "rs", "rf", "b"):
+        aig = example_aig.copy()
+        stats = create_pass(name).run(aig)
+        assert isinstance(stats, PassStats)
+        assert stats.size_after == aig.size
+        assert stats.size_after <= stats.size_before
+
+
+def test_iter_passes_yields_each_class_once():
+    classes = list(iter_passes())
+    assert len(classes) == len({cls.name for cls in classes})
+    assert len(classes) == len(available_passes())

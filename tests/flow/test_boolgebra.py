@@ -67,6 +67,42 @@ def test_cross_design_flow(flow_and_design):
     assert result.best_size <= other.size
 
 
+def test_prune_and_evaluate_reports_effective_top_k(flow_and_design):
+    flow, aig, _, _ = flow_and_design
+    result = flow.prune_and_evaluate(aig, top_k=3)
+    assert result.top_k_effective == 3
+    assert len(result.evaluated_sizes) == result.top_k_effective
+
+
+def test_prune_and_evaluate_top_k_exceeding_candidates(flow_and_design):
+    """top_k larger than the candidate batch clamps instead of under-filling."""
+    flow, aig, _, _ = flow_and_design
+    candidates = flow.generate_dataset(aig, num_samples=4, seed=77)
+    result = flow.prune_and_evaluate(aig, candidates=candidates, top_k=50)
+    assert result.top_k_effective == 4
+    assert len(result.evaluated_sizes) == 4
+    assert len(result.predicted_scores) == 4
+    assert result.best_size == min(result.evaluated_sizes)
+    assert result.mean_size == pytest.approx(
+        sum(result.evaluated_sizes) / len(result.evaluated_sizes)
+    )
+
+
+def test_prune_and_evaluate_empty_candidates_fallback(flow_and_design):
+    """With no candidates at all the result falls back to the design size,
+    and evaluated_sizes stays consistent with best/mean."""
+    from repro.features.dataset import BoolGebraDataset
+
+    flow, aig, _, _ = flow_and_design
+    empty = BoolGebraDataset(design=aig.name, samples=[])
+    result = flow.prune_and_evaluate(aig, candidates=empty, top_k=5)
+    assert result.top_k_effective == 0
+    assert result.evaluated_sizes == [aig.size]
+    assert result.best_size == aig.size
+    assert result.mean_size == float(aig.size)
+    assert result.predicted_scores == []
+
+
 def test_flow_beats_or_matches_random_average(flow_and_design):
     """The predictor-selected top-k must not be worse than the average candidate."""
     flow, aig, _, _ = flow_and_design
