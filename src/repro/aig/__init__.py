@@ -21,8 +21,11 @@ The submodules provide:
     Truth-table computation for cuts and small-function manipulation helpers.
 ``npn``
     NPN canonicalization for functions of up to four variables.
+``kernels``
+    Levelized struct-of-arrays snapshots (cached per structural version) that
+    back the vectorized simulation and cut-enumeration kernels.
 ``simulate``
-    Bit-parallel random / exhaustive simulation.
+    Bit-parallel random / exhaustive simulation (level-at-a-time vectorized).
 ``equivalence``
     Combinational equivalence checking built on simulation.
 ``random_aig``
@@ -30,6 +33,7 @@ The submodules provide:
 """
 
 from repro.aig.aig import Aig, NodeType
+from repro.aig.kernels import LevelizedAig, cached_topological_order, levelized
 from repro.aig.literals import (
     CONST0,
     CONST1,
@@ -44,6 +48,9 @@ from repro.aig.literals import (
 __all__ = [
     "Aig",
     "NodeType",
+    "LevelizedAig",
+    "levelized",
+    "cached_topological_order",
     "CONST0",
     "CONST1",
     "lit",

@@ -100,6 +100,7 @@ class Aig:
     def add_po(self, driver: int, name: Optional[str] = None) -> int:
         """Register ``driver`` (a literal) as a primary output; return the PO index."""
         self._check_literal(driver)
+        self.modification_count += 1
         self._pos.append(driver)
         self._po_names.append(name)
         self._po_refs[lit_var(driver)] += 1
@@ -601,11 +602,15 @@ class Aig:
         in a mutated original, in which case several old ids map to the same
         new id.
         """
+        from repro.aig.kernels import cached_topological_order
+
         other = Aig(name or self.name)
         mapping: Dict[int, int] = {0: CONST0}
         for index, pi_node in enumerate(self._pis):
             mapping[pi_node] = other.add_pi(self._pi_names[index])
-        for node in self.topological_order():
+        # The cached order makes repeated copies of an unchanged network (the
+        # access pattern of batch decision-vector evaluation) skip the DFS.
+        for node in cached_topological_order(self):
             f0, f1 = self._fanin0[node], self._fanin1[node]
             new0 = mapping[lit_var(f0)] ^ int(lit_is_compl(f0))
             new1 = mapping[lit_var(f1)] ^ int(lit_is_compl(f1))

@@ -16,7 +16,11 @@ from typing import Optional
 import numpy as np
 
 from repro.aig.aig import Aig
-from repro.aig.simulate import exhaustive_patterns, random_patterns, simulate_outputs
+from repro.aig.simulate import (
+    exhaustive_patterns,
+    random_patterns,
+    simulate_outputs_matrix,
+)
 
 
 @dataclass(frozen=True)
@@ -73,12 +77,16 @@ def check_equivalence(
         exhaustive = False
         effective_bits = num_random_patterns
 
-    mask = _valid_bits_mask(effective_bits, patterns.shape[1] if patterns.size or num_pis == 0 else 1)
-    outputs_first = simulate_outputs(first, patterns)
-    outputs_second = simulate_outputs(second, patterns)
-    for index, (sig_a, sig_b) in enumerate(zip(outputs_first, outputs_second)):
-        if np.any((sig_a ^ sig_b) & mask):
-            return EquivalenceResult(False, exhaustive, effective_bits, failing_output=index)
+    mask = _valid_bits_mask(effective_bits, patterns.shape[1])
+    # One (num_pos, num_words) matrix per network; the mismatch scan is a
+    # single vectorized comparison instead of a per-output Python loop.
+    outputs_first = simulate_outputs_matrix(first, patterns)
+    outputs_second = simulate_outputs_matrix(second, patterns)
+    differing = np.nonzero(((outputs_first ^ outputs_second) & mask).any(axis=1))[0]
+    if differing.size:
+        return EquivalenceResult(
+            False, exhaustive, effective_bits, failing_output=int(differing[0])
+        )
     return EquivalenceResult(True, exhaustive, effective_bits)
 
 

@@ -1,0 +1,283 @@
+"""Levelized array-backed kernels over an :class:`~repro.aig.aig.Aig`.
+
+The optimization inner loops — bit-parallel simulation, cut enumeration,
+truth-table construction — all walk the network node by node.  On top of the
+pointer-ish :class:`Aig` this means one Python dict/set operation per node,
+which dominates the runtime of every pass.  This module provides a *levelized
+struct-of-arrays* snapshot of a network:
+
+* dense numpy ``int64`` arrays with the fanin variables of every live AND
+  node and ``uint64`` complement masks, ordered level-major (within a level by
+  node id),
+* CSR-style per-level offsets, so a whole level can be processed with a
+  handful of vectorized numpy operations instead of a per-node loop,
+* the PI / PO interface as arrays (pattern-row map, driver variables, driver
+  complement masks),
+* the plain DFS topological order (shared with the scalar code paths).
+
+Snapshots are cached per network in a :class:`weakref.WeakKeyDictionary` and
+validated against the network's structural version counter
+(:attr:`Aig.modification_count`), so repeated simulations / enumerations of an
+unchanged network reuse the arrays while any structural edit transparently
+invalidates them.  The cache lives outside the ``Aig`` instance, which keeps
+the canonical pickle representation (relied on by the parallel evaluator for
+byte-identical results) untouched.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, List, Tuple
+
+import numpy as np
+
+from repro.aig.literals import lit_is_compl, lit_var
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.aig.aig import Aig
+
+#: All-ones uint64 word, the complement mask of an inverted edge.
+_FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+# --------------------------------------------------------------------------- #
+# Cached DFS topological order
+# --------------------------------------------------------------------------- #
+_TOPO_CACHE: "weakref.WeakKeyDictionary[Aig, Tuple[int, List[int]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def cached_topological_order(aig: "Aig") -> List[int]:
+    """Return ``aig.topological_order()``, cached per structural version.
+
+    The returned list is shared between callers and MUST NOT be mutated.  It
+    is recomputed automatically whenever the network's
+    :attr:`~repro.aig.aig.Aig.modification_count` advances.
+    """
+    entry = _TOPO_CACHE.get(aig)
+    if entry is None or entry[0] != aig.modification_count:
+        entry = (aig.modification_count, aig.topological_order())
+        _TOPO_CACHE[aig] = entry
+    return entry[1]
+
+
+# --------------------------------------------------------------------------- #
+# The levelized struct-of-arrays view
+# --------------------------------------------------------------------------- #
+class LevelizedAig:
+    """Immutable struct-of-arrays snapshot of one :class:`Aig` version.
+
+    Attributes
+    ----------
+    version:
+        ``aig.modification_count`` at build time (cache validity tag).
+    num_slots:
+        Size of the node id space, including freed slots; row ``i`` of the
+        simulation matrix corresponds to node id ``i``.
+    topo_order:
+        The DFS topological order of live AND nodes, as plain Python ints
+        (shared with the scalar code paths; do not mutate).
+    and_ids / fanin0_var / fanin1_var / fanin0_mask / fanin1_mask:
+        Parallel arrays over live AND nodes in level-major order (within a
+        level ordered by node id).  The masks are ``0`` or all-ones ``uint64``
+        words encoding the fanin edge complement.
+    levels:
+        Per-slot logic level (PIs, the constant and freed slots are 0).
+    level_offsets:
+        CSR offsets into the AND arrays: the nodes of level ``l`` (1-based)
+        occupy ``and_ids[level_offsets[l - 1]:level_offsets[l]]``.
+    pi_ids:
+        PI node ids in creation order (row ``k`` of a pattern matrix feeds
+        ``pi_ids[k]``).
+    po_vars / po_masks:
+        PO driver variables and complement masks, in PO creation order.
+    """
+
+    __slots__ = (
+        "version",
+        "num_slots",
+        "num_pis",
+        "num_pos",
+        "topo_order",
+        "and_ids",
+        "fanin0_var",
+        "fanin1_var",
+        "fanin0_mask",
+        "fanin1_mask",
+        "levels",
+        "level_offsets",
+        "pi_ids",
+        "po_vars",
+        "po_masks",
+        "_level_ops",
+        "_value_ids",
+        "_value_ids_array",
+        "_first_encounter_order",
+    )
+
+    def __init__(self, aig: "Aig") -> None:
+        self.version = aig.modification_count
+        self.num_slots = aig.num_nodes()
+        self.num_pis = aig.num_pis()
+        self.num_pos = aig.num_pos()
+        topo = cached_topological_order(aig)
+        self.topo_order = topo
+
+        # Logic levels (one scalar pass over the topological order).
+        levels = [0] * self.num_slots
+        fanin0 = aig._fanin0
+        fanin1 = aig._fanin1
+        for node in topo:
+            l0 = levels[fanin0[node] >> 1]
+            l1 = levels[fanin1[node] >> 1]
+            levels[node] = (l0 if l0 >= l1 else l1) + 1
+        self.levels = np.array(levels, dtype=np.int64)
+
+        # Level-major AND arrays.
+        and_ids = np.array(topo, dtype=np.int64) if topo else np.zeros(0, np.int64)
+        and_levels = self.levels[and_ids]
+        order = np.lexsort((and_ids, and_levels))
+        and_ids = and_ids[order]
+        and_levels = and_levels[order]
+        f0 = np.array(fanin0, dtype=np.int64)[and_ids]
+        f1 = np.array(fanin1, dtype=np.int64)[and_ids]
+        self.and_ids = and_ids
+        self.fanin0_var = f0 >> 1
+        self.fanin1_var = f1 >> 1
+        self.fanin0_mask = np.where(f0 & 1, _FULL_WORD, np.uint64(0))
+        self.fanin1_mask = np.where(f1 & 1, _FULL_WORD, np.uint64(0))
+
+        depth = int(and_levels[-1]) if and_ids.size else 0
+        self.level_offsets = np.searchsorted(
+            and_levels, np.arange(1, depth + 2, dtype=np.int64)
+        )
+        # Pre-sliced per-level views so simulation does no slicing per call.
+        ops = []
+        start = 0
+        for stop in self.level_offsets:
+            stop = int(stop)
+            if stop > start:
+                ops.append(
+                    (
+                        self.and_ids[start:stop],
+                        self.fanin0_var[start:stop],
+                        self.fanin0_mask[start:stop, None],
+                        self.fanin1_var[start:stop],
+                        self.fanin1_mask[start:stop, None],
+                    )
+                )
+            start = stop
+        self._level_ops = ops
+
+        self.pi_ids = np.array(aig.pis(), dtype=np.int64)
+        # Node ids carrying a signature (constant, PIs, live ANDs) — the key
+        # set of the signature-dictionary view, in the historical order.
+        self._value_ids = [0] + list(aig.pis()) + topo
+        self._value_ids_array = np.array(self._value_ids, dtype=np.int64)
+        # Lazily built by first_encounter_order(): the DFS sweep order with
+        # fanin leaves interleaved at first encounter (cut-result key order).
+        self._first_encounter_order: List[int] = []
+        pos = aig.pos()
+        self.po_vars = np.array([lit_var(d) for d in pos], dtype=np.int64)
+        self.po_masks = np.array(
+            [_FULL_WORD if lit_is_compl(d) else np.uint64(0) for d in pos],
+            dtype=np.uint64,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Vectorized kernels
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> int:
+        """Largest AND level (0 for a network without AND nodes)."""
+        return len(self._level_ops)
+
+    def simulate(self, pi_patterns: np.ndarray) -> np.ndarray:
+        """Propagate ``pi_patterns`` level by level; return the value matrix.
+
+        Parameters
+        ----------
+        pi_patterns:
+            ``(num_pis, num_words)`` uint64 matrix, one row per PI in
+            creation order.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(num_slots, num_words)`` uint64 matrix; row ``i`` is the
+            signature of node id ``i`` (freed slots stay all-zero).
+        """
+        patterns = np.asarray(pi_patterns, dtype=np.uint64)
+        num_words = patterns.shape[1] if patterns.ndim == 2 else 1
+        values = np.zeros((self.num_slots, num_words), dtype=np.uint64)
+        if self.pi_ids.size:
+            values[self.pi_ids] = patterns
+        for ids, f0v, f0m, f1v, f1m in self._level_ops:
+            v0 = values[f0v]
+            v0 ^= f0m
+            v1 = values[f1v]
+            v1 ^= f1m
+            v0 &= v1
+            values[ids] = v0
+        return values
+
+    def first_encounter_order(self, aig: "Aig") -> List[int]:
+        """DFS-topological sweep order with fanin leaves interleaved.
+
+        This is the key insertion order of bottom-up cut enumeration (each
+        fanin leaf appears right before its first user, each AND node after
+        its fanins); it only depends on structure, so it is computed once per
+        snapshot.  ``aig`` must be the network this view was built from.  The
+        returned list is shared — do not mutate.
+        """
+        if not self._first_encounter_order and self.topo_order:
+            fanin0 = aig._fanin0
+            fanin1 = aig._fanin1
+            order: List[int] = []
+            seen = set()
+            for node in self.topo_order:
+                f0 = fanin0[node] >> 1
+                f1 = fanin1[node] >> 1
+                if f0 not in seen:
+                    seen.add(f0)
+                    order.append(f0)
+                if f1 not in seen:
+                    seen.add(f1)
+                    order.append(f1)
+                seen.add(node)
+                order.append(node)
+            self._first_encounter_order = order
+        return self._first_encounter_order
+
+    def value_dict(self, values: np.ndarray) -> dict:
+        """Present a value matrix as the historical node -> signature dict.
+
+        One vectorized gather plus a C-level ``dict(zip(...))`` — no per-node
+        Python indexing.  The dictionary values are rows of one shared matrix.
+        """
+        return dict(zip(self._value_ids, values[self._value_ids_array]))
+
+    def gather_outputs(self, values: np.ndarray) -> np.ndarray:
+        """Extract the ``(num_pos, num_words)`` PO signatures from ``values``."""
+        if not self.po_vars.size:
+            return np.zeros((0, values.shape[1]), dtype=np.uint64)
+        return values[self.po_vars] ^ self.po_masks[:, None]
+
+
+_VIEW_CACHE: "weakref.WeakKeyDictionary[Aig, LevelizedAig]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def levelized(aig: "Aig") -> LevelizedAig:
+    """Return the cached :class:`LevelizedAig` snapshot of ``aig``.
+
+    The snapshot is rebuilt whenever the structural version counter advances;
+    every mutation — including :meth:`Aig.add_po` — bumps it.
+    """
+    view = _VIEW_CACHE.get(aig)
+    if view is None or view.version != aig.modification_count:
+        view = LevelizedAig(aig)
+        _VIEW_CACHE[aig] = view
+    return view

@@ -4,6 +4,13 @@ Simulation assigns a vector of Boolean values to every primary input and
 propagates 64 patterns per machine word through the network with numpy
 ``uint64`` arithmetic.  It is the workhorse behind equivalence checking,
 resubstitution divisor filtering and several tests.
+
+Propagation runs on the levelized struct-of-arrays view of the network
+(:mod:`repro.aig.kernels`): all nodes of one logic level are evaluated with a
+handful of vectorized numpy operations on a single ``(num_nodes, num_words)``
+matrix, instead of one Python dict operation per node.  The historical
+per-node loop is retained as :func:`simulate_reference`; the test-suite
+asserts the two produce byte-identical signatures.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.aig.aig import Aig
+from repro.aig.kernels import levelized
 from repro.aig.literals import lit_is_compl, lit_var
 
 
@@ -27,26 +35,64 @@ def random_patterns(num_pis: int, num_patterns: int, seed: int = 0) -> np.ndarra
     return rng.integers(0, 2 ** 64, size=(num_pis, num_words), dtype=np.uint64)
 
 
+#: Word-constant of variable ``k`` (k < 6) under exhaustive enumeration:
+#: bit ``i`` of every word is ``(i >> k) & 1``.
+_LOW_VAR_WORDS = (
+    0xAAAAAAAAAAAAAAAA,
+    0xCCCCCCCCCCCCCCCC,
+    0xF0F0F0F0F0F0F0F0,
+    0xFF00FF00FF00FF00,
+    0xFFFF0000FFFF0000,
+    0xFFFFFFFF00000000,
+)
+
+
 def exhaustive_patterns(num_pis: int) -> np.ndarray:
     """Return patterns enumerating all ``2 ** num_pis`` input combinations.
 
     Pattern ``i`` (bit position ``i`` across the words) assigns to input ``k``
     the ``k``-th bit of ``i``.  Only sensible for a moderate number of inputs
     (the caller guards the limit).
+
+    Variables 0–5 toggle inside a 64-bit word, so their rows are a repeated
+    word constant; variable ``k >= 6`` is constant within each word and
+    toggles with bit ``k - 6`` of the word index — both cases are filled with
+    a single vectorized numpy expression per row.
     """
     num_patterns = 1 << num_pis
     num_words = _as_words(num_patterns)
-    patterns = np.zeros((num_pis, num_words), dtype=np.uint64)
-    indices = np.arange(num_patterns, dtype=np.uint64)
+    patterns = np.empty((num_pis, num_words), dtype=np.uint64)
+    word_index = np.arange(num_words, dtype=np.uint64)
     for k in range(num_pis):
-        bits = (indices >> np.uint64(k)) & np.uint64(1)
-        for word in range(num_words):
-            chunk = bits[word * 64 : (word + 1) * 64]
-            value = np.uint64(0)
-            for offset, bit in enumerate(chunk):
-                value |= np.uint64(int(bit)) << np.uint64(offset)
-            patterns[k, word] = value
+        if k < 6:
+            patterns[k, :] = np.uint64(_LOW_VAR_WORDS[k])
+        else:
+            on = (word_index >> np.uint64(k - 6)) & np.uint64(1)
+            patterns[k, :] = np.where(
+                on.astype(bool), np.uint64(0xFFFFFFFFFFFFFFFF), np.uint64(0)
+            )
+    if num_patterns < 64:
+        patterns &= np.uint64((1 << num_patterns) - 1)
     return patterns
+
+
+def _check_patterns(aig: Aig, pi_patterns: np.ndarray) -> None:
+    if pi_patterns.ndim != 2 or pi_patterns.shape[0] != aig.num_pis():
+        raise ValueError(
+            f"expected patterns of shape ({aig.num_pis()}, words), got {pi_patterns.shape}"
+        )
+
+
+def simulate_matrix(aig: Aig, pi_patterns: np.ndarray) -> np.ndarray:
+    """Simulate and return the full ``(num_node_slots, num_words)`` uint64 matrix.
+
+    Row ``i`` holds the signature of node id ``i``; rows of freed node slots
+    are all-zero.  This is the zero-copy form of :func:`simulate` — consumers
+    that index by node id (equivalence checking, divisor filtering) avoid the
+    dictionary entirely.
+    """
+    _check_patterns(aig, pi_patterns)
+    return levelized(aig).simulate(pi_patterns)
 
 
 def simulate(
@@ -70,12 +116,44 @@ def simulate(
     Returns
     -------
     dict
-        Mapping from node id to its uint64 signature array.
+        Mapping from node id to its uint64 signature array.  The arrays are
+        row views into one shared matrix (see :func:`simulate_matrix`).
     """
-    if pi_patterns.ndim != 2 or pi_patterns.shape[0] != aig.num_pis():
-        raise ValueError(
-            f"expected patterns of shape ({aig.num_pis()}, words), got {pi_patterns.shape}"
-        )
+    _check_patterns(aig, pi_patterns)
+    view = levelized(aig)
+    matrix = view.simulate(pi_patterns)
+    if nodes is not None:
+        return {node: matrix[node] for node in nodes}
+    return view.value_dict(matrix)
+
+
+def simulate_outputs_matrix(aig: Aig, pi_patterns: np.ndarray) -> np.ndarray:
+    """Simulate and return the ``(num_pos, num_words)`` PO signature matrix.
+
+    PO driver complements are applied; row ``i`` is the signature of the
+    ``i``-th primary output.
+    """
+    _check_patterns(aig, pi_patterns)
+    view = levelized(aig)
+    return view.gather_outputs(view.simulate(pi_patterns))
+
+
+def simulate_outputs(aig: Aig, pi_patterns: np.ndarray) -> List[np.ndarray]:
+    """Simulate and return one signature per primary output (complements applied)."""
+    return list(simulate_outputs_matrix(aig, pi_patterns))
+
+
+def simulate_reference(
+    aig: Aig,
+    pi_patterns: np.ndarray,
+    nodes: Optional[Iterable[int]] = None,
+) -> Dict[int, np.ndarray]:
+    """Reference scalar implementation of :func:`simulate` (one node at a time).
+
+    Kept for the equivalence test-suite and the hot-path benchmark: the
+    vectorized path must produce byte-identical signatures.
+    """
+    _check_patterns(aig, pi_patterns)
     num_words = pi_patterns.shape[1]
     full_mask = np.full(num_words, np.iinfo(np.uint64).max, dtype=np.uint64)
     values: Dict[int, np.ndarray] = {0: np.zeros(num_words, dtype=np.uint64)}
@@ -95,9 +173,9 @@ def simulate(
     return {node: values[node] for node in nodes}
 
 
-def simulate_outputs(aig: Aig, pi_patterns: np.ndarray) -> List[np.ndarray]:
-    """Simulate and return one signature per primary output (complements applied)."""
-    values = simulate(aig, pi_patterns)
+def simulate_outputs_reference(aig: Aig, pi_patterns: np.ndarray) -> List[np.ndarray]:
+    """Reference scalar implementation of :func:`simulate_outputs`."""
+    values = simulate_reference(aig, pi_patterns)
     num_words = pi_patterns.shape[1]
     full_mask = np.full(num_words, np.iinfo(np.uint64).max, dtype=np.uint64)
     outputs = []

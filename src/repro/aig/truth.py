@@ -22,22 +22,23 @@ def table_mask(num_vars: int) -> int:
 
 
 def table_var(index: int, num_vars: int) -> int:
-    """Return the truth table of input variable ``index`` among ``num_vars``."""
+    """Return the truth table of input variable ``index`` among ``num_vars``.
+
+    Uses the standard doubling construction: the basic block of ``2 ** index``
+    ones at positions ``[2 ** index, 2 ** (index + 1))`` is doubled until it
+    spans all ``2 ** num_vars`` bits — ``O(num_vars)`` big-int operations
+    instead of one Python-loop iteration per bit.
+    """
     if index >= num_vars:
         raise ValueError(f"variable {index} out of range for {num_vars} inputs")
     num_bits = 1 << num_vars
     block = 1 << index
-    pattern = 0
-    bit = 0
-    while bit < num_bits:
-        if (bit // block) % 2 == 1:
-            pattern |= 1 << bit
-        bit += 1
+    pattern = ((1 << block) - 1) << block
+    span = block << 1
+    while span < num_bits:
+        pattern |= pattern << span
+        span <<= 1
     return pattern
-
-
-def _var_tables_cache() -> Dict[tuple, int]:
-    return {}
 
 
 _VAR_TABLE_CACHE: Dict[tuple, int] = {}

@@ -107,8 +107,14 @@ _WORKER_STATE: Dict[str, Any] = {}
 
 
 def _init_worker(aig_bytes: bytes, params: Optional[OperationParams]) -> None:
+    from repro.aig.kernels import cached_topological_order
+
     _WORKER_STATE["aig"] = pickle.loads(aig_bytes)
     _WORKER_STATE["params"] = params
+    # Warm the per-network kernel caches once per worker: every sample copies
+    # the parent design, and the copy walks the parent's (cached) topological
+    # order instead of re-running the DFS per decision vector.
+    cached_topological_order(_WORKER_STATE["aig"])
 
 
 def _evaluate_chunk(decision_vectors: List[DecisionVector]) -> List[SampleRecord]:

@@ -15,6 +15,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.aig.aig import Aig
+from repro.aig.kernels import cached_topological_order
 from repro.aig.literals import lit_var
 
 #: Sentinel used by the paper for primary-input feature rows.
@@ -59,14 +60,15 @@ def encode_graph(aig: Aig, undirected: bool = True) -> GraphEncoding:
         list; making it symmetric is the usual choice for PyG's ``SAGEConv``
         and is kept as the default here.
     """
+    topo_order = cached_topological_order(aig)
     node_ids: List[int] = list(aig.pis())
-    node_ids.extend(aig.topological_order())
+    node_ids.extend(topo_order)
     node_index = {node: row for row, node in enumerate(node_ids)}
 
     sources: List[int] = []
     targets: List[int] = []
     inverted: List[bool] = []
-    for node in aig.topological_order():
+    for node in topo_order:
         target_row = node_index[node]
         for fanin in aig.fanins(node):
             fanin_node = lit_var(fanin)
@@ -106,8 +108,13 @@ def scatter_features(
     created after the features were computed) are filled with ``pi_value``.
     """
     matrix = np.full((encoding.num_nodes, width), pi_value, dtype=np.float64)
-    for node, row in encoding.node_index.items():
-        features = per_node.get(node)
-        if features is not None:
-            matrix[row, :] = features
+    rows: List[int] = []
+    vectors: List[np.ndarray] = []
+    for node, features in per_node.items():
+        row = encoding.node_index.get(node)
+        if row is not None:
+            rows.append(row)
+            vectors.append(features)
+    if rows:
+        matrix[np.asarray(rows, dtype=np.int64)] = np.asarray(vectors, dtype=np.float64)
     return matrix

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.aig.aig import Aig
+from repro.aig.kernels import cached_topological_order
 from repro.orchestration.decision import Operation
 from repro.synth.candidates import TransformCandidate
 from repro.synth.refactor import RefactorParams, find_refactor_candidate
@@ -127,4 +128,7 @@ def analyze_network(
 ) -> Dict[int, NodeTransformability]:
     """Run :func:`analyze_node` over every AND node (used for static features)."""
     params = params or OperationParams()
-    return {node: analyze_node(aig, node, params) for node in aig.topological_order()}
+    return {
+        node: analyze_node(aig, node, params)
+        for node in cached_topological_order(aig)
+    }

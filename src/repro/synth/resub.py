@@ -248,26 +248,24 @@ def _window_truth_tables(
     tables: Dict[int, int] = {0: 0}
     for index, leaf in enumerate(leaves):
         tables[leaf] = cached_table_var(index, num_vars)
-    pending = [n for n in window if n not in tables]
-    # Nodes become computable once both fanins have tables; iterate to a fixpoint.
-    progress = True
-    while pending and progress:
-        progress = False
-        remaining = []
-        for current in pending:
-            f0, f1 = aig.fanins(current)
-            t0 = tables.get(lit_var(f0))
-            t1 = tables.get(lit_var(f1))
-            if t0 is None or t1 is None:
-                remaining.append(current)
-                continue
-            if lit_is_compl(f0):
-                t0 ^= mask
-            if lit_is_compl(f1):
-                t1 ^= mask
-            tables[current] = t0 & t1
-            progress = True
-        pending = remaining
+    # Window membership guarantees both fanins of every window node are inside
+    # the window, and fanins sit at strictly lower logic levels — processing
+    # in (level, id) order computes every table in one sweep instead of
+    # iterating the whole window to a fixpoint.
+    pending = sorted(
+        (n for n in window if n not in tables), key=lambda n: (aig.level(n), n)
+    )
+    for current in pending:
+        f0, f1 = aig.fanins(current)
+        t0 = tables.get(lit_var(f0))
+        t1 = tables.get(lit_var(f1))
+        if t0 is None or t1 is None:
+            continue
+        if lit_is_compl(f0):
+            t0 ^= mask
+        if lit_is_compl(f1):
+            t1 ^= mask
+        tables[current] = t0 & t1
     return tables
 
 
