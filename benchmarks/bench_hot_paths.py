@@ -1,17 +1,29 @@
-"""Hot-path kernel benchmarks with a tracked JSON trajectory.
+"""Hot-path kernel benchmarks with a tracked JSON trajectory and a CI gate.
 
 Measures the inner loops everything else sits on — bit-parallel simulation,
-K-feasible cut enumeration, truth-table / pattern construction — comparing
-the retained scalar reference implementations against the levelized
-array-backed kernels (:mod:`repro.aig.kernels`), plus one end-to-end
-``Engine.sample`` run.  Byte-identity of reference and vectorized results is
-asserted as part of every measurement.
+K-feasible cut enumeration, truth-table / pattern construction, the batched
+sweep-and-commit optimization passes — comparing the retained scalar /
+sequential reference implementations against the levelized array-backed
+kernels (:mod:`repro.aig.kernels`) and the sweep engine
+(:mod:`repro.synth.sweep`), plus one end-to-end ``Engine.sample`` run.
+Byte-identity (kernels) / functional equivalence (passes) of reference and
+vectorized results is asserted as part of every measurement.
 
-Stand-alone (writes ``BENCH_hot_paths.json`` at the repository root)::
+The committed ``BENCH_hot_paths.json`` stores one *smoke* and one *full*
+report (schema ``bench_hot_paths/v2``).  CI runs ``--smoke``, which measures
+the smoke configuration and **fails on a perf regression**: any kernel whose
+relative speedup (vectorized vs. in-run reference — a same-machine ratio,
+robust across runner hardware) drops more than 25% below the committed
+smoke baseline fails the job.  ``--update-baseline`` re-measures both
+configurations and rewrites the baseline — the escape hatch after an
+intentional performance trade-off (run it locally and commit the JSON).
 
-    PYTHONPATH=src python benchmarks/bench_hot_paths.py          # full scale
-    PYTHONPATH=src python benchmarks/bench_hot_paths.py --smoke  # CI smoke
-    PYTHONPATH=src python benchmarks/bench_hot_paths.py --out results.json
+Stand-alone::
+
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py                    # = --update-baseline
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py --smoke            # CI gate
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py --smoke --out s.json
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py --update-baseline
 
 or under pytest-benchmark::
 
@@ -45,9 +57,12 @@ from repro.aig.simulate import (
     simulate_matrix,
     simulate_reference,
 )
+from repro.aig.equivalence import check_equivalence
 from repro.aig.truth import cut_truth_table
+from repro.circuits.benchmarks import load_benchmark
 from repro.engine import Engine, SerialEvaluator
 from repro.orchestration.sampling import PriorityGuidedSampler
+from repro.synth.scripts import balance_pass, refactor_pass, resub_pass, rewrite_pass
 
 #: Full-scale configuration (the committed BENCH_hot_paths.json numbers):
 #: a >=5k-node random network simulated with 1024 patterns and enumerated
@@ -64,6 +79,9 @@ FULL = {
     "exhaustive_num_pis": 14,
     "sample_design": "b11",
     "num_samples": 6,
+    #: Designs of the batched-vs-sequential pass benchmark (the acceptance
+    #: bar tracks the aggregate over the b11/c880-class networks).
+    "sweep_designs": ["b11", "c880", "b12", "c5315"],
 }
 
 #: Smoke configuration: small enough for a CI step, same code paths.
@@ -79,7 +97,19 @@ SMOKE = {
     "exhaustive_num_pis": 10,
     "sample_design": "b08",
     "num_samples": 2,
+    "sweep_designs": ["b10", "c880"],
 }
+
+#: Kernels whose ``speedup`` ratio is guarded by the CI perf gate, and the
+#: allowed relative drop versus the committed smoke baseline (25%).
+GATED_KERNELS = (
+    "simulate",
+    "cut_enumeration",
+    "truth_tables",
+    "exhaustive_patterns",
+    "pass_sweep",
+)
+GATE_TOLERANCE = 0.25
 
 
 def _best_of(function: Callable[[], object], repeats: int) -> float:
@@ -259,6 +289,71 @@ def bench_exhaustive_patterns(config: Dict, repeats: int) -> Dict:
     }
 
 
+def _run_pass_script(aig, strategy: str) -> None:
+    rewrite_pass(aig, strategy=strategy)
+    refactor_pass(aig, strategy=strategy)
+    resub_pass(aig, strategy=strategy)
+    balance_pass(aig, strategy=strategy)
+
+
+def bench_pass_sweep(config: Dict, repeats: int) -> Dict:
+    """Batched sweep-and-commit passes vs. the sequential reference.
+
+    Runs the standard ``rw; rf; rs; b`` script under both strategies on
+    every configured benchmark design (best wall time of ``repeats`` runs on
+    fresh copies, caches warmed) and asserts that both results stay
+    functionally equivalent to the original and that the batched result
+    never grows the network.  The tracked ``speedup`` is the aggregate
+    sequential-over-sweep time ratio.
+    """
+    designs = {}
+    total_reference = 0.0
+    total_sweep = 0.0
+    identical = True
+    for name in config["sweep_designs"]:
+        original = load_benchmark(name)
+        # Warm the fragment/NPN libraries and kernel caches for both sides.
+        for strategy in ("sequential", "sweep"):
+            warm = original.copy()
+            _run_pass_script(warm, strategy)
+        times = {}
+        sizes = {}
+        for strategy in ("sequential", "sweep"):
+            best = float("inf")
+            result = None
+            for _ in range(repeats):
+                aig = original.copy()
+                best_candidate = _best_of(lambda a=aig, s=strategy: _run_pass_script(a, s), 1)
+                if best_candidate < best:
+                    best = best_candidate
+                result = aig
+            times[strategy] = best
+            sizes[strategy] = result.size
+            if not (
+                check_equivalence(original, result)
+                and result.size <= original.size
+            ):
+                identical = False
+        total_reference += times["sequential"]
+        total_sweep += times["sweep"]
+        designs[name] = {
+            "size_before": original.size,
+            "size_sequential": sizes["sequential"],
+            "size_sweep": sizes["sweep"],
+            "sequential_s": times["sequential"],
+            "sweep_s": times["sweep"],
+            "speedup": times["sequential"] / times["sweep"] if times["sweep"] else float("inf"),
+        }
+    return {
+        "script": "rw; rf; rs; b",
+        "designs": designs,
+        "reference_s": total_reference,
+        "vectorized_s": total_sweep,
+        "speedup": total_reference / total_sweep if total_sweep else float("inf"),
+        "identical": identical,
+    }
+
+
 def bench_engine_sample(config: Dict) -> Dict:
     engine = Engine.load(config["sample_design"])
     vectors = PriorityGuidedSampler(engine.aig, seed=0).generate(config["num_samples"])
@@ -280,6 +375,7 @@ def run_suite(config: Dict, repeats: int = 3) -> Dict:
         "cut_enumeration": bench_cut_enumeration(aig, config, repeats),
         "truth_tables": bench_truth_tables(aig, config, repeats),
         "exhaustive_patterns": bench_exhaustive_patterns(config, repeats),
+        "pass_sweep": bench_pass_sweep(config, repeats),
         "engine_sample": bench_engine_sample(config),
     }
     return {
@@ -288,6 +384,46 @@ def run_suite(config: Dict, repeats: int = 3) -> Dict:
         "config": dict(config),
         "results": results,
     }
+
+
+# --------------------------------------------------------------------------- #
+# Baseline comparison (the CI perf-regression gate)
+# --------------------------------------------------------------------------- #
+def baseline_path() -> str:
+    return os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_hot_paths.json",
+    )
+
+
+def load_baseline(path: str) -> Dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare_to_baseline(report: Dict, baseline_section: Dict) -> list:
+    """Return the regressions of ``report`` versus a committed baseline section.
+
+    A *regression* is a gated kernel whose relative speedup dropped more
+    than :data:`GATE_TOLERANCE` below the baseline's value.  The speedup of
+    a kernel is the ratio of its in-run reference time over its optimized
+    time — measured on the same machine within one process — so the gate is
+    robust against absolute runner-speed differences.
+    """
+    regressions = []
+    baseline_results = baseline_section.get("results", {})
+    for kernel in GATED_KERNELS:
+        current = report["results"].get(kernel, {}).get("speedup")
+        reference = baseline_results.get(kernel, {}).get("speedup")
+        if current is None or reference is None:
+            continue
+        floor = reference * (1.0 - GATE_TOLERANCE)
+        if current < floor:
+            regressions.append(
+                f"{kernel}: speedup {current:.2f}x fell below "
+                f"{floor:.2f}x (baseline {reference:.2f}x - {GATE_TOLERANCE:.0%})"
+            )
+    return regressions
 
 
 # --------------------------------------------------------------------------- #
@@ -313,22 +449,16 @@ def test_bench_engine_sample_smoke(benchmark):
     assert result["num_samples"] == SMOKE["num_samples"]
 
 
+def test_bench_pass_sweep_smoke(benchmark):
+    result = run_once(benchmark, bench_pass_sweep, SMOKE, 1)
+    assert result["identical"], "sweep result must stay equivalent and size-monotone"
+    assert set(result["designs"]) == set(SMOKE["sweep_designs"])
+
+
 # --------------------------------------------------------------------------- #
 # Stand-alone driver
 # --------------------------------------------------------------------------- #
-def main(argv) -> int:
-    smoke = "--smoke" in argv
-    out_path = None
-    if "--out" in argv:
-        out_path = argv[argv.index("--out") + 1]
-    elif not smoke:
-        out_path = os.path.join(
-            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-            "BENCH_hot_paths.json",
-        )
-    config = SMOKE if smoke else FULL
-    report = run_suite(config, repeats=2 if smoke else 3)
-
+def _print_report(report: Dict) -> list:
     print(f"{'kernel':<24}{'reference':>12}{'vectorized':>12}{'speedup':>10}{'identical':>11}")
     failures = []
     for name, result in report["results"].items():
@@ -343,14 +473,70 @@ def main(argv) -> int:
         )
         if not result["identical"]:
             failures.append(name)
+    return failures
 
-    if out_path:
-        with open(out_path, "w") as handle:
-            json.dump(report, handle, indent=2, sort_keys=True)
+
+def main(argv) -> int:
+    smoke = "--smoke" in argv
+    update_baseline = "--update-baseline" in argv or not smoke
+    out_path = None
+    if "--out" in argv:
+        out_path = argv[argv.index("--out") + 1]
+
+    failures = []
+    if smoke:
+        report = run_suite(SMOKE, repeats=2)
+        failures = _print_report(report)
+        if out_path:
+            with open(out_path, "w") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"\nwrote {out_path}")
+        # The perf-regression gate: compare against the committed baseline.
+        path = baseline_path()
+        if os.path.exists(path):
+            baseline = load_baseline(path)
+            section = baseline.get("smoke") if baseline.get("schema", "").endswith("v2") else None
+            if section is None:
+                print("\nbaseline has no smoke section (pre-v2); gate skipped")
+            else:
+                regressions = compare_to_baseline(report, section)
+                if regressions:
+                    print("\nPERF REGRESSIONS (>25% below committed baseline):", file=sys.stderr)
+                    for line in regressions:
+                        print(f"  {line}", file=sys.stderr)
+                    print(
+                        "If the slowdown is intentional, refresh the baseline with\n"
+                        "  PYTHONPATH=src python benchmarks/bench_hot_paths.py --update-baseline\n"
+                        "and commit BENCH_hot_paths.json.",
+                        file=sys.stderr,
+                    )
+                    failures.append("perf-gate")
+                else:
+                    print("\nperf gate: OK (all gated kernels within 25% of baseline)")
+        else:
+            print(f"\nno baseline at {path}; gate skipped")
+    elif update_baseline:
+        print("== smoke configuration ==")
+        smoke_report = run_suite(SMOKE, repeats=2)
+        failures += _print_report(smoke_report)
+        print("\n== full configuration ==")
+        full_report = run_suite(FULL, repeats=3)
+        failures += _print_report(full_report)
+        payload = {
+            "schema": "bench_hot_paths/v2",
+            "python": platform.python_version(),
+            "smoke": smoke_report,
+            "full": full_report,
+        }
+        path = out_path or baseline_path()
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"\nwrote {out_path}")
+        print(f"\nwrote {path}")
+
     if failures:
-        print(f"IDENTITY FAILURES: {failures}", file=sys.stderr)
+        print(f"FAILURES: {failures}", file=sys.stderr)
         return 1
     return 0
 

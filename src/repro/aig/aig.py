@@ -85,6 +85,36 @@ class Aig:
         self.modification_count = 0
         # Populated only while a replacement cascade is running (see replace()).
         self._forwarding: Dict[int, int] = {}
+        # Optional mutation journal (see journal_begin/journal_end): while
+        # active, the id of every *pre-existing* node whose fanins, fanout
+        # set, PO references or liveness change is recorded.  The batched
+        # sweep-and-commit engine uses it for exact conflict detection
+        # between transformations committed against one frozen snapshot.
+        self._mutation_journal: Optional[set] = None
+
+    # ------------------------------------------------------------------ #
+    # Mutation journal
+    # ------------------------------------------------------------------ #
+    def journal_begin(self) -> set:
+        """Start recording the ids of nodes touched by subsequent mutations.
+
+        Returns the (live) journal set.  Newly created node ids are *not*
+        recorded — only pre-existing nodes whose structure, reference counts
+        or liveness change.  Journaling must be closed with
+        :meth:`journal_end`; nesting is not supported.
+        """
+        if self._mutation_journal is not None:
+            raise AigError("mutation journal already active")
+        self._mutation_journal = set()
+        return self._mutation_journal
+
+    def journal_end(self) -> set:
+        """Stop journaling and return the set of touched node ids."""
+        journal = self._mutation_journal
+        if journal is None:
+            raise AigError("no mutation journal active")
+        self._mutation_journal = None
+        return journal
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -104,6 +134,8 @@ class Aig:
         self._pos.append(driver)
         self._po_names.append(name)
         self._po_refs[lit_var(driver)] += 1
+        if self._mutation_journal is not None:
+            self._mutation_journal.add(lit_var(driver))
         return len(self._pos) - 1
 
     def add_and(self, lit0: int, lit1: int) -> int:
@@ -126,6 +158,12 @@ class Aig:
         self._strash[key] = node
         self._fanouts[lit_var(key[0])].add(node)
         self._fanouts[lit_var(key[1])].add(node)
+        journal = self._mutation_journal
+        if journal is not None:
+            # The fanins gained a reference: their fanout sets (and hence
+            # their MFFC membership as seen by other candidates) changed.
+            journal.add(lit_var(key[0]))
+            journal.add(lit_var(key[1]))
         self._invalidate_levels()
         return lit(node)
 
@@ -309,6 +347,10 @@ class Aig:
         self._po_refs[lit_var(old)] -= 1
         self._pos[index] = driver
         self._po_refs[lit_var(driver)] += 1
+        journal = self._mutation_journal
+        if journal is not None:
+            journal.add(lit_var(old))
+            journal.add(lit_var(driver))
 
     def nodes(self) -> Iterator[int]:
         """Iterate over live AND node ids in increasing-id order."""
@@ -480,6 +522,8 @@ class Aig:
         if self.is_free(old) or lit_var(new) == old:
             return
         self._forwarding[old] = new
+        if self._mutation_journal is not None:
+            self._mutation_journal.add(old)
         self._rewire_pos(old, new)
         for fanout in sorted(self._fanouts[old]):
             if self.is_free(fanout) or fanout not in self._fanouts[old]:
@@ -510,6 +554,15 @@ class Aig:
             raise AigError(
                 f"replacement cascade would make node {fanout} reference itself"
             )
+        journal = self._mutation_journal
+        if journal is not None:
+            # The gate changes fanins; old and new fanin sources change their
+            # fanout sets.
+            journal.add(fanout)
+            journal.add(lit_var(f0))
+            journal.add(lit_var(f1))
+            journal.add(lit_var(nf0))
+            journal.add(lit_var(nf1))
         # Detach from current fanins and the structural hash table.
         self._strash.pop(lit_pair_key(f0, f1), None)
         self._fanouts[lit_var(f0)].discard(fanout)
@@ -542,6 +595,7 @@ class Aig:
     def _delete_cone(self, node: int) -> None:
         """Free ``node`` and recursively free fanins that lose their last reference."""
         self.modification_count += 1
+        journal = self._mutation_journal
         stack = [node]
         while stack:
             current = stack.pop()
@@ -549,6 +603,10 @@ class Aig:
                 continue
             f0, f1 = self._fanin0[current], self._fanin1[current]
             self._strash.pop(lit_pair_key(f0, f1), None)
+            if journal is not None:
+                journal.add(current)
+                journal.add(lit_var(f0))
+                journal.add(lit_var(f1))
             for fanin_lit in (f0, f1):
                 fanin = lit_var(fanin_lit)
                 self._fanouts[fanin].discard(current)

@@ -114,6 +114,10 @@ class LevelizedAig:
         "_value_ids",
         "_value_ids_array",
         "_first_encounter_order",
+        "_fanin0_list",
+        "_fanin1_list",
+        "_is_and_list",
+        "_ref_counts",
     )
 
     def __init__(self, aig: "Aig") -> None:
@@ -178,6 +182,13 @@ class LevelizedAig:
         # Lazily built by first_encounter_order(): the DFS sweep order with
         # fanin leaves interleaved at first encounter (cut-result key order).
         self._first_encounter_order: List[int] = []
+        # Lazily built by ensure_node_arrays(): plain-list fanin/fanout and
+        # reference-count snapshots for the scalar inner loops of the
+        # sweep-and-commit scorers (MFFC, cone and dirty-cone walks).
+        self._fanin0_list: List[int] = []
+        self._fanin1_list: List[int] = []
+        self._is_and_list: List[bool] = []
+        self._ref_counts: List[int] = []
         pos = aig.pos()
         self.po_vars = np.array([lit_var(d) for d in pos], dtype=np.int64)
         self.po_masks = np.array(
@@ -250,6 +261,123 @@ class LevelizedAig:
             self._first_encounter_order = order
         return self._first_encounter_order
 
+    # ------------------------------------------------------------------ #
+    # Incremental sweep hooks: fanout / MFFC arrays and dirty-cone checks
+    # ------------------------------------------------------------------ #
+    def ensure_node_arrays(self, aig: "Aig") -> None:
+        """Populate the plain-list structure snapshots (idempotent).
+
+        ``aig`` must be the network this view was built from, still at the
+        snapshot version.  The lists mirror the per-node storage of the
+        network — fanin literals, AND-liveness and total reference counts
+        (fanouts + PO uses) — and give the scalar walks of the sweep scorers
+        (MFFC, cut cone, dirty-cone checks) plain list indexing instead of
+        method calls on the mutable network.
+        """
+        if self._ref_counts:
+            return
+        if aig.modification_count != self.version:
+            raise RuntimeError(
+                "LevelizedAig.ensure_node_arrays: network has been modified "
+                "since this snapshot was built"
+            )
+        from repro.aig.aig import NodeType
+
+        self._fanin0_list = list(aig._fanin0)
+        self._fanin1_list = list(aig._fanin1)
+        and_type = NodeType.AND
+        self._is_and_list = [t == and_type for t in aig._type]
+        po_refs = aig._po_refs
+        self._ref_counts = [
+            len(fanouts) + po_refs[node]
+            for node, fanouts in enumerate(aig._fanouts)
+        ]
+
+    def mffc_nodes(self, root: int, leaves=()) -> set:
+        """Array-backed maximum fanout-free cone of ``root`` bounded by ``leaves``.
+
+        Mirrors :func:`repro.synth.mffc.mffc_nodes` exactly (the root is
+        always included; recursion stops at PIs, constants and ``leaves``)
+        but walks the snapshot lists, so it can be called once per candidate
+        cut during batched scoring without touching the mutable network.
+        :meth:`ensure_node_arrays` must have been called.
+        """
+        is_and = self._is_and_list
+        if not is_and[root]:
+            return set()
+        fanin0 = self._fanin0_list
+        fanin1 = self._fanin1_list
+        refs = self._ref_counts
+        leaf_set = set(leaves)
+        freed = set()
+        remaining: dict = {}
+        stack = [root]
+        while stack:
+            current = stack.pop()
+            freed.add(current)
+            for fanin in (fanin0[current] >> 1, fanin1[current] >> 1):
+                if not is_and[fanin] or fanin in leaf_set or fanin in freed:
+                    continue
+                count = remaining.get(fanin)
+                if count is None:
+                    count = refs[fanin]
+                remaining[fanin] = count - 1
+                if count == 1:
+                    stack.append(fanin)
+        return freed
+
+    def cone_set(self, root: int, leaves) -> set:
+        """AND nodes in the cone of ``root`` bounded by ``leaves`` (root included)."""
+        is_and = self._is_and_list
+        fanin0 = self._fanin0_list
+        fanin1 = self._fanin1_list
+        leaf_set = set(leaves)
+        cone: set = set()
+        if not is_and[root] or root in leaf_set:
+            return cone
+        stack = [root]
+        while stack:
+            current = stack.pop()
+            if current in cone:
+                continue
+            cone.add(current)
+            for fanin in (fanin0[current] >> 1, fanin1[current] >> 1):
+                if is_and[fanin] and fanin not in leaf_set and fanin not in cone:
+                    stack.append(fanin)
+        return cone
+
+    def dirty_cone(self, root: int, leaves, dirty: set) -> bool:
+        """Cheap cone check: does the cone of ``root`` touch ``dirty``?
+
+        Walks the snapshot fanin lists from ``root`` down to ``leaves``
+        (leaves themselves included in the check) with early exit on the
+        first dirty node.  This is the cone-walk alternative to the sweep
+        engine's exact journal-footprint conflict detection
+        (:func:`repro.synth.sweep.commit_candidates`) for callers that do
+        not carry per-candidate footprints.
+        """
+        if root in dirty:
+            return True
+        for leaf in leaves:
+            if leaf in dirty:
+                return True
+        is_and = self._is_and_list
+        fanin0 = self._fanin0_list
+        fanin1 = self._fanin1_list
+        leaf_set = set(leaves)
+        seen = {root}
+        stack = [root]
+        while stack:
+            current = stack.pop()
+            for fanin in (fanin0[current] >> 1, fanin1[current] >> 1):
+                if fanin in leaf_set or fanin in seen or not is_and[fanin]:
+                    continue
+                if fanin in dirty:
+                    return True
+                seen.add(fanin)
+                stack.append(fanin)
+        return False
+
     def value_dict(self, values: np.ndarray) -> dict:
         """Present a value matrix as the historical node -> signature dict.
 
@@ -263,6 +391,41 @@ class LevelizedAig:
         if not self.po_vars.size:
             return np.zeros((0, values.shape[1]), dtype=np.uint64)
         return values[self.po_vars] ^ self.po_masks[:, None]
+
+
+def expand_region(aig: "Aig", seeds, radius: int, fanout_only: bool = False) -> set:
+    """Live nodes within ``radius`` steps of any node in ``seeds``.
+
+    Works on the *current* (possibly just-mutated) network, skipping freed
+    seed ids.  The sweep engine uses this after committing a batch of
+    transformations: only nodes inside the returned region need to be
+    re-scored against the fresh snapshot, everything else keeps its carried
+    candidate (or its established non-candidacy).  With ``fanout_only`` the
+    expansion follows fanout edges exclusively — the right direction for
+    candidate invalidation, since a node's candidate depends on its
+    transitive *fanin* cone, i.e. a structural change can only affect the
+    candidates of nodes in its fanout cone.
+    """
+    region = {node for node in seeds if aig.has_node(node)}
+    frontier = list(region)
+    fanin0 = aig._fanin0
+    fanin1 = aig._fanin1
+    fanouts = aig._fanouts
+    for _ in range(max(0, radius)):
+        if not frontier:
+            break
+        next_frontier = []
+        for node in frontier:
+            neighbors = list(fanouts[node])
+            if not fanout_only and aig.is_and(node):
+                neighbors.append(fanin0[node] >> 1)
+                neighbors.append(fanin1[node] >> 1)
+            for neighbor in neighbors:
+                if neighbor not in region and aig.has_node(neighbor):
+                    region.add(neighbor)
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return region
 
 
 _VIEW_CACHE: "weakref.WeakKeyDictionary[Aig, LevelizedAig]" = (

@@ -18,6 +18,11 @@ Each pass is a thin, typed wrapper over the corresponding driver in
 :mod:`repro.synth.scripts` / :mod:`repro.orchestration`, so the stand-alone
 functions remain the single implementation and the registry only adds naming,
 parameter parsing and composition.
+
+Every optimization pass accepts ``-S sweep`` (the default: batched
+sweep-and-commit scoring against one frozen kernel snapshot, see
+:mod:`repro.synth.sweep`) or ``-S sequential`` (the historical node-at-a-time
+reference traversal).
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from repro.synth.refactor import RefactorParams
 from repro.synth.resub import ResubParams
 from repro.synth.rewrite import RewriteParams
 from repro.synth.scripts import (
+    DEFAULT_STRATEGY,
     PassStats,
     balance_pass,
     compress_script,
@@ -42,16 +48,24 @@ from repro.synth.scripts import (
 )
 
 
+_STRATEGY_OPTION = PassOption(
+    "-S", "strategy", str, 'scoring strategy: "sweep" (batched, default) or "sequential"'
+)
+
+
 @register_pass("rw", "rewrite", summary="DAG-aware cut rewriting")
 class RewritePass(Pass):
     options = (
         PassOption("-K", "cut_size", int, "cut size (default 4)"),
         PassOption("-C", "cuts_per_node", int, "cuts kept per node (default 8)"),
         PassOption("-z", "use_zero_cost", bool, "accept zero-gain replacements"),
+        _STRATEGY_OPTION,
     )
 
     def run(self, aig: Aig) -> PassStats:
-        return rewrite_pass(aig, RewriteParams(**self.params))
+        params = dict(self.params)
+        strategy = params.pop("strategy", DEFAULT_STRATEGY)
+        return rewrite_pass(aig, RewriteParams(**params), strategy=strategy)
 
 
 @register_pass("rs", "resub", summary="reconvergence-driven resubstitution")
@@ -60,10 +74,13 @@ class ResubPass(Pass):
         PassOption("-K", "max_leaves", int, "cut leaf limit (default 8)"),
         PassOption("-N", "max_resub_nodes", int, "added-node budget 0..2 (default 1)"),
         PassOption("-W", "max_window", int, "window node limit (default 120)"),
+        _STRATEGY_OPTION,
     )
 
     def run(self, aig: Aig) -> PassStats:
-        return resub_pass(aig, ResubParams(**self.params))
+        params = dict(self.params)
+        strategy = params.pop("strategy", DEFAULT_STRATEGY)
+        return resub_pass(aig, ResubParams(**params), strategy=strategy)
 
 
 @register_pass("rf", "refactor", summary="MFFC refactoring via algebraic factoring")
@@ -71,18 +88,21 @@ class RefactorPass(Pass):
     options = (
         PassOption("-K", "max_leaves", int, "cone leaf limit (default 10)"),
         PassOption("-z", "use_zero_cost", bool, "accept zero-gain refactorings"),
+        _STRATEGY_OPTION,
     )
 
     def run(self, aig: Aig) -> PassStats:
-        return refactor_pass(aig, RefactorParams(**self.params))
+        params = dict(self.params)
+        strategy = params.pop("strategy", DEFAULT_STRATEGY)
+        return refactor_pass(aig, RefactorParams(**params), strategy=strategy)
 
 
 @register_pass("b", "balance", summary="AND-tree depth balancing")
 class BalancePass(Pass):
-    options = ()
+    options = (_STRATEGY_OPTION,)
 
     def run(self, aig: Aig) -> PassStats:
-        return balance_pass(aig)
+        return balance_pass(aig, strategy=self.params.get("strategy", DEFAULT_STRATEGY))
 
 
 @register_pass("orch", "orchestrate", summary="Algorithm 1 under a sampled decision vector")
@@ -100,6 +120,7 @@ class OrchestratePass(Pass):
         PassOption("-g", "guided", bool, "use the priority-guided sampler"),
         PassOption("-n", "num_samples", int, "sample n vectors, apply the best (default 1)"),
         PassOption("-j", "jobs", int, "worker processes for batch evaluation (default 1)"),
+        _STRATEGY_OPTION,
     )
 
     def run(self, aig: Aig) -> PassStats:
@@ -120,7 +141,9 @@ class OrchestratePass(Pass):
         else:
             records = get_evaluator(jobs).evaluate(aig, vectors)
             best = min(records, key=lambda record: record.size_after).decisions
-        result = orchestrate(aig, best)
+        result = orchestrate(
+            aig, best, strategy=self.params.get("strategy", DEFAULT_STRATEGY)
+        )
         return PassStats(
             name="orch",
             size_before=size_before,
@@ -136,13 +159,18 @@ class OrchestratePass(Pass):
 class CompressPass(Pass):
     options = (
         PassOption("-R", "rounds", int, "number of rw/rs/rf rounds (default 1)"),
+        _STRATEGY_OPTION,
     )
 
     def run(self, aig: Aig) -> PassStats:
         size_before = aig.size
         depth_before = aig.depth()
         start = time.perf_counter()
-        round_stats = compress_script(aig, rounds=self.params.get("rounds", 1))
+        round_stats = compress_script(
+            aig,
+            rounds=self.params.get("rounds", 1),
+            strategy=self.params.get("strategy", DEFAULT_STRATEGY),
+        )
         return PassStats(
             name="compress",
             size_before=size_before,

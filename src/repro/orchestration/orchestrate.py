@@ -70,6 +70,7 @@ def orchestrate(
     decisions: DecisionVector,
     params: Optional[OperationParams] = None,
     in_place: bool = True,
+    strategy: str = "sweep",
 ) -> OrchestrationResult:
     """Run Algorithm 1 on ``aig`` under the decision vector ``decisions``.
 
@@ -83,6 +84,13 @@ def orchestrate(
         Per-node operation assignment; nodes without an assignment are skipped.
     params:
         Optional tuning parameters for the underlying operations.
+    strategy:
+        ``"sweep"`` (default) scores every assigned node against one frozen
+        kernel snapshot and commits a maximal footprint-disjoint set of
+        winners per sweep (:mod:`repro.synth.sweep`); ``"sequential"`` is
+        the literal single-traversal rendering of the paper's pseudo-code,
+        kept as the behavioural reference.  Both are deterministic and
+        function-preserving.
 
     Returns
     -------
@@ -91,6 +99,11 @@ def orchestrate(
         ``in_place=False`` the optimized copy is available as
         ``result.optimized``.
     """
+    if strategy not in ("sweep", "sequential"):
+        raise ValueError(
+            f"unknown orchestration strategy {strategy!r}; "
+            "expected 'sweep' or 'sequential'"
+        )
     params = params or OperationParams()
     reverse_map: Optional[Dict[int, int]] = None
     if in_place:
@@ -114,27 +127,48 @@ def orchestrate(
     applied_nodes: Dict[int, Operation] = {}
     skipped = 0
 
-    # Topological order snapshot: nodes swallowed by earlier updates are
-    # detected through the liveness check (line 7 of Algorithm 1 "excludes"
-    # them from V).
-    for node in target.topological_order():
-        if not target.has_node(node) or not target.is_and(node):
-            continue
-        operation = decisions.get(node)
-        if operation is None:
-            skipped += 1
-            continue
-        candidate = find_candidate(target, node, operation, params)
-        if candidate is None:
-            # Line 5: the node is not transformable w.r.t. D[v]; skip it.
-            skipped += 1
-            continue
-        # Lines 3 and 7: apply the operation and update the network.
-        candidate.apply(target)
-        applied[operation] += 1
-        original_node = node if reverse_map is None else reverse_map.get(node)
-        if original_node is not None:
-            applied_nodes[original_node] = operation
+    if strategy == "sweep":
+        # Batched rendering: score the assigned operation of every node
+        # against one frozen snapshot, commit footprint-disjoint winners,
+        # repeat until no candidate commits.
+        from repro.synth.sweep import sweep_decisions
+
+        report = sweep_decisions(target, decisions, params)
+        for candidate in report.committed:
+            operation = decisions.get(candidate.node)
+            if operation is None:  # pragma: no cover - defensive
+                continue
+            applied[operation] += 1
+            original_node = (
+                candidate.node
+                if reverse_map is None
+                else reverse_map.get(candidate.node)
+            )
+            if original_node is not None:
+                applied_nodes[original_node] = operation
+        skipped = size_before - report.applied
+    else:
+        # Topological order snapshot: nodes swallowed by earlier updates are
+        # detected through the liveness check (line 7 of Algorithm 1
+        # "excludes" them from V).
+        for node in target.topological_order():
+            if not target.has_node(node) or not target.is_and(node):
+                continue
+            operation = decisions.get(node)
+            if operation is None:
+                skipped += 1
+                continue
+            candidate = find_candidate(target, node, operation, params)
+            if candidate is None:
+                # Line 5: the node is not transformable w.r.t. D[v]; skip it.
+                skipped += 1
+                continue
+            # Lines 3 and 7: apply the operation and update the network.
+            candidate.apply(target)
+            applied[operation] += 1
+            original_node = node if reverse_map is None else reverse_map.get(node)
+            if original_node is not None:
+                applied_nodes[original_node] = operation
     target.cleanup()
     runtime = time.perf_counter() - start
 
@@ -158,9 +192,10 @@ def evaluate_decisions(
     aig: Aig,
     decision_vectors: List[DecisionVector],
     params: Optional[OperationParams] = None,
+    strategy: str = "sweep",
 ) -> List[OrchestrationResult]:
     """Evaluate many decision vectors against (copies of) the same design."""
     return [
-        orchestrate(aig, decisions, params=params, in_place=False)
+        orchestrate(aig, decisions, params=params, in_place=False, strategy=strategy)
         for decisions in decision_vectors
     ]

@@ -11,6 +11,7 @@ from repro.synth.refactor import RefactorParams, find_refactor_candidate
 from repro.synth.resub import ResubParams, find_resub_candidate
 from repro.synth.rewrite import RewriteParams, find_rewrite_candidate
 from repro.synth.scripts import (
+    DEFAULT_STRATEGY,
     PassStats,
     balance_pass,
     compress_script,
@@ -18,12 +19,23 @@ from repro.synth.scripts import (
     resub_pass,
     rewrite_pass,
 )
+from repro.synth.sweep import (
+    SweepParams,
+    SweepReport,
+    sweep_decisions,
+    sweep_refactors,
+    sweep_resubs,
+    sweep_rewrites,
+)
 
 __all__ = [
+    "DEFAULT_STRATEGY",
     "PassStats",
     "RefactorParams",
     "ResubParams",
     "RewriteParams",
+    "SweepParams",
+    "SweepReport",
     "balance_pass",
     "compress_script",
     "find_refactor_candidate",
@@ -32,4 +44,8 @@ __all__ = [
     "refactor_pass",
     "resub_pass",
     "rewrite_pass",
+    "sweep_decisions",
+    "sweep_refactors",
+    "sweep_resubs",
+    "sweep_rewrites",
 ]

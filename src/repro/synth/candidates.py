@@ -10,7 +10,7 @@ the transformation to the network.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, FrozenSet, Optional, Sequence
 
 from repro.aig.aig import Aig
 
@@ -32,8 +32,27 @@ class TransformCandidate:
         cases; the orchestrated optimizer re-measures real sizes anyway.
     leaves:
         The cut leaves the transformation is expressed over (informational).
+    refs:
+        Node ids the replacement structure references directly (cut leaves
+        for rewriting/refactoring, divisors for resubstitution).
+    deref:
+        The MFFC node ids the candidate's gain assumes will be freed.
+    reused:
+        Existing AND nodes the replacement reuses through structural hashing
+        (the dry-run estimate counts them as zero-cost).
     _apply:
         Callback performing the graph update.
+
+    ``refs``/``deref``/``reused`` together describe what the candidate's
+    validity depends on.  Because every committed transformation preserves
+    the global function of every surviving node, a referenced node only
+    needs to stay *alive* for the replacement to remain correct; the
+    *footprint* — root, MFFC and structurally reused nodes — must
+    additionally stay untouched for the gain estimate (and hence size
+    monotonicity) to carry over from the frozen scoring snapshot to the
+    mutated network.  The batched sweep-and-commit engine applies a
+    candidate only when no earlier commit of the same sweep touched its
+    footprint and all its references are still alive.
     """
 
     node: int
@@ -41,6 +60,37 @@ class TransformCandidate:
     gain: int
     leaves: Sequence[int] = field(default_factory=tuple)
     _apply: Optional[Callable[[Aig], None]] = None
+    refs: Sequence[int] = field(default_factory=tuple)
+    deref: FrozenSet[int] = frozenset()
+    reused: FrozenSet[int] = frozenset()
+    #: The gain threshold the candidate was scored against (the operation's
+    #: effective minimum gain); re-validation applies the same bar.
+    min_gain: int = 1
+    _regain: Optional[Callable[[Aig], Optional[int]]] = None
+
+    def footprint(self) -> FrozenSet[int]:
+        """Nodes that must be untouched for the gain estimate to stay exact."""
+        return frozenset((self.node,)) | self.deref | self.reused
+
+    def revalidate(self, aig: Aig) -> Optional[int]:
+        """Re-estimate the gain against the *current* state of ``aig``.
+
+        Returns the fresh gain, or ``None`` when the candidate can no longer
+        be applied (root or a referenced node died, or the replacement would
+        now be the node itself).  Because committed transformations preserve
+        the global function of every surviving node, a candidate whose
+        references are alive is still *functionally* valid — only its gain
+        estimate can drift — so re-running the cheap MFFC/dry-run arithmetic
+        (without re-deriving cuts, truth tables or factored forms) restores
+        an exact estimate after other commits touched the neighbourhood.
+        """
+        if not aig.has_node(self.node) or not aig.is_and(self.node):
+            return None
+        if not all(aig.has_node(ref) for ref in self.refs):
+            return None
+        if self._regain is None:
+            return None
+        return self._regain(aig)
 
     def apply(self, aig: Aig) -> None:
         """Apply the transformation to ``aig`` (the network it was found on)."""

@@ -105,38 +105,63 @@ class Fragment:
         aig: Aig,
         leaf_literals: Sequence[int],
         deref_set: Optional[Set[int]] = None,
+        new_node_budget: Optional[int] = None,
     ) -> DryRunResult:
         """Estimate the cost of instantiating the fragment without modifying ``aig``.
 
         ``new_nodes`` counts fragment nodes that would require creating a new
         AND gate (a gate already present through structural hashing is free).
-        ``reused_nodes`` reports which existing nodes the fragment would reuse
-        — reused nodes inside the caller's MFFC will *not* be freed by the
-        replacement, which the caller subtracts from its saving estimate.
+        ``reused_nodes`` reports *every* existing AND node the fragment would
+        reuse — reused nodes inside the caller's MFFC will not be freed by
+        the replacement (the caller subtracts :meth:`DryRunResult.reused_in`
+        of its MFFC from the saving estimate), and reused nodes anywhere are
+        part of the candidate's footprint: the estimate is only valid while
+        they stay alive.  ``deref_set`` is accepted for call-site symmetry
+        with the gain computation but no longer filters the recorded set.
+
+        ``new_node_budget`` optionally aborts the walk early: once more than
+        that many new gates would be required, the caller's gain bound can
+        no longer be met, so the estimate returns immediately (with
+        ``output_literal=None``).  The batched sweep scorer uses this to
+        skip the bulk of the structural-hash probing on hopeless cuts.
         """
         if len(leaf_literals) != self.num_leaves:
             raise ValueError(
                 f"fragment expects {self.num_leaves} leaves, got {len(leaf_literals)}"
             )
+        del deref_set  # recorded set is intentionally unfiltered
         mapping: List[Optional[int]] = [0] + list(leaf_literals)
         new_nodes = 0
         reused: Set[int] = set()
+        # Tight inline rendering of Aig.find_and: the mapped literals are
+        # built from live leaves and prior strash hits, so the per-literal
+        # validity checks of the public API are redundant in this loop (the
+        # hottest of the batched scoring phase).
+        strash = aig._strash
+        is_and = aig.is_and
         for lit0, lit1 in self.nodes:
-            mapped0 = self._map_literal(mapping, lit0)
-            mapped1 = self._map_literal(mapping, lit1)
-            if mapped0 is None or mapped1 is None:
-                new_nodes += 1
-                mapping.append(None)
-                continue
-            found = aig.find_and(mapped0, mapped1)
+            mapped0 = mapping[lit0 >> 1]
+            mapped1 = mapping[lit1 >> 1]
+            found = None
+            if mapped0 is not None and mapped1 is not None:
+                mapped0 ^= lit0 & 1
+                mapped1 ^= lit1 & 1
+                found = _trivial(mapped0, mapped1)
+                if found is None:
+                    hit = strash.get(
+                        (mapped0, mapped1) if mapped0 <= mapped1 else (mapped1, mapped0)
+                    )
+                    if hit is not None:
+                        found = hit << 1
             if found is None:
                 new_nodes += 1
+                if new_node_budget is not None and new_nodes > new_node_budget:
+                    return DryRunResult(new_nodes, reused, None)
                 mapping.append(None)
                 continue
-            node = lit_var(found)
-            if aig.is_and(node):
-                if deref_set is None or node in deref_set:
-                    reused.add(node)
+            node = found >> 1
+            if is_and(node):
+                reused.add(node)
             mapping.append(found)
         output_literal = self._map_literal(mapping, self.output)
         return DryRunResult(new_nodes, reused, output_literal)

@@ -12,7 +12,7 @@ depth in practice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.aig.aig import Aig, AigCycleError
 from repro.aig.literals import lit, lit_not
@@ -23,6 +23,18 @@ from repro.synth.factor import factor_cover
 from repro.synth.fragment import Fragment
 from repro.synth.isop import isop_cover
 from repro.synth.mffc import mffc_nodes
+
+
+def refactor_fragment(table: int, num_vars: int) -> Fragment:
+    """Factor ``table`` in both polarities and return the cheaper fragment."""
+    positive = Fragment.from_expression(
+        factor_cover(isop_cover(table, num_vars)), num_vars
+    )
+    negative = Fragment.from_expression(
+        factor_cover(isop_cover(table ^ table_mask(num_vars), num_vars)), num_vars
+    )
+    negative.output = lit_not(negative.output)
+    return positive if positive.size <= negative.size else negative
 
 
 @dataclass
@@ -39,9 +51,19 @@ class RefactorParams:
 
 
 def find_refactor_candidate(
-    aig: Aig, node: int, params: Optional[RefactorParams] = None
+    aig: Aig,
+    node: int,
+    params: Optional[RefactorParams] = None,
+    fragment_cache: Optional[Dict[Tuple[int, int], Fragment]] = None,
 ) -> Optional[TransformCandidate]:
-    """Return a refactoring candidate at ``node`` or ``None`` (non-mutating)."""
+    """Return a refactoring candidate at ``node`` or ``None`` (non-mutating).
+
+    ``fragment_cache`` optionally memoizes the factored fragments by
+    ``(table, num_vars)`` — the refactoring analog of the rewriting library,
+    used by the batched sweep scorer where the same cone functions recur
+    across nodes and sweeps.  The cache never changes the result (the
+    factored form is a pure function of the table).
+    """
     params = params or RefactorParams()
     if not aig.is_and(node):
         return None
@@ -55,17 +77,22 @@ def find_refactor_candidate(
     table = cut_truth_table(aig, node, leaves)
 
     # Factor both polarities and keep the cheaper implementation.
-    positive = Fragment.from_expression(
-        factor_cover(isop_cover(table, num_vars)), num_vars
-    )
-    negative = Fragment.from_expression(
-        factor_cover(isop_cover(table ^ table_mask(num_vars), num_vars)), num_vars
-    )
-    negative.output = lit_not(negative.output)
-    fragment = positive if positive.size <= negative.size else negative
+    if fragment_cache is None:
+        fragment = refactor_fragment(table, num_vars)
+    else:
+        key = (table, num_vars)
+        fragment = fragment_cache.get(key)
+        if fragment is None:
+            fragment = refactor_fragment(table, num_vars)
+            fragment_cache[key] = fragment
 
     leaf_literals = [lit(leaf) for leaf in leaves]
-    estimate = fragment.dry_run(aig, leaf_literals, deref)
+    budget = len(deref) - params.effective_min_gain()
+    if budget < 0:
+        return None
+    estimate = fragment.dry_run(aig, leaf_literals, deref, new_node_budget=budget)
+    if estimate.new_nodes > budget:
+        return None
     saved = len(deref) - estimate.reused_in(deref)
     gain = saved - estimate.new_nodes
     if estimate.output_literal is not None and (estimate.output_literal >> 1) == node:
@@ -82,10 +109,17 @@ def find_refactor_candidate(
             # would create a cycle, so this candidate is skipped.
             pass
 
+    from repro.synth.rewrite import _fragment_regain
+
     return TransformCandidate(
         node=node,
         operation="rf",
         gain=gain,
         leaves=tuple(leaves),
         _apply=apply,
+        refs=tuple(leaves),
+        deref=frozenset(deref),
+        reused=frozenset(estimate.reused_nodes),
+        min_gain=params.effective_min_gain(),
+        _regain=_fragment_regain(node, tuple(leaves), tuple(leaf_literals), fragment),
     )

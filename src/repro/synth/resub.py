@@ -81,9 +81,15 @@ def find_resub_candidate(
         for divisor in divisors:
             table = tables[divisor]
             if table == target:
-                return _make_candidate(aig, node, leaves, gain0, lit(divisor))
+                return _make_candidate(
+                    aig, node, leaves, gain0, lit(divisor), deref,
+                    params.effective_min_gain(),
+                )
             if table == (target ^ mask):
-                return _make_candidate(aig, node, leaves, gain0, lit(divisor, True))
+                return _make_candidate(
+                    aig, node, leaves, gain0, lit(divisor, True), deref,
+                    params.effective_min_gain(),
+                )
 
     # --- 1-resub: AND / OR of two (possibly complemented) divisors. ------- #
     if params.max_resub_nodes < 1:
@@ -121,6 +127,10 @@ def find_resub_candidate(
                     gain=gain1,
                     leaves=tuple(leaves),
                     _apply=apply,
+                    refs=(first, second),
+                    deref=frozenset(deref),
+                    min_gain=params.effective_min_gain(),
+                    _regain=_resub_regain(node, tuple(leaves), 1),
                 )
 
     # --- 2-resub: AND-OR of three divisors (two new nodes). --------------- #
@@ -130,7 +140,8 @@ def find_resub_candidate(
     if gain2 < params.effective_min_gain():
         return None
     candidate = _find_two_resub(
-        node, leaves, ranked[: params.max_divisors_two_resub], tables, target, mask, gain2
+        node, leaves, ranked[: params.max_divisors_two_resub], tables, target, mask, gain2,
+        deref, params.effective_min_gain(),
     )
     return candidate
 
@@ -143,6 +154,8 @@ def _find_two_resub(
     target: int,
     mask: int,
     gain: int,
+    deref: Set[int],
+    min_gain: int,
 ) -> Optional[TransformCandidate]:
     """Search for ``target == maybe_not(±d1 & (±d2 | ±d3))`` decompositions.
 
@@ -203,6 +216,10 @@ def _find_two_resub(
                                 gain=gain,
                                 leaves=tuple(leaves),
                                 _apply=apply,
+                                refs=(d1, d2, d3),
+                                deref=frozenset(deref),
+                                min_gain=min_gain,
+                                _regain=_resub_regain(node, tuple(leaves), 2),
                             )
     return None
 
@@ -298,8 +315,20 @@ def _match_pair(
     return None
 
 
+def _resub_regain(node: int, leaves: Tuple[int, ...], adds: int):
+    """Fresh-gain closure: the divisor identity stays functionally valid
+    while the divisors are alive, so only the freed MFFC needs recounting
+    (``adds`` is the number of AND nodes the replacement structure adds)."""
+
+    def regain(target: Aig) -> Optional[int]:
+        return len(mffc_nodes(target, node, leaves)) - adds
+
+    return regain
+
+
 def _make_candidate(
-    aig: Aig, node: int, leaves: Sequence[int], gain: int, replacement: int
+    aig: Aig, node: int, leaves: Sequence[int], gain: int, replacement: int,
+    deref: Set[int], min_gain: int,
 ) -> TransformCandidate:
     def apply(target_aig: Aig, replacement=replacement) -> None:
         target_aig.replace(node, replacement)
@@ -310,4 +339,8 @@ def _make_candidate(
         gain=gain,
         leaves=tuple(leaves),
         _apply=apply,
+        refs=(replacement >> 1,),
+        deref=frozenset(deref),
+        min_gain=min_gain,
+        _regain=_resub_regain(node, tuple(leaves), 0),
     )

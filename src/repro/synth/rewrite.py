@@ -80,10 +80,37 @@ def _evaluate_cut(
         return None
     leaves = list(cut.leaves)
     table = cut_truth_table(aig, node, leaves)
+    return evaluate_rewrite_cut(aig, node, leaves, table, library, params)
+
+
+def evaluate_rewrite_cut(
+    aig: Aig,
+    node: int,
+    leaves: List[int],
+    table: int,
+    library: RewriteLibrary,
+    params: RewriteParams,
+    deref: Optional[set] = None,
+) -> Optional[TransformCandidate]:
+    """Score one cut of ``node`` given its precomputed truth ``table``.
+
+    This is the shared core of the sequential per-node finder (which computes
+    the table with a scalar cone walk) and the batched sweep scorer (which
+    extracts tables for all cuts of the network from one matrix simulation).
+    ``deref`` optionally supplies a precomputed MFFC.
+    """
     fragment = library.lookup(table, len(leaves))
-    deref = mffc_nodes(aig, node, leaves)
+    if deref is None:
+        deref = mffc_nodes(aig, node, leaves)
     leaf_literals = [lit(leaf) for leaf in leaves]
-    estimate = fragment.dry_run(aig, leaf_literals, deref)
+    # Once the fragment needs more new gates than |MFFC| - min_gain the cut
+    # cannot clear the gain bar, so the dry run may abort early.
+    budget = len(deref) - params.effective_min_gain()
+    if budget < 0:
+        return None
+    estimate = fragment.dry_run(aig, leaf_literals, deref, new_node_budget=budget)
+    if estimate.new_nodes > budget:
+        return None
     saved = len(deref) - estimate.reused_in(deref)
     gain = saved - estimate.new_nodes
     if estimate.output_literal is not None and (estimate.output_literal >> 1) == node:
@@ -109,4 +136,32 @@ def _evaluate_cut(
         gain=gain,
         leaves=tuple(leaves),
         _apply=apply,
+        refs=tuple(leaves),
+        deref=frozenset(deref),
+        reused=frozenset(estimate.reused_nodes),
+        min_gain=params.effective_min_gain(),
+        _regain=_fragment_regain(node, tuple(leaves), tuple(leaf_literals), fragment),
     )
+
+
+def _fragment_regain(
+    node: int,
+    leaves: tuple,
+    leaf_literals: tuple,
+    fragment: Fragment,
+):
+    """Re-estimation closure shared by rewriting and refactoring candidates.
+
+    The synthesized fragment stays functionally correct as long as the root
+    and the leaves are alive, so a fresh gain only needs the (cheap) MFFC and
+    structural dry-run recomputed against the current network.
+    """
+
+    def regain(target: Aig) -> Optional[int]:
+        deref = mffc_nodes(target, node, leaves)
+        estimate = fragment.dry_run(target, list(leaf_literals), deref)
+        if estimate.output_literal is not None and (estimate.output_literal >> 1) == node:
+            return None
+        return len(deref) - estimate.reused_in(deref) - estimate.new_nodes
+
+    return regain

@@ -1,10 +1,17 @@
 """Stand-alone optimization passes and compound synthesis scripts.
 
-These drivers are the SOTA baselines of the paper's Table I: each pass
-traverses the AIG once in topological order and applies its single operation
-(`rewrite`, `resub` or `refactor`) at every node where it is beneficial —
-the "stand-alone fashion with single optimization operation in the single
-DAG-aware traversal" that BoolGebra's orchestration is compared against.
+These drivers implement the SOTA baselines of the paper's Table I.  Each
+pass runs in one of two strategies:
+
+* ``"sweep"`` (the default) — the batched sweep-and-commit engine of
+  :mod:`repro.synth.sweep`: candidates for all nodes are scored against one
+  frozen kernel snapshot, then a maximal footprint-disjoint set of winners
+  is committed in a single mutation sweep, repeated until convergence.
+* ``"sequential"`` — the historical reference: one topological traversal
+  applying every beneficial candidate immediately (the "stand-alone fashion
+  with single optimization operation in the single DAG-aware traversal"
+  that BoolGebra's orchestration is compared against).  Kept as the
+  behavioural reference the sweep engine is tested against.
 """
 
 from __future__ import annotations
@@ -19,6 +26,19 @@ from repro.synth.refactor import RefactorParams, find_refactor_candidate
 from repro.synth.resub import ResubParams, find_resub_candidate
 from repro.synth.rewrite import RewriteParams, find_rewrite_candidate
 
+#: Default scoring/commit strategy of every pass driver.
+DEFAULT_STRATEGY = "sweep"
+
+_STRATEGIES = ("sweep", "sequential")
+
+
+def _check_strategy(strategy: str) -> str:
+    if strategy not in _STRATEGIES:
+        raise ValueError(
+            f"unknown pass strategy {strategy!r}; expected one of {_STRATEGIES}"
+        )
+    return strategy
+
 
 @dataclass
 class PassStats:
@@ -31,6 +51,12 @@ class PassStats:
     depth_after: int
     applied: int
     runtime_seconds: float
+    #: Scoring/commit strategy the pass ran under.
+    strategy: str = "sequential"
+    #: Number of score-and-commit sweeps (0 for sequential traversals).
+    sweeps: int = 0
+    #: Candidates skipped because an earlier commit touched their footprint.
+    conflicts: int = 0
 
     @property
     def reduction(self) -> int:
@@ -81,28 +107,81 @@ def _single_operation_pass(
         depth_after=aig.depth(),
         applied=applied,
         runtime_seconds=runtime,
+        strategy="sequential",
     )
 
 
-def rewrite_pass(aig: Aig, params: Optional[RewriteParams] = None) -> PassStats:
+def _sweep_operation_pass(aig: Aig, name: str, sweep_fn: Callable, params) -> PassStats:
+    """Run one operation through the batched sweep-and-commit engine."""
+    size_before = aig.size
+    depth_before = aig.depth()
+    start = time.perf_counter()
+    report = sweep_fn(aig, params)
+    aig.cleanup()
+    runtime = time.perf_counter() - start
+    return PassStats(
+        name=name,
+        size_before=size_before,
+        size_after=aig.size,
+        depth_before=depth_before,
+        depth_after=aig.depth(),
+        applied=report.applied,
+        runtime_seconds=runtime,
+        strategy="sweep",
+        sweeps=report.sweeps,
+        conflicts=report.conflicts,
+    )
+
+
+def rewrite_pass(
+    aig: Aig,
+    params: Optional[RewriteParams] = None,
+    strategy: str = DEFAULT_STRATEGY,
+) -> PassStats:
     """Stand-alone ``rewrite`` over the whole network (modifies ``aig`` in place)."""
+    if _check_strategy(strategy) == "sweep":
+        from repro.synth.sweep import sweep_rewrites
+
+        return _sweep_operation_pass(aig, "rewrite", sweep_rewrites, params)
     return _single_operation_pass(aig, "rewrite", find_rewrite_candidate, params or RewriteParams())
 
 
-def resub_pass(aig: Aig, params: Optional[ResubParams] = None) -> PassStats:
+def resub_pass(
+    aig: Aig,
+    params: Optional[ResubParams] = None,
+    strategy: str = DEFAULT_STRATEGY,
+) -> PassStats:
     """Stand-alone ``resub`` over the whole network (modifies ``aig`` in place)."""
+    if _check_strategy(strategy) == "sweep":
+        from repro.synth.sweep import sweep_resubs
+
+        return _sweep_operation_pass(aig, "resub", sweep_resubs, params)
     return _single_operation_pass(aig, "resub", find_resub_candidate, params or ResubParams())
 
 
-def refactor_pass(aig: Aig, params: Optional[RefactorParams] = None) -> PassStats:
+def refactor_pass(
+    aig: Aig,
+    params: Optional[RefactorParams] = None,
+    strategy: str = DEFAULT_STRATEGY,
+) -> PassStats:
     """Stand-alone ``refactor`` over the whole network (modifies ``aig`` in place)."""
+    if _check_strategy(strategy) == "sweep":
+        from repro.synth.sweep import sweep_refactors
+
+        return _sweep_operation_pass(aig, "refactor", sweep_refactors, params)
     return _single_operation_pass(
         aig, "refactor", find_refactor_candidate, params or RefactorParams()
     )
 
 
-def balance_pass(aig: Aig) -> PassStats:
-    """Depth-oriented balancing; returns stats and the balanced network size."""
+def balance_pass(aig: Aig, strategy: str = DEFAULT_STRATEGY) -> PassStats:
+    """Depth-oriented balancing; returns stats and the balanced network size.
+
+    Balancing is inherently batched — it rebuilds the whole network in one
+    topological sweep — so both strategies share the same implementation;
+    the parameter exists for API uniformity with the other pass drivers.
+    """
+    _check_strategy(strategy)
     size_before = aig.size
     depth_before = aig.depth()
     start = time.perf_counter()
@@ -116,6 +195,8 @@ def balance_pass(aig: Aig) -> PassStats:
         depth_after=balanced.depth(),
         applied=1,
         runtime_seconds=runtime,
+        strategy=strategy,
+        sweeps=1 if strategy == "sweep" else 0,
     )
     # Balancing rebuilds the network; splice the result back into the caller's
     # object so that every pass driver has in-place semantics.
@@ -123,17 +204,20 @@ def balance_pass(aig: Aig) -> PassStats:
     return stats
 
 
-def compress_script(aig: Aig, rounds: int = 1) -> List[PassStats]:
+def compress_script(
+    aig: Aig, rounds: int = 1, strategy: str = DEFAULT_STRATEGY
+) -> List[PassStats]:
     """A small compound script (rw; rs; rf per round), similar to ABC's ``compress``.
 
     Provided for completeness and used by the ablation benchmarks; the paper's
     baselines are the single stand-alone passes above.
     """
+    _check_strategy(strategy)
     stats: List[PassStats] = []
     for _ in range(max(1, rounds)):
-        stats.append(rewrite_pass(aig))
-        stats.append(resub_pass(aig))
-        stats.append(refactor_pass(aig))
+        stats.append(rewrite_pass(aig, strategy=strategy))
+        stats.append(resub_pass(aig, strategy=strategy))
+        stats.append(refactor_pass(aig, strategy=strategy))
     return stats
 
 

@@ -1,0 +1,603 @@
+"""Batched sweep-and-commit optimization engine.
+
+The sequential pass drivers (:mod:`repro.synth.scripts`) walk the network
+node by node and mutate it after every accepted candidate.  Each mutation
+bumps the structural version counter, which throws away the levelized kernel
+snapshot, the cut memo and the cached topological order — so per-node scoring
+constantly re-derives global state and the pass runtime grows quadratically
+with the number of accepted transformations.
+
+This module restructures the passes into two phases per *sweep*:
+
+1. **Score** — candidates for *all* nodes are computed against one frozen
+   :class:`~repro.aig.kernels.LevelizedAig` snapshot.  Rewriting uses one
+   vectorized full-network cut enumeration plus batched cut truth tables
+   extracted from a single matrix simulation (:func:`batched_cut_tables`);
+   refactoring and resubstitution run their per-node finders against the
+   frozen network, where levels, fanout arrays and the topological order are
+   computed exactly once.
+
+2. **Commit** — a maximal set of *footprint-disjoint* winners (best gain
+   first) is applied in a single mutation sweep.  Each applied candidate
+   records the exact set of touched nodes through the network's mutation
+   journal (:meth:`~repro.aig.aig.Aig.journal_begin`); a later candidate is
+   committed only if its footprint — MFFC, referenced nodes, structurally
+   reused nodes — is disjoint from everything touched so far, which keeps
+   every scored gain estimate valid and makes the sweep size-monotone.
+
+Sweeps repeat (bounded by :attr:`SweepParams.max_sweeps`) until no candidate
+commits; after the first sweep only nodes near the mutated region are
+re-scored (:func:`repro.aig.kernels.expand_region`), candidates with clean
+footprints are carried over, so convergence sweeps are cheap.
+
+Every transformation applied here is the same local, function-preserving
+replacement the sequential drivers perform, so functional equivalence with
+the input network holds by construction; the test-suite additionally checks
+batched-vs-sequential equivalence and node-count monotonicity on randomized
+networks and on every registered benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.aig.aig import Aig, AigError
+from repro.aig.cuts import CutEnumerator
+from repro.aig.kernels import LevelizedAig, cached_topological_order, expand_region, levelized
+from repro.aig.simulate import random_patterns
+from repro.aig.truth import cached_table_var, table_mask
+from repro.synth.candidates import TransformCandidate
+from repro.synth.refactor import RefactorParams, find_refactor_candidate
+from repro.synth.resub import ResubParams, find_resub_candidate
+from repro.synth.rewrite import RewriteParams, evaluate_rewrite_cut, find_rewrite_candidate
+from repro.synth.rewrite_lib import DEFAULT_LIBRARY
+
+
+@dataclass
+class SweepParams:
+    """Tuning knobs of the sweep-and-commit engine.
+
+    ``num_patterns`` controls the matrix simulation the batched rewrite
+    scorer extracts cut truth tables from: a cut whose leaves are not
+    observed under all ``2**size`` value combinations falls back to the
+    exact scalar cone walk, so the setting trades vectorized table
+    extraction against fallback work — correctness never depends on it.
+    """
+
+    max_sweeps: int = 3
+    rescore_radius: int = 2
+    num_patterns: int = 512
+    pattern_seed: int = 2024
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one multi-sweep batched pass."""
+
+    applied: int = 0
+    sweeps: int = 0
+    conflicts: int = 0
+    #: The committed candidates, in commit order (their ``node`` /
+    #: ``operation`` fields drive the orchestration bookkeeping).
+    committed: List[TransformCandidate] = field(default_factory=list)
+
+    @property
+    def applied_nodes(self) -> List[int]:
+        """Node ids whose candidate was committed, in commit order."""
+        return [candidate.node for candidate in self.committed]
+
+
+#: A scorer maps (network, node subset or None) to {node: best candidate}.
+Scorer = Callable[[Aig, Optional[Set[int]]], Dict[int, TransformCandidate]]
+
+
+# --------------------------------------------------------------------------- #
+# Batched cut truth tables
+# --------------------------------------------------------------------------- #
+def batched_cut_tables(
+    aig: Aig,
+    view: LevelizedAig,
+    work: Sequence[Tuple[int, Tuple[int, ...]]],
+    num_patterns: int = 512,
+    seed: int = 2024,
+    chunk: int = 4096,
+) -> Dict[Tuple[int, Tuple[int, ...]], int]:
+    """Truth tables for many ``(root, leaves)`` cuts from one matrix simulation.
+
+    One vectorized level-at-a-time simulation of the whole network produces a
+    per-node bit matrix; for every cut the leaf rows are packed into minterm
+    indices and the root row is scattered into a ``2**size``-entry table —
+    all cuts of one size are processed with a handful of numpy operations.
+    A cut is *complete* when every minterm index was observed; because the
+    root's value is a deterministic function of the leaf values (the leaves
+    form a cut), a complete observation equals the exact structural truth
+    table.  Incomplete cuts (possible when leaf values are heavily
+    correlated) are reported as ``None`` and the caller falls back to the
+    exact scalar cone walk on demand, so the end result is always exact and
+    deterministic.
+    """
+    tables: Dict[Tuple[int, Tuple[int, ...]], Optional[int]] = {}
+    if not work:
+        return tables
+    patterns = random_patterns(aig.num_pis(), num_patterns, seed=seed)
+    values = view.simulate(patterns)
+    # (num_slots, num_patterns) 0/1 matrix: unpack each uint64 word.
+    shifts = np.arange(64, dtype=np.uint64)
+    bits = ((values[:, :, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+    bits = bits.reshape(values.shape[0], -1)[:, :num_patterns]
+
+    by_size: Dict[int, List[Tuple[int, Tuple[int, ...]]]] = {}
+    for root, leaves in work:
+        by_size.setdefault(len(leaves), []).append((root, leaves))
+
+    for size, items in by_size.items():
+        if size > 6:
+            # The packed-table arithmetic lives in single uint64 words
+            # (2**size table bits, shift weights up to 2**size - 1), which is
+            # only sound for size <= 6; larger cuts take the exact scalar
+            # fallback.  The default rewriting cut size is 4.
+            for item in items:
+                tables[item] = None
+            continue
+        width = 1 << size
+        weights = np.left_shift(
+            np.uint64(1), np.arange(width, dtype=np.uint64)
+        ).astype(np.uint64)
+        for start in range(0, len(items), chunk):
+            batch = items[start : start + chunk]
+            count = len(batch)
+            roots = np.fromiter((root for root, _ in batch), np.int64, count)
+            leaf_matrix = np.array([leaves for _, leaves in batch], dtype=np.int64)
+            index = bits[leaf_matrix[:, 0]].astype(np.uint16)
+            for position in range(1, size):
+                index |= bits[leaf_matrix[:, position]].astype(np.uint16) << position
+            root_bits = bits[roots]
+            rows = np.arange(count, dtype=np.int64)[:, None]
+            flat = (rows * width + index).ravel()
+            seen = np.zeros(count * width, dtype=bool)
+            seen[flat] = True
+            entries = np.zeros(count * width, dtype=np.uint8)
+            entries[flat] = root_bits.ravel()
+            seen = seen.reshape(count, width)
+            entries = entries.reshape(count, width)
+            complete = seen.all(axis=1)
+            packed = (entries.astype(np.uint64) * weights).sum(axis=1)
+            for position, (root, leaves) in enumerate(batch):
+                if complete[position]:
+                    tables[(root, leaves)] = int(packed[position])
+                else:
+                    tables[(root, leaves)] = None
+    return tables
+
+
+def _snapshot_cut_table(view: LevelizedAig, root: int, leaves: Tuple[int, ...]) -> int:
+    """Exact cut truth table computed on the frozen snapshot arrays.
+
+    Semantically identical to :func:`repro.aig.truth.cut_truth_table` but
+    walks the snapshot's plain fanin lists instead of calling into the
+    mutable network — the fallback path for cuts whose leaf values were not
+    fully covered by the batched matrix extraction.
+    """
+    num_vars = len(leaves)
+    mask = table_mask(num_vars)
+    tables = {leaf: cached_table_var(i, num_vars) for i, leaf in enumerate(leaves)}
+    tables[0] = 0
+    if root in tables:
+        return tables[root]
+    fanin0 = view._fanin0_list
+    fanin1 = view._fanin1_list
+    # Iterative post-order over the cone bounded by the leaves.
+    stack = [(root, False)]
+    visited = set(leaves)
+    visited.add(0)
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            f0 = fanin0[node]
+            f1 = fanin1[node]
+            t0 = tables[f0 >> 1]
+            t1 = tables[f1 >> 1]
+            if f0 & 1:
+                t0 ^= mask
+            if f1 & 1:
+                t1 ^= mask
+            tables[node] = t0 & t1
+            continue
+        if node in visited:
+            continue
+        visited.add(node)
+        stack.append((node, True))
+        stack.append((fanin1[node] >> 1, False))
+        stack.append((fanin0[node] >> 1, False))
+    return tables[root]
+
+
+# --------------------------------------------------------------------------- #
+# Scorers (phase 1)
+# --------------------------------------------------------------------------- #
+def score_rewrites(
+    aig: Aig,
+    nodes: Optional[Set[int]] = None,
+    params: Optional[RewriteParams] = None,
+    sweep_params: Optional[SweepParams] = None,
+) -> Dict[int, TransformCandidate]:
+    """Best rewriting candidate per node, scored against one frozen snapshot.
+
+    Unlike the sequential finder — which enumerates cuts in a bounded local
+    region per node — the batched scorer runs one vectorized full-network
+    enumeration, extracts all cut truth tables from one matrix simulation
+    and evaluates the candidates with the shared
+    :func:`~repro.synth.rewrite.evaluate_rewrite_cut` core.
+    """
+    params = params or RewriteParams()
+    sweep_params = sweep_params or SweepParams()
+    library = params.library or DEFAULT_LIBRARY
+    topo = cached_topological_order(aig)
+    targets = [n for n in topo if nodes is None or n in nodes]
+    if nodes is not None and len(targets) * 2 < len(topo):
+        # Small re-score set (convergence sweeps): the bounded local-region
+        # finder beats re-running the global enumeration.
+        candidates = {}
+        for node in targets:
+            candidate = find_rewrite_candidate(aig, node, params)
+            if candidate is not None:
+                candidates[node] = candidate
+        return candidates
+    view = levelized(aig)
+    view.ensure_node_arrays(aig)
+    enumerator = CutEnumerator(k=params.cut_size, cuts_per_node=params.cuts_per_node)
+    all_cuts = enumerator.enumerate(aig)
+    work: List[Tuple[int, Tuple[int, ...]]] = []
+    for node in targets:
+        for cut in all_cuts.get(node, ()):
+            if not cut.is_trivial() and cut.size >= 2:
+                work.append((node, cut.leaves))
+    tables = batched_cut_tables(
+        aig,
+        view,
+        work,
+        num_patterns=sweep_params.num_patterns,
+        seed=sweep_params.pattern_seed,
+    )
+
+    candidates: Dict[int, TransformCandidate] = {}
+    for node in targets:
+        scored = []
+        for cut in all_cuts.get(node, ()):
+            if cut.is_trivial() or cut.size < 2:
+                continue
+            scored.append((view.mffc_nodes(node, cut.leaves), cut))
+        # The freed MFFC upper-bounds the gain, so evaluating the cuts in
+        # decreasing |MFFC| order lets the scan stop as soon as no remaining
+        # cut can beat the best candidate found so far.
+        scored.sort(key=lambda entry: -len(entry[0]))
+        best: Optional[TransformCandidate] = None
+        for deref, cut in scored:
+            if best is not None and len(deref) <= best.gain:
+                break
+            table = tables[(node, cut.leaves)]
+            if table is None:
+                table = _snapshot_cut_table(view, node, cut.leaves)
+            candidate = evaluate_rewrite_cut(
+                aig,
+                node,
+                list(cut.leaves),
+                table,
+                library,
+                params,
+                deref=deref,
+            )
+            if candidate is not None and (best is None or candidate.gain > best.gain):
+                best = candidate
+        if best is not None:
+            candidates[node] = best
+    return candidates
+
+
+#: Process-wide memo of factored refactoring fragments, keyed by
+#: ``(truth table, num_vars)`` — the refactoring analog of the rewriting
+#: library.  Cone functions recur heavily across nodes and sweeps, and the
+#: factored form is a pure function of the table, so sharing is safe.
+_REFACTOR_FRAGMENTS: Dict[Tuple[int, int], "object"] = {}
+
+
+def score_refactors(
+    aig: Aig,
+    nodes: Optional[Set[int]] = None,
+    params: Optional[RefactorParams] = None,
+    sweep_params: Optional[SweepParams] = None,
+) -> Dict[int, TransformCandidate]:
+    """Best refactoring candidate per node against one frozen snapshot.
+
+    The per-node finder runs unchanged, but two batched shortcuts apply:
+    nodes whose *global* MFFC (an upper bound on any cut-bounded MFFC) is
+    already below ``min_cone_size`` are skipped before the expensive
+    collapse-and-factor pipeline, and factored fragments are memoized by
+    truth table across nodes and sweeps.
+    """
+    del sweep_params
+    params = params or RefactorParams()
+    view = levelized(aig)
+    view.ensure_node_arrays(aig)
+    candidates: Dict[int, TransformCandidate] = {}
+    for node in cached_topological_order(aig):
+        if nodes is not None and node not in nodes:
+            continue
+        if len(view.mffc_nodes(node)) < params.min_cone_size:
+            continue
+        candidate = find_refactor_candidate(
+            aig, node, params, fragment_cache=_REFACTOR_FRAGMENTS
+        )
+        if candidate is not None:
+            candidates[node] = candidate
+    return candidates
+
+
+def _signature_classes(
+    aig: Aig, view: LevelizedAig, sweep_params: SweepParams
+) -> Tuple[Dict[bytes, int], List[bytes]]:
+    """Global-signature equivalence classes (complement-canonical).
+
+    Equal (or complemented) window truth tables imply equal (complemented)
+    global functions, which imply equal canonical signatures under *any*
+    simulation patterns — so a node whose signature class is trivial provably
+    has no 0-resub divisor anywhere, under any window.  Collisions only cost
+    a wasted exact check, never a missed candidate.  Returns the per-class
+    counts and the per-slot canonical keys.
+    """
+    patterns = random_patterns(
+        aig.num_pis(), sweep_params.num_patterns, seed=sweep_params.pattern_seed
+    )
+    values = view.simulate(patterns)
+    complement = ~values
+    keys: List[bytes] = [b""] * view.num_slots
+    counts: Dict[bytes, int] = {}
+    for node in view._value_ids:
+        key = min(values[node].tobytes(), complement[node].tobytes())
+        keys[node] = key
+        counts[key] = counts.get(key, 0) + 1
+    return counts, keys
+
+
+def score_resubs(
+    aig: Aig,
+    nodes: Optional[Set[int]] = None,
+    params: Optional[ResubParams] = None,
+    sweep_params: Optional[SweepParams] = None,
+) -> Dict[int, TransformCandidate]:
+    """Best resubstitution candidate per node against one frozen snapshot.
+
+    Two exact prefilters derived from the snapshot skip nodes that provably
+    have no candidate before the window machinery runs: 1/2-resub needs a
+    freed MFFC larger than the nodes it adds (the global MFFC bounds every
+    cut-bounded MFFC from above), and 0-resub needs another node with an
+    identical-or-complemented global signature (see
+    :func:`_signature_classes`).
+    """
+    params = params or ResubParams()
+    sweep_params = sweep_params or SweepParams()
+    view = levelized(aig)
+    view.ensure_node_arrays(aig)
+    classes, keys = _signature_classes(aig, view, sweep_params)
+    min_gain = params.effective_min_gain()
+    candidates: Dict[int, TransformCandidate] = {}
+    for node in cached_topological_order(aig):
+        if nodes is not None and node not in nodes:
+            continue
+        global_mffc = len(view.mffc_nodes(node))
+        may_add_nodes = (
+            params.max_resub_nodes >= 1 and global_mffc >= min_gain + 1
+        )
+        may_zero = classes.get(keys[node], 0) > 1 and global_mffc >= min_gain
+        if not (may_add_nodes or may_zero):
+            continue
+        candidate = find_resub_candidate(aig, node, params)
+        if candidate is not None:
+            candidates[node] = candidate
+    return candidates
+
+
+# --------------------------------------------------------------------------- #
+# Commit (phase 2)
+# --------------------------------------------------------------------------- #
+def commit_candidates(
+    aig: Aig, candidates: Sequence[TransformCandidate]
+) -> Tuple[List[TransformCandidate], Set[int], int]:
+    """Apply the scored winners in one mutation sweep.
+
+    Candidates are attempted in decreasing gain (ties broken by node id for
+    determinism).  The journal-based *dirty* set makes conflict detection
+    exact: a candidate whose footprint (root, MFFC, reused nodes) is
+    untouched commits on the fast path with its scored gain guaranteed; a
+    candidate whose footprint was touched by an earlier commit is *re-
+    validated* — its MFFC and structural dry-run are recomputed against the
+    live network (reusing the already synthesized replacement, which stays
+    functionally valid while its references are alive) and it commits only
+    if the fresh gain still clears the operation's bar.  ``conflicts``
+    counts the candidates dropped by re-validation.  Returns
+    ``(applied, dirty, conflicts)``.
+    """
+    order = sorted(candidates, key=lambda cand: (-cand.gain, cand.node))
+    dirty: Set[int] = set()
+    applied: List[TransformCandidate] = []
+    conflicts = 0
+    has_node = aig.has_node
+    for candidate in order:
+        if not has_node(candidate.node) or not aig.is_and(candidate.node):
+            continue
+        if not dirty.isdisjoint(candidate.footprint()):
+            fresh_gain = candidate.revalidate(aig)
+            if fresh_gain is None or fresh_gain < candidate.min_gain:
+                conflicts += 1
+                continue
+        elif not all(has_node(ref) for ref in candidate.refs):
+            # Referenced nodes (cut leaves, divisors) only need to be alive:
+            # commits preserve every surviving node's global function, so a
+            # touched-but-live reference still computes what it did when the
+            # candidate was scored.
+            conflicts += 1
+            continue
+        journal = aig.journal_begin()
+        try:
+            candidate.apply(aig)
+        except AigError:
+            # Resubstitution replacements can race into a cycle when distant
+            # commits re-routed the divisor's fanout cone; the replace() guard
+            # rejects them cleanly and the candidate is simply dropped.
+            pass
+        finally:
+            aig.journal_end()
+        dirty |= journal
+        if not (aig.has_node(candidate.node) and aig.is_and(candidate.node)):
+            # The root was consumed: the replacement really happened.
+            applied.append(candidate)
+    return applied, dirty, conflicts
+
+
+# --------------------------------------------------------------------------- #
+# The sweep loop
+# --------------------------------------------------------------------------- #
+def run_sweeps(
+    aig: Aig,
+    scorer: Scorer,
+    sweep_params: Optional[SweepParams] = None,
+) -> SweepReport:
+    """Alternate scoring and committing until convergence (bounded).
+
+    ``scorer`` is called with ``nodes=None`` for the first sweep (score
+    everything) and with the dirty region for later sweeps; candidates whose
+    footprint survived the previous commit untouched are carried over
+    without re-scoring.
+    """
+    sweep_params = sweep_params or SweepParams()
+    report = SweepReport()
+    candidates = scorer(aig, None)
+    while report.sweeps < sweep_params.max_sweeps:
+        report.sweeps += 1
+        if not candidates:
+            break
+        applied, dirty, conflicts = commit_candidates(aig, candidates.values())
+        report.applied += len(applied)
+        report.conflicts += conflicts
+        report.committed.extend(applied)
+        if not applied or report.sweeps >= sweep_params.max_sweeps:
+            break
+        region = expand_region(
+            aig, dirty, sweep_params.rescore_radius, fanout_only=True
+        )
+        carried = {
+            node: candidate
+            for node, candidate in candidates.items()
+            if node not in region
+            and aig.has_node(node)
+            and aig.is_and(node)
+            and dirty.isdisjoint(candidate.footprint())
+            and all(aig.has_node(ref) for ref in candidate.refs)
+        }
+        rescore = {
+            node
+            for node in region
+            if aig.has_node(node) and aig.is_and(node)
+        }
+        candidates = dict(carried)
+        candidates.update(scorer(aig, rescore))
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# Pass-level and orchestration-level drivers
+# --------------------------------------------------------------------------- #
+def sweep_rewrites(
+    aig: Aig,
+    params: Optional[RewriteParams] = None,
+    sweep_params: Optional[SweepParams] = None,
+) -> SweepReport:
+    """Batched rewriting over the whole network (modifies ``aig`` in place)."""
+    sweep_params = sweep_params or SweepParams()
+
+    def scorer(target: Aig, nodes: Optional[Set[int]]):
+        return score_rewrites(target, nodes, params, sweep_params)
+
+    return run_sweeps(aig, scorer, sweep_params)
+
+
+def sweep_refactors(
+    aig: Aig,
+    params: Optional[RefactorParams] = None,
+    sweep_params: Optional[SweepParams] = None,
+) -> SweepReport:
+    """Batched refactoring over the whole network (modifies ``aig`` in place)."""
+
+    def scorer(target: Aig, nodes: Optional[Set[int]]):
+        return score_refactors(target, nodes, params)
+
+    return run_sweeps(aig, scorer, sweep_params)
+
+
+def sweep_resubs(
+    aig: Aig,
+    params: Optional[ResubParams] = None,
+    sweep_params: Optional[SweepParams] = None,
+) -> SweepReport:
+    """Batched resubstitution over the whole network (modifies ``aig`` in place)."""
+
+    def scorer(target: Aig, nodes: Optional[Set[int]]):
+        return score_resubs(target, nodes, params)
+
+    return run_sweeps(aig, scorer, sweep_params)
+
+
+def sweep_decisions(
+    aig: Aig,
+    decisions,
+    operation_params=None,
+    sweep_params: Optional[SweepParams] = None,
+) -> SweepReport:
+    """Batched application of a per-node decision vector (Algorithm 1).
+
+    Every node scored is scored with *its assigned operation only*, exactly
+    like the sequential orchestrated traversal; the committed winners form a
+    footprint-disjoint set per sweep.  Used by
+    :func:`repro.orchestration.orchestrate.orchestrate` under
+    ``strategy="sweep"``.
+    """
+    from repro.orchestration.decision import Operation
+    from repro.orchestration.transformability import OperationParams
+
+    operation_params = operation_params or OperationParams()
+    sweep_params = sweep_params or SweepParams()
+
+    def scorer(target: Aig, nodes: Optional[Set[int]]):
+        by_operation: Dict[Operation, Set[int]] = {op: set() for op in Operation}
+        for node, operation in decisions.items():
+            if (nodes is None or node in nodes) and target.has_node(node) and target.is_and(node):
+                by_operation[operation].add(node)
+        candidates: Dict[int, TransformCandidate] = {}
+        if by_operation[Operation.REWRITE]:
+            candidates.update(
+                score_rewrites(
+                    target,
+                    by_operation[Operation.REWRITE],
+                    operation_params.rewrite,
+                    sweep_params,
+                )
+            )
+        if by_operation[Operation.RESUB]:
+            candidates.update(
+                score_resubs(
+                    target,
+                    by_operation[Operation.RESUB],
+                    operation_params.resub,
+                    sweep_params,
+                )
+            )
+        if by_operation[Operation.REFACTOR]:
+            candidates.update(
+                score_refactors(target, by_operation[Operation.REFACTOR], operation_params.refactor)
+            )
+        return candidates
+
+    return run_sweeps(aig, scorer, sweep_params)

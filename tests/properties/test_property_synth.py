@@ -54,6 +54,19 @@ def test_refactor_pass_safety(spec):
     assert check_equivalence(original, aig)
 
 
+@settings(max_examples=12, deadline=None)
+@given(small_specs, st.sampled_from(["rw", "rs", "rf"]))
+def test_sweep_passes_safety(spec, operation):
+    """The batched sweep strategy is as functionally safe as the sequential one."""
+    pass_fn = {"rw": rewrite_pass, "rs": resub_pass, "rf": refactor_pass}[operation]
+    aig = random_aig(spec)
+    original = aig.copy()
+    stats = pass_fn(aig, strategy="sweep")
+    aig.check()
+    assert stats.size_after <= stats.size_before
+    assert check_equivalence(original, aig)
+
+
 @settings(max_examples=10, deadline=None)
 @given(small_specs, st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=64))
 def test_orchestrated_samples_are_always_functionally_safe(spec, operations):
