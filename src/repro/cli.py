@@ -22,6 +22,10 @@ everyday workflows of the library without writing Python:
     List the registered optimization passes and their script options.
 ``benchmarks``
     List the registered benchmark designs and their statistics.
+``cache``
+    Inspect (``info``) or wipe (``clear``) the content-addressed artifact
+    store that caches evaluated sample batches, built datasets and trained
+    model checkpoints.
 """
 
 from __future__ import annotations
@@ -199,6 +203,36 @@ def _cmd_passes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.store.artifacts import KINDS, ArtifactStore
+
+    store = ArtifactStore(args.store)
+    if args.action == "info":
+        report = store.info()
+        rows = [
+            [kind, report[kind]["entries"], report[kind]["bytes"]] for kind in KINDS
+        ]
+        rows.append(
+            [
+                "total",
+                sum(entry["entries"] for entry in report.values()),
+                sum(entry["bytes"] for entry in report.values()),
+            ]
+        )
+        print(
+            format_table(
+                headers=["kind", "entries", "bytes"],
+                rows=rows,
+                title=f"Artifact store at {store.root}",
+            )
+        )
+    else:  # clear
+        removed = store.clear(args.kind)
+        scope = args.kind or "all kinds"
+        print(f"removed {removed} artifacts ({scope}) from {store.root}")
+    return 0
+
+
 def _cmd_benchmarks(args: argparse.Namespace) -> int:
     rows = []
     for name in available_benchmarks():
@@ -288,6 +322,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--generate", action="store_true", help="generate each design and report exact sizes"
     )
     benchmarks.set_defaults(handler=_cmd_benchmarks)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or wipe the learning-pipeline artifact store"
+    )
+    cache.add_argument(
+        "action", choices=["info", "clear"], help="report store contents, or delete artifacts"
+    )
+    cache.add_argument(
+        "--store",
+        help="store directory (default: $BOOLGEBRA_STORE or ~/.cache/boolgebra)",
+    )
+    cache.add_argument(
+        "--kind",
+        choices=["samples", "datasets", "models", "results"],
+        help="restrict 'clear' to one artifact kind",
+    )
+    cache.set_defaults(handler=_cmd_cache)
 
     return parser
 

@@ -9,13 +9,10 @@ import numpy as np
 
 from repro.aig.aig import Aig
 from repro.circuits.benchmarks import load_benchmark
-from repro.features.dataset import BoolGebraDataset, build_dataset
+from repro.features.dataset import BoolGebraDataset
 from repro.flow.config import FlowConfig, fast_config
-from repro.orchestration.sampling import (
-    PriorityGuidedSampler,
-    RandomSampler,
-    evaluate_samples,
-)
+from repro.store.artifacts import ArtifactStore
+from repro.store.pipeline import dataset_for
 
 
 def get_design(name: str) -> Aig:
@@ -30,28 +27,26 @@ def sample_dataset(
     seed: int,
     config: Optional[FlowConfig] = None,
     evaluator=None,
+    store=None,
 ) -> BoolGebraDataset:
     """Sample, evaluate and embed ``num_samples`` decisions for ``aig``.
 
     ``evaluator`` overrides the batch-evaluation backend (defaults to the
     one configured in ``config``, which itself defaults to serial).
+    ``store`` (or ``config.store``) routes the sampling through the artifact
+    store, making re-runs of the experiment harness load their evaluated
+    sample batches instead of recomputing them.
     """
     config = config or fast_config()
-    if guided:
-        sampler = PriorityGuidedSampler(aig, seed=seed, params=config.operations)
-        vectors = sampler.generate(num_samples)
-        analysis = sampler.analysis
-    else:
-        sampler = RandomSampler(aig, seed=seed)
-        vectors = sampler.generate(num_samples)
-        analysis = None
-    records = evaluate_samples(
+    return dataset_for(
         aig,
-        vectors,
+        num_samples,
+        guided,
+        seed,
         params=config.operations,
         evaluator=evaluator if evaluator is not None else config.evaluator,
+        store=ArtifactStore.resolve(store if store is not None else config.store),
     )
-    return build_dataset(aig, records, analysis=analysis, params=config.operations)
 
 
 @dataclass

@@ -69,16 +69,24 @@ def run_fig6_cross_design(
     config: Optional[FlowConfig] = None,
     paper_scale: bool = False,
     seed: int = 0,
+    store=None,
 ) -> Fig6Result:
     """Train on each pair's first design, infer on unseen samples of the second.
 
     Pass ``pairs=FIG6_PAIRS`` for the full 3×3 grid of the paper.  Models are
-    cached per training design so the grid trains each model only once.
+    cached per training design so the grid trains each model only once — and
+    with ``store`` (or ``config.store``) set, checkpoints and evaluated
+    sample batches persist across *processes*: a re-run of the grid restores
+    every trained model from the artifact store instead of retraining.
     """
+    from repro.store.artifacts import ArtifactStore
+    from repro.store.pipeline import train_or_load
+
     config = config or (paper_config() if paper_scale else fast_config())
     if paper_scale:
         num_train_samples = config.num_samples
         num_test_samples = config.num_samples
+    artifact_store = ArtifactStore.resolve(store if store is not None else config.store)
     result = Fig6Result(
         pairs=list(pairs),
         num_train_samples=num_train_samples,
@@ -90,15 +98,31 @@ def run_fig6_cross_design(
         if train_name not in trainers:
             train_aig = get_design(train_name)
             train_set = sample_dataset(
-                train_aig, num_train_samples, guided=True, seed=seed, config=config
+                train_aig,
+                num_train_samples,
+                guided=True,
+                seed=seed,
+                config=config,
+                store=artifact_store,
             )
-            trainer = Trainer(config=config.training, model_config=config.model)
-            trainer.train_on_dataset(train_set, config.train_fraction)
+            trainer, _, _ = train_or_load(
+                train_set,
+                config.model,
+                config.training,
+                train_fraction=config.train_fraction,
+                store=artifact_store,
+                prebatch=config.prebatch,
+            )
             trainers[train_name] = trainer
         if test_name not in test_sets:
             test_aig = get_design(test_name)
             test_sets[test_name] = sample_dataset(
-                test_aig, num_test_samples, guided=False, seed=seed + 1000, config=config
+                test_aig,
+                num_test_samples,
+                guided=False,
+                seed=seed + 1000,
+                config=config,
+                store=artifact_store,
             )
         trainer = trainers[train_name]
         test_set = test_sets[test_name]

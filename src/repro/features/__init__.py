@@ -16,17 +16,21 @@ example is the attributed graph of one sample together with a normalized label
 """
 
 from repro.features.dataset import BoolGebraDataset, GraphSample, build_dataset
-from repro.features.dynamic_features import dynamic_feature_matrix
+from repro.features.dynamic_features import dynamic_feature_batch, dynamic_feature_matrix
 from repro.features.encoding import PI_SENTINEL, GraphEncoding, encode_graph
+from repro.features.incremental import FeatureContext, feature_context
 from repro.features.static_features import static_feature_matrix
 
 __all__ = [
     "BoolGebraDataset",
+    "FeatureContext",
     "GraphEncoding",
     "GraphSample",
     "PI_SENTINEL",
     "build_dataset",
+    "dynamic_feature_batch",
     "dynamic_feature_matrix",
     "encode_graph",
+    "feature_context",
     "static_feature_matrix",
 ]

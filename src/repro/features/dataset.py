@@ -21,9 +21,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.aig.aig import Aig
-from repro.features.dynamic_features import DYNAMIC_FEATURE_DIM, dynamic_feature_matrix
-from repro.features.encoding import GraphEncoding, encode_graph
-from repro.features.static_features import STATIC_FEATURE_DIM, static_feature_matrix
+from repro.features.dynamic_features import DYNAMIC_FEATURE_DIM
+from repro.features.encoding import GraphEncoding
+from repro.features.static_features import STATIC_FEATURE_DIM
 from repro.orchestration.sampling import SampleRecord
 from repro.orchestration.transformability import NodeTransformability, OperationParams
 
@@ -57,6 +57,9 @@ class BoolGebraDataset:
     samples: List[GraphSample] = field(default_factory=list)
     best_reduction: int = 0
     encoding: Optional[GraphEncoding] = None
+    #: Content-addressed key under which the artifact store holds (or would
+    #: hold) this dataset; ``None`` for datasets built outside the store.
+    cache_key: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -127,15 +130,28 @@ def build_dataset(
         raise ValueError(
             f"records at positions {missing[:5]} have not been evaluated yet"
         )
-    encoding = encode_graph(aig, undirected=undirected)
-    static = static_feature_matrix(aig, encoding, analysis=analysis, params=params)
+    from repro.features.dynamic_features import dynamic_feature_batch
+    from repro.features.incremental import feature_context
+
+    context = feature_context(
+        aig, analysis=analysis, params=params, undirected=undirected
+    )
+    encoding = context.encoding
+    static = context.static
     reductions = [record.result.reduction for record in records]
     labels, best_reduction = normalized_labels(reductions)
 
+    # One batched pass over all samples: the shared slot-0 template is copied
+    # per sample and only the applied-node rows are rewritten.
+    dynamic = dynamic_feature_batch(
+        aig,
+        encoding,
+        [record.result.applied_nodes for record in records],
+        template=context.dynamic_template,
+    )
     samples: List[GraphSample] = []
-    for record, label in zip(records, labels):
-        dynamic = dynamic_feature_matrix(aig, encoding, record.result.applied_nodes)
-        features = np.concatenate([static, dynamic], axis=1)
+    for index, (record, label) in enumerate(zip(records, labels)):
+        features = np.concatenate([static, dynamic[index]], axis=1)
         samples.append(
             GraphSample(
                 design=aig.name,

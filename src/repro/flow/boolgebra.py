@@ -21,17 +21,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.aig.aig import Aig
-from repro.features.dataset import BoolGebraDataset, GraphSample, build_dataset
+from repro.features.dataset import BoolGebraDataset, GraphSample
 from repro.flow.config import FlowConfig, fast_config
 from repro.nn.metrics import regression_report
 from repro.nn.trainer import Trainer, TrainingHistory
-from repro.orchestration.decision import DecisionVector
-from repro.orchestration.sampling import (
-    PriorityGuidedSampler,
-    RandomSampler,
-    SampleRecord,
-    evaluate_samples,
-)
+from repro.store.artifacts import ArtifactStore
+from repro.store.pipeline import dataset_for, train_or_load
 
 
 @dataclass
@@ -74,15 +69,65 @@ class BoolGebraResult:
             f"{self.runtime_seconds:.1f}s"
         )
 
+    # JSON interchange (used by reporting and the artifact store) ---------- #
+    def to_dict(self) -> Dict:
+        """Return a JSON-serializable rendering of the result."""
+        return {
+            "design": self.design,
+            "original_size": self.original_size,
+            "evaluated_sizes": [int(size) for size in self.evaluated_sizes],
+            "predicted_scores": [float(score) for score in self.predicted_scores],
+            "best_size": self.best_size,
+            "mean_size": self.mean_size,
+            "top_k_effective": self.top_k_effective,
+            "training_history": (
+                None if self.training_history is None else self.training_history.to_dict()
+            ),
+            "prediction_report": {
+                key: float(value) for key, value in self.prediction_report.items()
+            },
+            "runtime_seconds": self.runtime_seconds,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "BoolGebraResult":
+        """Rebuild a result previously rendered by :meth:`to_dict`."""
+        history = payload.get("training_history")
+        return BoolGebraResult(
+            design=payload["design"],
+            original_size=payload["original_size"],
+            evaluated_sizes=list(payload.get("evaluated_sizes", [])),
+            predicted_scores=list(payload.get("predicted_scores", [])),
+            best_size=payload.get("best_size", 0),
+            mean_size=payload.get("mean_size", 0.0),
+            top_k_effective=payload.get("top_k_effective", 0),
+            training_history=(
+                None if history is None else TrainingHistory.from_dict(history)
+            ),
+            prediction_report=dict(payload.get("prediction_report", {})),
+            runtime_seconds=payload.get("runtime_seconds", 0.0),
+        )
+
 
 class BoolGebraFlow:
-    """Sample → train/predict → prune → evaluate, on one or several designs."""
+    """Sample → train/predict → prune → evaluate, on one or several designs.
+
+    With ``config.store`` set, every expensive stage is cache-backed through
+    the content-addressed artifact store: evaluated sample batches and built
+    datasets are loaded instead of re-sampled, and trained checkpoints are
+    restored instead of retrained — a warm re-run reproduces the cold run's
+    result exactly (modulo wall time) without touching the evaluator or the
+    training loop.
+    """
 
     def __init__(self, config: Optional[FlowConfig] = None) -> None:
         self.config = config or fast_config()
+        self.store: Optional[ArtifactStore] = ArtifactStore.resolve(self.config.store)
         self.trainer: Optional[Trainer] = None
         self.training_design: Optional[str] = None
         self.training_dataset: Optional[BoolGebraDataset] = None
+        #: Whether the last :meth:`train` call was served from the store.
+        self.training_from_cache: bool = False
 
     # ------------------------------------------------------------------ #
     # Dataset generation
@@ -94,44 +139,50 @@ class BoolGebraFlow:
         guided: Optional[bool] = None,
         seed: Optional[int] = None,
     ) -> BoolGebraDataset:
-        """Sample decision vectors for ``aig``, evaluate them and build the dataset."""
+        """Sample decision vectors for ``aig``, evaluate them and build the dataset.
+
+        Cache-backed when the flow carries a store: a warm run loads the
+        evaluated records (or the fully built dataset) by content key and
+        skips sampling and evaluation entirely.
+        """
         config = self.config
         num_samples = num_samples or config.num_samples
         guided = config.guided_sampling if guided is None else guided
         seed = config.seed if seed is None else seed
-        if guided:
-            sampler = PriorityGuidedSampler(
-                aig, seed=seed, params=config.operations
-            )
-            vectors = sampler.generate(num_samples)
-            analysis = sampler.analysis
-        else:
-            sampler = RandomSampler(aig, seed=seed)
-            vectors = sampler.generate(num_samples)
-            analysis = None
-        records = evaluate_samples(
-            aig, vectors, params=config.operations, evaluator=config.evaluator
-        )
-        return build_dataset(
-            aig, records, analysis=analysis, params=config.operations
+        return dataset_for(
+            aig,
+            num_samples,
+            guided,
+            seed,
+            params=config.operations,
+            evaluator=config.evaluator,
+            store=self.store,
         )
 
     # ------------------------------------------------------------------ #
     # Training
     # ------------------------------------------------------------------ #
     def train(self, aig: Aig, dataset: Optional[BoolGebraDataset] = None) -> TrainingHistory:
-        """Train (design-specifically) on ``aig`` and keep the model for inference."""
+        """Train (design-specifically) on ``aig`` and keep the model for inference.
+
+        With a store attached, a checkpoint trained earlier on the same
+        dataset/model/schedule is restored instead of retraining, making
+        cross-design inference (and any re-run) reuse trained models.
+        """
         config = self.config
         if dataset is None:
             num_training = config.num_training_samples or config.num_samples
             dataset = self.generate_dataset(aig, num_samples=num_training)
         self.training_dataset = dataset
         self.training_design = aig.name
-        self.trainer = Trainer(
-            config=config.training,
-            model_config=config.model,
+        self.trainer, history, self.training_from_cache = train_or_load(
+            dataset,
+            config.model,
+            config.training,
+            train_fraction=config.train_fraction,
+            store=self.store,
+            prebatch=config.prebatch,
         )
-        history = self.trainer.train_on_dataset(dataset, config.train_fraction)
         return history
 
     # ------------------------------------------------------------------ #

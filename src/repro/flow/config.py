@@ -43,6 +43,13 @@ class FlowConfig:
     #: for the in-process loop, ``"process"`` (optionally ``"process:N"``) for
     #: a worker pool, or an :class:`~repro.engine.evaluator.Evaluator`.
     evaluator: Optional[str] = None
+    #: Artifact store backing the run: ``None`` disables caching (the seed
+    #: behaviour), a path string roots a store there, or pass an
+    #: :class:`~repro.store.ArtifactStore` instance to share one across runs.
+    store: Optional[object] = None
+    #: Train through the pinned batch cache (:meth:`Trainer.fit`); the
+    #: per-epoch-rebatch reference loop is byte-identical but slower.
+    prebatch: bool = True
     #: Architecture of the GNN predictor.
     model: ModelConfig = field(default_factory=ModelConfig.paper)
     #: Training schedule.

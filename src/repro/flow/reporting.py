@@ -9,6 +9,7 @@ requiring any plotting dependency.
 from __future__ import annotations
 
 import io
+import json
 from typing import Dict, List, Mapping, Optional, Sequence
 
 
@@ -62,6 +63,41 @@ def results_to_csv(
         with open(path, "w", encoding="ascii") as handle:
             handle.write(text)
     return text
+
+
+def results_to_json(results: Sequence[object], path=None, indent: int = 2) -> str:
+    """Serialize flow results / training histories as JSON (no pickling).
+
+    Accepts any mix of objects exposing ``to_dict`` (``BoolGebraResult``,
+    ``TrainingHistory``, ``OrchestrationResult``, ``SampleRecord``) and plain
+    JSON-serializable values; optionally also writes the text to ``path``.
+    """
+    payload = [
+        value.to_dict() if hasattr(value, "to_dict") else value for value in results
+    ]
+    text = json.dumps(payload, indent=indent, sort_keys=True)
+    if path is not None:
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(text + "\n")
+    return text
+
+
+def results_from_json(path_or_text, result_type=None) -> List[object]:
+    """Load results previously written by :func:`results_to_json`.
+
+    ``result_type`` (a class with ``from_dict``) rebuilds typed objects;
+    without it the raw dictionaries are returned.
+    """
+    if hasattr(path_or_text, "read"):
+        payload = json.load(path_or_text)
+    elif isinstance(path_or_text, str) and path_or_text.lstrip().startswith(("[", "{")):
+        payload = json.loads(path_or_text)
+    else:
+        with open(path_or_text, "r", encoding="ascii") as handle:
+            payload = json.load(handle)
+    if result_type is None:
+        return payload
+    return [result_type.from_dict(entry) for entry in payload]
 
 
 def summarize_ratios(ratios: Mapping[str, float]) -> Dict[str, float]:

@@ -1,0 +1,138 @@
+"""Pinned batch cache for structure-sharing graph samples.
+
+All samples of one BoolGebra dataset describe the *same* design: they share
+the node count, the edge list and the static feature columns, and differ only
+in the dynamic feature tail and the label.  The per-epoch rebatching of the
+reference training loop therefore rebuilds the exact same sparse aggregation
+and pooling operators over and over — the only thing an epoch shuffle changes
+is *which sample's features* land in which block of the stacked feature
+matrix.
+
+:class:`PrebatchedDataset` exploits this: the feature tensor is stacked (and
+normalized) once, the block-diagonal operators are built once per occurring
+batch size, and every epoch is served by a pure index permutation — a fancy
+gather per batch instead of a Python loop plus two sparse-matrix
+constructions.  The produced :class:`~repro.nn.graph.GraphBatch` objects are
+byte-identical to :meth:`GraphBatch.from_samples` on the same sample chunk,
+which is what keeps the prebatched training loop's losses bit-for-bit equal
+to the reference loop's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.features.dataset import GraphSample
+from repro.nn.graph import GraphBatch, default_feature_scale
+
+
+class PrebatchedDataset:
+    """A reusable batch cache over samples sharing one graph structure."""
+
+    def __init__(
+        self,
+        samples: List[GraphSample],
+        batch_size: int,
+        feature_scale: Optional[np.ndarray],
+    ) -> None:
+        self._samples = samples
+        self._batch_size = batch_size
+        self._num_nodes = samples[0].num_nodes
+        self._feature_dim = samples[0].features.shape[1]
+        self._scale = feature_scale
+        # (num_samples, num_nodes, feature_dim), normalized once up front.
+        tensor = np.stack([sample.features for sample in samples])
+        if feature_scale is not None:
+            tensor = tensor / feature_scale
+        self._features = tensor
+        self._labels = np.array(
+            [sample.label for sample in samples], dtype=np.float64
+        )
+        #: batch size -> (aggregation, pooling, graph_index), built lazily.
+        self._operators: Dict[int, Tuple[sp.csr_matrix, sp.csr_matrix, np.ndarray]] = {}
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def batch_size(self) -> int:
+        """Mini-batch size the operators are cached for."""
+        return self._batch_size
+
+    @staticmethod
+    def from_samples(
+        samples: Sequence[GraphSample],
+        batch_size: int,
+        normalize_features: bool = True,
+        feature_scale: Optional[np.ndarray] = None,
+    ) -> Optional["PrebatchedDataset"]:
+        """Build the batch cache, or return ``None`` for ineligible inputs.
+
+        Eligibility requires at least one sample and a shared graph structure
+        (identical node count and edge list across all samples) — callers
+        fall back to the per-epoch rebatching reference loop otherwise, so
+        heterogeneous sample sets keep working unchanged.
+        """
+        samples = list(samples)
+        if not samples or batch_size <= 0:
+            return None
+        first = samples[0]
+        for sample in samples[1:]:
+            if sample.num_nodes != first.num_nodes:
+                return None
+            if sample.features.shape[1] != first.features.shape[1]:
+                return None
+            edges = sample.edge_index
+            if edges is not first.edge_index and not (
+                edges.shape == first.edge_index.shape
+                and np.array_equal(edges, first.edge_index)
+            ):
+                return None
+        if feature_scale is None and normalize_features:
+            feature_scale = default_feature_scale(first.features.shape[1])
+        return PrebatchedDataset(samples, batch_size, feature_scale)
+
+    # ------------------------------------------------------------------ #
+    def _operators_for(
+        self, count: int
+    ) -> Tuple[sp.csr_matrix, sp.csr_matrix, np.ndarray]:
+        """The block-diagonal operators of a ``count``-graph batch (cached).
+
+        Because every sample shares one structure, the operators depend only
+        on the batch size; they are assembled through the exact same code
+        path as the reference loop (:meth:`GraphBatch.from_samples`) so the
+        sparse matrices are structurally and numerically identical.
+        """
+        cached = self._operators.get(count)
+        if cached is None:
+            prototype = GraphBatch.from_samples(
+                self._samples[:count], feature_scale=self._scale
+            )
+            cached = (prototype.aggregation, prototype.pooling, prototype.graph_index)
+            self._operators[count] = cached
+        return cached
+
+    def batches(self, order: np.ndarray) -> Iterator[GraphBatch]:
+        """Yield the epoch's mini-batches for a sample-index permutation."""
+        total = len(self._samples)
+        for start in range(0, total, self._batch_size):
+            chunk = order[start : start + self._batch_size]
+            if not len(chunk):
+                continue
+            count = len(chunk)
+            aggregation, pooling, graph_index = self._operators_for(count)
+            features = self._features[chunk].reshape(
+                count * self._num_nodes, self._feature_dim
+            )
+            labels = self._labels[chunk].reshape(count, 1)
+            yield GraphBatch(
+                features=features,
+                aggregation=aggregation,
+                pooling=pooling,
+                labels=labels,
+                graph_index=graph_index,
+                num_graphs=count,
+            )

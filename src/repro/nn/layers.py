@@ -18,6 +18,19 @@ import numpy as np
 
 from repro.nn.initializers import glorot_uniform, ones, zeros
 
+#: Shared fallback generator for layers constructed without an explicit
+#: ``rng``.  A *shared* stream (rather than a fresh ``default_rng(0)`` per
+#: layer) guarantees that stacked layers draw different initial weights —
+#: per-layer fresh generators silently initialized every layer identically.
+#: Deterministic code should still thread one generator explicitly (as
+#: :class:`repro.nn.model.BoolGebraPredictor` does from ``ModelConfig.seed``).
+_DEFAULT_INIT_RNG = np.random.default_rng(0)
+
+
+def default_init_rng() -> np.random.Generator:
+    """The process-wide fallback initializer stream (see note above)."""
+    return _DEFAULT_INIT_RNG
+
 
 class Parameter:
     """A trainable tensor together with its accumulated gradient."""
@@ -53,7 +66,7 @@ class Linear(Layer):
     """Affine transformation ``y = x @ W + b``."""
 
     def __init__(self, in_features: int, out_features: int, rng: Optional[np.random.Generator] = None, name: str = "linear") -> None:
-        rng = rng or np.random.default_rng(0)
+        rng = rng or default_init_rng()
         self.weight = Parameter(glorot_uniform((in_features, out_features), rng), f"{name}.weight")
         self.bias = Parameter(zeros(out_features), f"{name}.bias")
         self._input: Optional[np.ndarray] = None

@@ -129,8 +129,16 @@ class BoolGebraPredictor:
         hidden = self.dense_layers[2].forward(hidden, training=training)
         return self.output_activation.forward(hidden, training=training)
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        """Backpropagate from the prediction gradient down to the node features."""
+    def backward(
+        self, grad_output: np.ndarray, input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        """Backpropagate from the prediction gradient down to the node features.
+
+        ``input_grad=False`` skips the gradient w.r.t. the raw node features
+        (which nothing consumes during training — the features are data, not
+        activations), saving the bottom convolution's input-gradient matmuls.
+        Parameter gradients are identical either way.
+        """
         grad = self.output_activation.backward(grad_output)
         grad = self.dense_layers[2].backward(grad)
         grad = self.batch_norms[1].backward(grad)
@@ -142,14 +150,17 @@ class BoolGebraPredictor:
         assert self._pooling_cache is not None
         grad = self._pooling_cache.T @ grad
 
-        for conv, activation, dropout in zip(
-            reversed(self.conv_layers),
-            reversed(self.conv_activations),
-            reversed(self.conv_dropouts),
+        bottom = len(self.conv_layers) - 1
+        for index, (conv, activation, dropout) in enumerate(
+            zip(
+                reversed(self.conv_layers),
+                reversed(self.conv_activations),
+                reversed(self.conv_dropouts),
+            )
         ):
             grad = dropout.backward(grad)
             grad = activation.backward(grad)
-            grad = conv.backward(grad)
+            grad = conv.backward(grad, input_grad=input_grad or index < bottom)
         return grad
 
     def predict(self, batch: GraphBatch) -> np.ndarray:

@@ -32,6 +32,16 @@ class Adam:
         self._second_moments: List[np.ndarray] = [
             np.zeros_like(parameter.value) for parameter in self.parameters
         ]
+        # Reusable per-parameter scratch buffers: the update below is written
+        # with explicit ``out=`` targets so one step allocates nothing.  The
+        # arithmetic (values *and* operation order) is identical to the
+        # textbook rendering, so trajectories are bit-for-bit unchanged.
+        self._scratch_a: List[np.ndarray] = [
+            np.empty_like(parameter.value) for parameter in self.parameters
+        ]
+        self._scratch_b: List[np.ndarray] = [
+            np.empty_like(parameter.value) for parameter in self.parameters
+        ]
 
     def zero_grad(self) -> None:
         """Clear the accumulated gradients of all managed parameters."""
@@ -49,15 +59,26 @@ class Adam:
                 grad = grad + self.weight_decay * parameter.value
             first = self._first_moments[index]
             second = self._second_moments[index]
+            scratch = self._scratch_a[index]
+            denominator = self._scratch_b[index]
+            # first = beta1 * first + (1 - beta1) * grad
             first *= self.beta1
-            first += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=scratch)
+            first += scratch
+            # second = beta2 * second + (1 - beta2) * grad * grad (the factor
+            # order matches the textbook expression so rounding is identical)
             second *= self.beta2
-            second += (1.0 - self.beta2) * grad * grad
-            corrected_first = first / bias_correction1
-            corrected_second = second / bias_correction2
-            parameter.value -= self.lr * corrected_first / (
-                np.sqrt(corrected_second) + self.eps
-            )
+            np.multiply(grad, 1.0 - self.beta2, out=scratch)
+            scratch *= grad
+            second += scratch
+            # value -= lr * (first / bc1) / (sqrt(second / bc2) + eps)
+            np.divide(second, bias_correction2, out=denominator)
+            np.sqrt(denominator, out=denominator)
+            denominator += self.eps
+            np.divide(first, bias_correction1, out=scratch)
+            scratch *= self.lr
+            scratch /= denominator
+            parameter.value -= scratch
 
 
 class StepLR:

@@ -18,7 +18,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.nn.initializers import glorot_uniform, zeros
-from repro.nn.layers import Layer, Parameter
+from repro.nn.layers import Layer, Parameter, default_init_rng
 
 
 class SageConv(Layer):
@@ -31,7 +31,9 @@ class SageConv(Layer):
         rng: Optional[np.random.Generator] = None,
         name: str = "sage",
     ) -> None:
-        rng = rng or np.random.default_rng(0)
+        # The shared fallback stream keeps sibling layers distinct; a fresh
+        # per-layer default_rng(0) would initialize every layer identically.
+        rng = rng or default_init_rng()
         self.in_features = in_features
         self.out_features = out_features
         self.weight_self = Parameter(
@@ -61,12 +63,22 @@ class SageConv(Layer):
             + self.bias.value
         )
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(
+        self, grad_output: np.ndarray, input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        """Accumulate parameter gradients; return the input gradient.
+
+        ``input_grad=False`` skips the (comparatively expensive) gradient
+        w.r.t. the layer input — the right call for the bottom layer of a
+        network, whose input is data rather than an upstream activation.
+        """
         assert self._cache is not None, "forward must be called before backward"
         x, neighbours, aggregation = self._cache
         self.weight_self.grad += x.T @ grad_output
         self.weight_neigh.grad += neighbours.T @ grad_output
         self.bias.grad += grad_output.sum(axis=0)
+        if not input_grad:
+            return None
         grad_input = grad_output @ self.weight_self.value.T
         grad_input += aggregation.T @ (grad_output @ self.weight_neigh.value.T)
         return grad_input

@@ -73,6 +73,30 @@ class TrainingHistory:
         """Smallest recorded test loss (``inf`` if no test set was supplied)."""
         return min(self.test_loss) if self.test_loss else float("inf")
 
+    # JSON interchange (used by the artifact store and run reporting) ------ #
+    def to_dict(self) -> Dict:
+        """Return a JSON-serializable rendering of the history."""
+        return {
+            "train_loss": [float(value) for value in self.train_loss],
+            "test_loss": [float(value) for value in self.test_loss],
+            "learning_rates": [float(value) for value in self.learning_rates],
+            "runtime_seconds": float(self.runtime_seconds),
+            "final_report": {
+                key: float(value) for key, value in self.final_report.items()
+            },
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "TrainingHistory":
+        """Rebuild a history previously rendered by :meth:`to_dict`."""
+        return TrainingHistory(
+            train_loss=list(payload.get("train_loss", [])),
+            test_loss=list(payload.get("test_loss", [])),
+            learning_rates=list(payload.get("learning_rates", [])),
+            runtime_seconds=payload.get("runtime_seconds", 0.0),
+            final_report=dict(payload.get("final_report", {})),
+        )
+
 
 class Trainer:
     """Trains a :class:`BoolGebraPredictor` on :class:`BoolGebraDataset` objects."""
@@ -103,11 +127,66 @@ class Trainer:
         train_samples: Sequence[GraphSample],
         test_samples: Optional[Sequence[GraphSample]] = None,
     ) -> TrainingHistory:
-        """Run the full training schedule and return the loss history."""
+        """Run the schedule with per-epoch rebatching (the reference loop).
+
+        Every epoch re-assembles its :class:`GraphBatch` objects — including
+        the sparse aggregation / pooling operators — from scratch.  This is
+        the seed behaviour, retained as the byte-exact reference that
+        :meth:`fit` is asserted against.
+        """
         train_samples = list(train_samples)
         test_samples = list(test_samples) if test_samples is not None else []
         if not train_samples:
             raise ValueError("training requires at least one sample")
+
+        def epoch_batches(epoch: int):
+            return batch_iterator(
+                train_samples,
+                self.config.batch_size,
+                shuffle=self.config.shuffle,
+                seed=self.config.seed + epoch,
+            )
+
+        return self._run_schedule(epoch_batches, train_samples, test_samples)
+
+    def fit(
+        self,
+        train_samples: Sequence[GraphSample],
+        test_samples: Optional[Sequence[GraphSample]] = None,
+    ) -> TrainingHistory:
+        """Run the schedule on the pinned batch cache (the fast path).
+
+        The feature tensor and the block-diagonal sparse operators are built
+        once up front; epochs reshuffle by index permutation only.  Losses,
+        learning rates and the final report are byte-identical to
+        :meth:`train` — sample sets that do not share one graph structure
+        fall back to the reference loop transparently.
+        """
+        train_samples = list(train_samples)
+        test_samples = list(test_samples) if test_samples is not None else []
+        if not train_samples:
+            raise ValueError("training requires at least one sample")
+        from repro.nn.batching import PrebatchedDataset
+
+        plan = PrebatchedDataset.from_samples(train_samples, self.config.batch_size)
+        if plan is None:
+            return self.train(train_samples, test_samples)
+
+        def epoch_batches(epoch: int):
+            order = np.arange(len(train_samples))
+            if self.config.shuffle:
+                np.random.default_rng(self.config.seed + epoch).shuffle(order)
+            return plan.batches(order)
+
+        return self._run_schedule(epoch_batches, train_samples, test_samples)
+
+    def _run_schedule(
+        self,
+        epoch_batches,
+        train_samples: List[GraphSample],
+        test_samples: List[GraphSample],
+    ) -> TrainingHistory:
+        """The shared epoch loop; ``epoch_batches(epoch)`` yields the batches."""
         history = TrainingHistory()
         start = time.perf_counter()
         test_batch = (
@@ -115,12 +194,7 @@ class Trainer:
         )
         for epoch in range(self.config.epochs):
             epoch_losses = []
-            for batch in batch_iterator(
-                train_samples,
-                self.config.batch_size,
-                shuffle=self.config.shuffle,
-                seed=self.config.seed + epoch,
-            ):
+            for batch in epoch_batches(epoch):
                 epoch_losses.append(self._train_step(batch))
             history.train_loss.append(float(np.mean(epoch_losses)))
             if test_batch is not None:
@@ -146,16 +220,25 @@ class Trainer:
         self,
         dataset: BoolGebraDataset,
         train_fraction: float = 0.8,
+        prebatch: bool = True,
     ) -> TrainingHistory:
-        """Convenience wrapper: split ``dataset`` and train on the training part."""
+        """Convenience wrapper: split ``dataset`` and train on the training part.
+
+        ``prebatch=True`` (default) trains through the pinned batch cache of
+        :meth:`fit`; both paths produce byte-identical histories.
+        """
         train_set, test_set = dataset.split(train_fraction, seed=self.config.seed)
+        if prebatch:
+            return self.fit(train_set.samples, test_set.samples)
         return self.train(train_set.samples, test_set.samples)
 
     def _train_step(self, batch: GraphBatch) -> float:
         predictions = self.model.forward(batch, training=True)
         loss_value = self.loss.forward(predictions, batch.labels)
         self.optimizer.zero_grad()
-        self.model.backward(self.loss.backward())
+        # The gradient w.r.t. the raw node features is never consumed during
+        # training; skipping it drops the bottom conv's input-grad matmuls.
+        self.model.backward(self.loss.backward(), input_grad=False)
         self.optimizer.step()
         return loss_value
 

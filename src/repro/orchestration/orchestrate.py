@@ -64,6 +64,48 @@ class OrchestrationResult:
             f"({ops}, skipped={self.skipped}, {self.runtime_seconds:.2f}s)"
         )
 
+    # JSON interchange (used by the artifact store and run reporting) ------ #
+    def to_dict(self) -> Dict:
+        """Return a JSON-serializable rendering of the result."""
+        return {
+            "design": self.design,
+            "size_before": self.size_before,
+            "size_after": self.size_after,
+            "depth_before": self.depth_before,
+            "depth_after": self.depth_after,
+            "applied_counts": {
+                str(int(operation)): count
+                for operation, count in sorted(self.applied_counts.items())
+            },
+            "applied_nodes": {
+                str(node): int(operation)
+                for node, operation in sorted(self.applied_nodes.items())
+            },
+            "skipped": self.skipped,
+            "runtime_seconds": self.runtime_seconds,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "OrchestrationResult":
+        """Rebuild a result previously rendered by :meth:`to_dict`."""
+        return OrchestrationResult(
+            design=payload["design"],
+            size_before=payload["size_before"],
+            size_after=payload["size_after"],
+            depth_before=payload["depth_before"],
+            depth_after=payload["depth_after"],
+            applied_counts={
+                Operation(int(key)): count
+                for key, count in payload.get("applied_counts", {}).items()
+            },
+            applied_nodes={
+                int(node): Operation(operation)
+                for node, operation in payload.get("applied_nodes", {}).items()
+            },
+            skipped=payload.get("skipped", 0),
+            runtime_seconds=payload.get("runtime_seconds", 0.0),
+        )
+
 
 def orchestrate(
     aig: Aig,

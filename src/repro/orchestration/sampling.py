@@ -47,6 +47,31 @@ class SampleRecord:
         """Node reduction achieved by this sample, available after evaluation."""
         return None if self.result is None else self.result.reduction
 
+    # JSON interchange (used by the artifact store) --------------------- #
+    def to_dict(self) -> Dict:
+        """Return a JSON-serializable rendering of the record."""
+        return {
+            "decisions": {
+                str(node): int(operation)
+                for node, operation in sorted(self.decisions.items())
+            },
+            "result": None if self.result is None else self.result.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "SampleRecord":
+        """Rebuild a record previously rendered by :meth:`to_dict`."""
+        result = payload.get("result")
+        return SampleRecord(
+            decisions=DecisionVector(
+                {
+                    int(node): Operation(operation)
+                    for node, operation in payload["decisions"].items()
+                }
+            ),
+            result=None if result is None else OrchestrationResult.from_dict(result),
+        )
+
 
 class RandomSampler:
     """Uniformly random per-node operation assignment."""

@@ -1,0 +1,36 @@
+"""Content-addressed artifact store backing the learning pipeline.
+
+Public surface:
+
+* :class:`~repro.store.artifacts.ArtifactStore` — disk-backed cache of
+  evaluated sample batches, built datasets, trained model checkpoints and
+  JSON run results, with per-kind hit/miss statistics.
+* :mod:`~repro.store.fingerprint` — structural AIG fingerprints and canonical
+  configuration fingerprints that form the cache keys.
+* :mod:`~repro.store.pipeline` — cache-backed sample/evaluate/build/train
+  helpers shared by the flow, the experiment harness and the benchmarks.
+"""
+
+from repro.store.artifacts import ArtifactStore, StoreStats, default_store_root
+from repro.store.fingerprint import aig_fingerprint, combine_keys, config_fingerprint
+from repro.store.pipeline import (
+    dataset_for,
+    dataset_key,
+    model_key,
+    sample_records,
+    train_or_load,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "StoreStats",
+    "default_store_root",
+    "aig_fingerprint",
+    "combine_keys",
+    "config_fingerprint",
+    "dataset_for",
+    "dataset_key",
+    "model_key",
+    "sample_records",
+    "train_or_load",
+]

@@ -1,0 +1,383 @@
+"""Disk-backed, content-addressed artifact store for the learning pipeline.
+
+The store caches the three expensive products of a BoolGebra run, each in its
+own subdirectory and format:
+
+``samples/<key>.json``
+    Evaluated :class:`~repro.orchestration.sampling.SampleRecord` batches
+    (decision vectors + orchestration outcomes), stored as plain JSON.
+``datasets/<key>.npz``
+    Built :class:`~repro.features.dataset.BoolGebraDataset` objects: the
+    shared static feature matrix, the per-sample dynamic feature tensor, the
+    edge list and the label/metadata vectors, with the evaluated records as a
+    JSON sidecar so rebuilt samples keep their provenance.
+``models/<key>.npz``
+    Trained :class:`~repro.nn.model.BoolGebraPredictor` checkpoints (every
+    ``Parameter`` plus batch-norm running statistics, ``save_npz`` format).
+``results/<key>.json``
+    Arbitrary JSON payloads (training histories, flow results).
+
+Keys are produced by :mod:`repro.store.fingerprint`: an artifact is
+invalidated by *changing its inputs* (design structure, sampler / operation /
+model / training configuration), never by mutation in place — a warm store
+entry is immutable.  Hit / miss / write counters are kept per kind so callers
+(and the test-suite) can assert cache behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import zipfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.features.dataset import BoolGebraDataset, GraphSample
+from repro.features.encoding import GraphEncoding
+from repro.orchestration.sampling import SampleRecord
+
+#: Artifact kinds and their on-disk file extension.
+KINDS = {
+    "samples": ".json",
+    "datasets": ".npz",
+    "models": ".npz",
+    "results": ".json",
+}
+
+#: Environment variable overriding the default store location.
+STORE_ENV_VAR = "BOOLGEBRA_STORE"
+
+
+def default_store_root() -> str:
+    """Return the default store directory (env override, else user cache)."""
+    env = os.environ.get(STORE_ENV_VAR)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "boolgebra")
+
+
+@dataclass
+class StoreStats:
+    """Hit / miss / write counters, per artifact kind."""
+
+    hits: Dict[str, int] = field(default_factory=dict)
+    misses: Dict[str, int] = field(default_factory=dict)
+    writes: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, counter: Dict[str, int], kind: str) -> None:
+        counter[kind] = counter.get(kind, 0) + 1
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+
+class ArtifactStore:
+    """Content-addressed cache of evaluated samples, datasets and models."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or default_store_root()
+        self.stats = StoreStats()
+
+    @staticmethod
+    def resolve(
+        spec: Union[None, str, os.PathLike, "ArtifactStore"],
+    ) -> Optional["ArtifactStore"]:
+        """Normalize a store specification (``None`` disables caching)."""
+        if spec is None:
+            return None
+        if isinstance(spec, ArtifactStore):
+            return spec
+        return ArtifactStore(os.fspath(spec))
+
+    # ------------------------------------------------------------------ #
+    # Paths and bookkeeping
+    # ------------------------------------------------------------------ #
+    def path(self, kind: str, key: str) -> str:
+        """Absolute path of the artifact ``key`` of ``kind``."""
+        if kind not in KINDS:
+            raise ValueError(f"unknown artifact kind {kind!r} (expected {sorted(KINDS)})")
+        return os.path.join(self.root, kind, key + KINDS[kind])
+
+    def _lookup(self, kind: str, key: str, sidecar: str = "") -> Optional[str]:
+        """Resolve an artifact to its path, recording a hit or a miss.
+
+        ``sidecar`` names a companion suffix that must exist alongside the
+        artifact for the entry to count as complete (a crash between the two
+        writes must read as a miss, not as a hit that then fails).
+        """
+        path = self.path(kind, key)
+        if os.path.exists(path) and (
+            not sidecar or os.path.exists(path + sidecar)
+        ):
+            self.stats.record(self.stats.hits, kind)
+            return path
+        self.stats.record(self.stats.misses, kind)
+        return None
+
+    def _prepare(self, kind: str, key: str) -> str:
+        path = self.path(kind, key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        self.stats.record(self.stats.writes, kind)
+        return path
+
+    @staticmethod
+    def _replace_into(path: str, write):
+        """Write via a same-directory temp file + atomic rename.
+
+        Readers of a shared store (the default root is shared across
+        processes) must never observe a partially written artifact; a crash
+        mid-write leaves at most a stray ``.tmp`` file, never a truncated
+        entry under its final name.
+        """
+        handle, temp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                write(stream)
+            os.replace(temp_path, path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+
+    #: Exceptions treated as "corrupt or unreadable artifact" — loads fall
+    #: back to a miss instead of crashing every warm run on a bad entry.
+    _LOAD_ERRORS = (OSError, ValueError, KeyError, zipfile.BadZipFile)
+
+    def contains(self, kind: str, key: str) -> bool:
+        """Return whether the artifact exists (without touching the counters)."""
+        return os.path.exists(self.path(kind, key))
+
+    def info(self) -> Dict[str, Dict[str, int]]:
+        """Per-kind entry counts and byte totals of the store on disk.
+
+        Entries are counted by the kind's primary extension; bytes cover
+        every file in the kind directory, so companion files (the datasets'
+        ``.meta.json`` record sidecars) are included in the totals.
+        """
+        report: Dict[str, Dict[str, int]] = {}
+        for kind, extension in KINDS.items():
+            directory = os.path.join(self.root, kind)
+            count = 0
+            total_bytes = 0
+            if os.path.isdir(directory):
+                for entry in os.listdir(directory):
+                    if entry.endswith(extension):
+                        count += 1
+                    total_bytes += os.path.getsize(os.path.join(directory, entry))
+            report[kind] = {"entries": count, "bytes": total_bytes}
+        return report
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete all artifacts (of one kind, or everything); return the count."""
+        kinds = [kind] if kind is not None else list(KINDS)
+        removed = 0
+        for name in kinds:
+            if name not in KINDS:
+                raise ValueError(f"unknown artifact kind {name!r} (expected {sorted(KINDS)})")
+            directory = os.path.join(self.root, name)
+            if os.path.isdir(directory):
+                removed += sum(
+                    1 for entry in os.listdir(directory) if entry.endswith(KINDS[name])
+                )
+                shutil.rmtree(directory)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Evaluated sample batches
+    # ------------------------------------------------------------------ #
+    def save_samples(self, key: str, records: List[SampleRecord]) -> str:
+        """Persist an evaluated sample batch as JSON; return the path."""
+        path = self._prepare("samples", key)
+        payload = {"records": [record.to_dict() for record in records]}
+        text = json.dumps(payload, sort_keys=True).encode("ascii")
+        self._replace_into(path, lambda stream: stream.write(text))
+        return path
+
+    def load_samples(self, key: str) -> Optional[List[SampleRecord]]:
+        """Return the cached sample batch, or ``None`` on a miss/corruption."""
+        path = self._lookup("samples", key)
+        if path is None:
+            return None
+        try:
+            with open(path, "r", encoding="ascii") as handle:
+                payload = json.load(handle)
+            return [SampleRecord.from_dict(entry) for entry in payload["records"]]
+        except self._LOAD_ERRORS:
+            return None
+
+    # ------------------------------------------------------------------ #
+    # Built datasets
+    # ------------------------------------------------------------------ #
+    def save_dataset(self, key: str, dataset: BoolGebraDataset) -> str:
+        """Persist a built dataset (arrays as npz, records as a JSON sidecar)."""
+        if dataset.encoding is None:
+            raise ValueError("only datasets carrying their GraphEncoding can be stored")
+        encoding = dataset.encoding
+        samples = dataset.samples
+        feature_width = samples[0].features.shape[1] if samples else 0
+        # All samples of one dataset share the design, the encoding and the
+        # static feature columns; only the dynamic tail differs per sample.
+        from repro.features.dataset import FEATURE_DIM
+        from repro.features.dynamic_features import DYNAMIC_FEATURE_DIM
+
+        if samples and feature_width != FEATURE_DIM:
+            raise ValueError(
+                f"dataset feature width {feature_width} does not match FEATURE_DIM"
+            )
+        static = (
+            samples[0].features[:, : FEATURE_DIM - DYNAMIC_FEATURE_DIM]
+            if samples
+            else np.zeros((encoding.num_nodes, FEATURE_DIM - DYNAMIC_FEATURE_DIM))
+        )
+        dynamic = np.stack(
+            [sample.features[:, FEATURE_DIM - DYNAMIC_FEATURE_DIM :] for sample in samples]
+        ) if samples else np.zeros((0, encoding.num_nodes, DYNAMIC_FEATURE_DIM))
+        path = self._prepare("datasets", key)
+        records = [
+            sample.record.to_dict() if sample.record is not None else None
+            for sample in samples
+        ]
+        sidecar_text = json.dumps(
+            {"design": dataset.design, "records": records}, sort_keys=True
+        ).encode("ascii")
+        # The sidecar lands first so a complete npz implies a complete entry
+        # (lookups require both files before reporting a hit either way).
+        self._replace_into(
+            path + ".meta.json", lambda stream: stream.write(sidecar_text)
+        )
+        self._replace_into(
+            path,
+            lambda stream: np.savez(
+                stream,
+                static=static,
+                dynamic=dynamic,
+                edge_index=encoding.edge_index,
+                edge_inverted=encoding.edge_inverted,
+                node_ids=np.asarray(encoding.node_ids, dtype=np.int64),
+                num_pis=np.int64(encoding.num_pis),
+                labels=np.asarray([sample.label for sample in samples], dtype=np.float64),
+                reductions=np.asarray(
+                    [sample.reduction for sample in samples], dtype=np.int64
+                ),
+                size_afters=np.asarray(
+                    [sample.size_after for sample in samples], dtype=np.int64
+                ),
+                best_reduction=np.int64(dataset.best_reduction),
+            ),
+        )
+        return path
+
+    def load_dataset(self, key: str) -> Optional[BoolGebraDataset]:
+        """Rebuild a cached dataset, or return ``None`` on a miss/corruption."""
+        path = self._lookup("datasets", key, sidecar=".meta.json")
+        if path is None:
+            return None
+        try:
+            with open(path + ".meta.json", "r", encoding="ascii") as handle:
+                sidecar = json.load(handle)
+            with np.load(path) as archive:
+                static = archive["static"]
+                dynamic = archive["dynamic"]
+                edge_index = archive["edge_index"]
+                edge_inverted = archive["edge_inverted"]
+                node_ids = [int(node) for node in archive["node_ids"]]
+                num_pis = int(archive["num_pis"])
+                labels = archive["labels"]
+                reductions = archive["reductions"]
+                size_afters = archive["size_afters"]
+                best_reduction = int(archive["best_reduction"])
+        except self._LOAD_ERRORS:
+            return None
+        design = sidecar["design"]
+        encoding = GraphEncoding(
+            design=design,
+            node_ids=node_ids,
+            node_index={node: row for row, node in enumerate(node_ids)},
+            edge_index=edge_index,
+            edge_inverted=edge_inverted,
+            num_pis=num_pis,
+        )
+        samples = []
+        for index, record_payload in enumerate(sidecar["records"]):
+            features = np.concatenate([static, dynamic[index]], axis=1)
+            record = (
+                SampleRecord.from_dict(record_payload)
+                if record_payload is not None
+                else None
+            )
+            samples.append(
+                GraphSample(
+                    design=design,
+                    features=features,
+                    edge_index=edge_index,
+                    label=float(labels[index]),
+                    reduction=int(reductions[index]),
+                    size_after=int(size_afters[index]),
+                    record=record,
+                )
+            )
+        dataset = BoolGebraDataset(
+            design=design,
+            samples=samples,
+            best_reduction=best_reduction,
+            encoding=encoding,
+        )
+        dataset.cache_key = key
+        return dataset
+
+    # ------------------------------------------------------------------ #
+    # Model checkpoints
+    # ------------------------------------------------------------------ #
+    def save_model(self, key: str, model) -> str:
+        """Persist a trained predictor checkpoint; return the path."""
+        path = self._prepare("models", key)
+        self._replace_into(path, model.save)
+        return path
+
+    def load_model(self, key: str, config=None):
+        """Restore a cached predictor (``None`` on a miss/corruption).
+
+        ``config`` must match the architecture the checkpoint was trained
+        with, exactly as for :meth:`repro.nn.model.BoolGebraPredictor.load`.
+        """
+        path = self._lookup("models", key)
+        if path is None:
+            return None
+        from repro.nn.model import BoolGebraPredictor
+
+        try:
+            return BoolGebraPredictor.load(path, config)
+        except self._LOAD_ERRORS:
+            return None
+
+    # ------------------------------------------------------------------ #
+    # JSON results (training histories, flow outcomes)
+    # ------------------------------------------------------------------ #
+    def save_result(self, key: str, payload: Dict) -> str:
+        """Persist a JSON-serializable payload under ``results``."""
+        path = self._prepare("results", key)
+        text = json.dumps(payload, sort_keys=True).encode("ascii")
+        self._replace_into(path, lambda stream: stream.write(text))
+        return path
+
+    def load_result(self, key: str) -> Optional[Dict]:
+        """Return the cached JSON payload, or ``None`` on a miss/corruption."""
+        path = self._lookup("results", key)
+        if path is None:
+            return None
+        try:
+            with open(path, "r", encoding="ascii") as handle:
+                return json.load(handle)
+        except self._LOAD_ERRORS:
+            return None

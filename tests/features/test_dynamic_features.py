@@ -55,3 +55,38 @@ def test_different_samples_produce_different_features(example_aig):
     first = dynamic_feature_matrix(example_aig, encoding, rewrite_result.applied_nodes)
     second = dynamic_feature_matrix(example_aig, encoding, refactor_result.applied_nodes)
     assert not np.array_equal(first, second)
+
+
+def test_dynamic_feature_batch_matches_per_sample():
+    from repro.circuits.benchmarks import load_benchmark
+    from repro.features.dynamic_features import (
+        dynamic_feature_batch,
+        dynamic_feature_matrix,
+    )
+    from repro.features.encoding import encode_graph
+    from repro.orchestration.sampling import PriorityGuidedSampler, evaluate_samples
+
+    aig = load_benchmark("b08")
+    sampler = PriorityGuidedSampler(aig, seed=2)
+    records = evaluate_samples(aig, sampler.generate(4))
+    encoding = encode_graph(aig)
+    applied = [record.result.applied_nodes for record in records]
+    batch = dynamic_feature_batch(aig, encoding, applied)
+    assert batch.shape[0] == len(records)
+    for index, applied_nodes in enumerate(applied):
+        reference = dynamic_feature_matrix(aig, encoding, applied_nodes)
+        assert batch[index].tobytes() == reference.tobytes()
+
+
+def test_feature_context_cached_and_invalidated():
+    from repro.circuits.generators import alu_slice
+    from repro.features.incremental import feature_context
+
+    aig = alu_slice(2, name="ctx")
+    first = feature_context(aig)
+    assert feature_context(aig) is first  # same structure version -> cached
+    pis = aig.pis()
+    aig.add_po(aig.add_and(2 * pis[0], 2 * pis[1]))
+    second = feature_context(aig)
+    assert second is not first
+    assert second.version == aig.modification_count

@@ -60,3 +60,20 @@ def test_empty_graph_encoding():
     assert encoding.num_nodes == 1
     assert encoding.num_edges == 0
     assert encoding.edge_index.shape == (2, 0)
+
+
+def test_vectorized_encoding_matches_reference():
+    from repro.circuits.benchmarks import load_benchmark
+    from repro.features.encoding import encode_graph, encode_graph_reference
+
+    for name in ("b08", "b10"):
+        aig = load_benchmark(name)
+        for undirected in (True, False):
+            fast = encode_graph(aig, undirected=undirected)
+            reference = encode_graph_reference(aig, undirected=undirected)
+            assert fast.node_ids == reference.node_ids
+            assert fast.node_index == reference.node_index
+            assert fast.num_pis == reference.num_pis
+            assert fast.edge_index.dtype == reference.edge_index.dtype
+            assert np.array_equal(fast.edge_index, reference.edge_index)
+            assert np.array_equal(fast.edge_inverted, reference.edge_inverted)

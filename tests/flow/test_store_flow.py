@@ -1,0 +1,121 @@
+"""Flow determinism and artifact-store cache behaviour.
+
+Covers the PR's acceptance assertions: the same seed yields an identical
+``BoolGebraResult`` regardless of the evaluation backend, and a second flow
+run against a warm store reproduces the cold run exactly while skipping
+sample re-evaluation and model retraining.
+"""
+
+import dataclasses
+import io
+
+import pytest
+
+from repro.circuits.benchmarks import load_benchmark
+from repro.engine.evaluator import ProcessPoolEvaluator, SerialEvaluator
+from repro.flow.boolgebra import BoolGebraFlow, BoolGebraResult
+from repro.flow.config import fast_config
+from repro.flow.reporting import results_from_json, results_to_json
+from repro.nn.trainer import TrainingHistory
+
+
+def _flow_config(**overrides):
+    config = fast_config(num_samples=10, top_k=3, epochs=4)
+    return dataclasses.replace(config, **overrides) if overrides else config
+
+
+def _comparable(result: BoolGebraResult) -> dict:
+    payload = result.to_dict()
+    payload["runtime_seconds"] = 0.0
+    if payload["training_history"] is not None:
+        payload["training_history"]["runtime_seconds"] = 0.0
+    return payload
+
+
+@pytest.fixture(scope="module")
+def design():
+    return load_benchmark("b08")
+
+
+class _ForbiddenEvaluator:
+    """Fails the test if the flow evaluates anything (warm-store assertions)."""
+
+    def evaluate(self, aig, decision_vectors, params=None):
+        raise AssertionError("flow evaluated samples despite a warm store")
+
+
+# --------------------------------------------------------------------------- #
+# Backend determinism
+# --------------------------------------------------------------------------- #
+def test_flow_identical_across_evaluators(design):
+    serial = BoolGebraFlow(_flow_config(evaluator=SerialEvaluator())).run(design)
+    pooled = BoolGebraFlow(
+        _flow_config(evaluator=ProcessPoolEvaluator(max_workers=2, chunk_size=3))
+    ).run(design)
+    assert _comparable(serial) == _comparable(pooled)
+
+
+# --------------------------------------------------------------------------- #
+# Cold vs. warm store
+# --------------------------------------------------------------------------- #
+def test_cold_then_warm_store_run(design, tmp_path):
+    config = _flow_config(store=str(tmp_path / "store"))
+    cold_flow = BoolGebraFlow(config)
+    cold = cold_flow.run(design)
+    assert not cold_flow.training_from_cache
+    assert cold_flow.store.stats.total_hits == 0
+    assert cold_flow.store.stats.writes  # artifacts were persisted
+
+    warm_flow = BoolGebraFlow(config)
+    warm = warm_flow.run(design)
+    assert warm_flow.training_from_cache
+    assert warm_flow.store.stats.hits.get("datasets", 0) >= 2  # train + candidates
+    assert warm_flow.store.stats.hits.get("models", 0) == 1
+    assert _comparable(warm) == _comparable(cold)
+
+
+def test_warm_store_skips_sample_evaluation(design, tmp_path):
+    config = _flow_config(store=str(tmp_path / "store"))
+    BoolGebraFlow(config).run(design)
+    warm_config = dataclasses.replace(config, evaluator=_ForbiddenEvaluator())
+    warm = BoolGebraFlow(warm_config).run(design)
+    assert warm.design == design.name
+
+
+def test_store_shared_across_designs_and_flows(design, tmp_path):
+    store_path = str(tmp_path / "store")
+    config = _flow_config(store=store_path)
+    flow = BoolGebraFlow(config)
+    history = flow.train(design)
+    assert history.epochs == config.training.epochs
+    # A second flow over the same store reuses the checkpoint for training
+    # and only pays for the fresh candidate evaluation.
+    other = BoolGebraFlow(config)
+    result = other.run_cross_design(design, load_benchmark("b10"))
+    assert other.training_from_cache
+    assert result.design == "b10"
+
+
+# --------------------------------------------------------------------------- #
+# JSON round trips
+# --------------------------------------------------------------------------- #
+def test_result_json_round_trip(design):
+    result = BoolGebraFlow(_flow_config()).run(design)
+    restored = BoolGebraResult.from_dict(result.to_dict())
+    assert restored.to_dict() == result.to_dict()
+    assert restored.best_ratio == result.best_ratio
+    assert isinstance(restored.training_history, TrainingHistory)
+
+
+def test_results_to_json_and_back(design, tmp_path):
+    result = BoolGebraFlow(_flow_config()).run(design)
+    path = tmp_path / "results.json"
+    text = results_to_json([result], path=str(path))
+    assert path.exists()
+    from_text = results_from_json(text, BoolGebraResult)
+    from_file = results_from_json(str(path), BoolGebraResult)
+    from_handle = results_from_json(io.StringIO(text), BoolGebraResult)
+    for restored in (from_text[0], from_file[0], from_handle[0]):
+        assert restored.to_dict() == result.to_dict()
+    raw = results_from_json(text)
+    assert raw[0]["design"] == result.design

@@ -1,0 +1,56 @@
+"""Initializer-rng threading: sibling layers must not share initial weights."""
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.nn.model import BoolGebraPredictor, ModelConfig
+from repro.nn.sage import SageConv
+
+
+def test_default_constructed_sage_layers_differ():
+    first = SageConv(6, 6)
+    second = SageConv(6, 6)
+    assert not np.array_equal(first.weight_self.value, second.weight_self.value)
+    assert not np.array_equal(first.weight_neigh.value, second.weight_neigh.value)
+
+
+def test_default_constructed_linear_layers_differ():
+    first = Linear(5, 5)
+    second = Linear(5, 5)
+    assert not np.array_equal(first.weight.value, second.weight.value)
+
+
+def test_explicit_rng_still_reproducible():
+    first = SageConv(4, 3, rng=np.random.default_rng(9))
+    second = SageConv(4, 3, rng=np.random.default_rng(9))
+    assert np.array_equal(first.weight_self.value, second.weight_self.value)
+    assert np.array_equal(first.weight_neigh.value, second.weight_neigh.value)
+
+
+def test_model_stacked_layers_initialize_differently():
+    model = BoolGebraPredictor(ModelConfig.small())
+    conv1, conv2 = model.conv_layers[1], model.conv_layers[2]
+    # Same input width: directly comparable shapes must not coincide.
+    assert conv1.weight_self.value.shape[0] == conv2.weight_self.value.shape[0]
+    width = min(conv1.weight_self.value.shape[1], conv2.weight_self.value.shape[1])
+    assert not np.array_equal(
+        conv1.weight_self.value[:, :width], conv2.weight_self.value[:, :width]
+    )
+    dense0, dense1 = model.dense_layers[0], model.dense_layers[1]
+    rows = min(dense0.weight.value.shape[0], dense1.weight.value.shape[0])
+    cols = min(dense0.weight.value.shape[1], dense1.weight.value.shape[1])
+    assert not np.array_equal(
+        dense0.weight.value[:rows, :cols], dense1.weight.value[:rows, :cols]
+    )
+
+
+def test_model_seed_reproducible_and_distinct():
+    first = BoolGebraPredictor(ModelConfig.small(seed=3))
+    second = BoolGebraPredictor(ModelConfig.small(seed=3))
+    third = BoolGebraPredictor(ModelConfig.small(seed=4))
+    for a, b in zip(first.parameters(), second.parameters()):
+        assert np.array_equal(a.value, b.value)
+    assert any(
+        not np.array_equal(a.value, c.value)
+        for a, c in zip(first.parameters(), third.parameters())
+    )

@@ -88,3 +88,25 @@ def test_step_lr_rejects_bad_step_size():
     optimizer = Adam([Parameter(np.zeros(1))])
     with pytest.raises(ValueError):
         StepLR(optimizer, step_size=0)
+
+
+def test_adam_scratch_update_matches_textbook_formula():
+    """The allocation-free update must be bit-for-bit the textbook Adam."""
+    rng = np.random.default_rng(11)
+    value = rng.normal(size=(6, 4))
+    parameter = Parameter(value.copy(), "p")
+    optimizer = Adam([parameter], lr=1e-2)
+    beta1, beta2, eps = optimizer.beta1, optimizer.beta2, optimizer.eps
+    first = np.zeros_like(value)
+    second = np.zeros_like(value)
+    expected = value.copy()
+    for step in range(1, 6):
+        grad = rng.normal(size=value.shape)
+        parameter.grad[...] = grad
+        optimizer.step()
+        first = beta1 * first + (1.0 - beta1) * grad
+        second = beta2 * second + (1.0 - beta2) * grad * grad
+        corrected_first = first / (1.0 - beta1**step)
+        corrected_second = second / (1.0 - beta2**step)
+        expected -= 1e-2 * corrected_first / (np.sqrt(corrected_second) + eps)
+        assert parameter.value.tobytes() == expected.tobytes(), step

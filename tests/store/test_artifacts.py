@@ -1,0 +1,163 @@
+"""Tests for the disk-backed artifact store."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.circuits.benchmarks import load_benchmark
+from repro.features.dataset import build_dataset
+from repro.nn.model import BoolGebraPredictor, ModelConfig
+from repro.orchestration.sampling import (
+    PriorityGuidedSampler,
+    SampleRecord,
+    evaluate_samples,
+)
+from repro.store.artifacts import ArtifactStore, default_store_root
+from repro.nn.graph import GraphBatch
+
+
+@pytest.fixture(scope="module")
+def design():
+    return load_benchmark("b08")
+
+
+@pytest.fixture(scope="module")
+def records(design):
+    sampler = PriorityGuidedSampler(design, seed=1)
+    return evaluate_samples(design, sampler.generate(4))
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(str(tmp_path / "store"))
+
+
+def test_resolve_specifications(tmp_path):
+    assert ArtifactStore.resolve(None) is None
+    from_path = ArtifactStore.resolve(str(tmp_path))
+    assert isinstance(from_path, ArtifactStore)
+    assert ArtifactStore.resolve(from_path) is from_path
+
+
+def test_default_root_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("BOOLGEBRA_STORE", str(tmp_path))
+    assert default_store_root() == str(tmp_path)
+
+
+def test_samples_round_trip(store, records):
+    assert store.load_samples("k") is None
+    store.save_samples("k", records)
+    loaded = store.load_samples("k")
+    assert len(loaded) == len(records)
+    for original, restored in zip(records, loaded):
+        assert isinstance(restored, SampleRecord)
+        assert restored.to_dict() == original.to_dict()
+        assert restored.size_after == original.size_after
+    assert store.stats.hits == {"samples": 1}
+    assert store.stats.misses == {"samples": 1}
+    assert store.stats.writes == {"samples": 1}
+
+
+def test_dataset_round_trip_byte_identical(store, design, records):
+    dataset = build_dataset(design, records)
+    store.save_dataset("d", dataset)
+    loaded = store.load_dataset("d")
+    assert loaded is not None
+    assert loaded.design == dataset.design
+    assert loaded.best_reduction == dataset.best_reduction
+    assert loaded.cache_key == "d"
+    assert loaded.encoding.node_ids == dataset.encoding.node_ids
+    assert np.array_equal(loaded.encoding.edge_index, dataset.encoding.edge_index)
+    for original, restored in zip(dataset.samples, loaded.samples):
+        assert restored.features.tobytes() == original.features.tobytes()
+        assert restored.label == original.label
+        assert restored.reduction == original.reduction
+        assert restored.size_after == original.size_after
+        assert restored.record.to_dict() == original.record.to_dict()
+
+
+def test_model_round_trip_identical_predictions(store, design, records):
+    dataset = build_dataset(design, records)
+    config = ModelConfig.small()
+    model = BoolGebraPredictor(config)
+    store.save_model("m", model)
+    restored = store.load_model("m", config)
+    batch = GraphBatch.from_samples(dataset.samples)
+    assert np.array_equal(model.predict(batch), restored.predict(batch))
+
+
+def test_results_round_trip(store):
+    payload = {"loss": [1.0, 0.5], "name": "run"}
+    assert store.load_result("r") is None
+    store.save_result("r", payload)
+    assert store.load_result("r") == payload
+
+
+def test_info_and_clear(store, records):
+    store.save_samples("a", records)
+    store.save_result("b", {"x": 1})
+    info = store.info()
+    assert info["samples"]["entries"] == 1
+    assert info["results"]["entries"] == 1
+    assert info["samples"]["bytes"] > 0
+    assert store.clear("results") == 1
+    assert store.info()["results"]["entries"] == 0
+    assert store.info()["samples"]["entries"] == 1
+    assert store.clear() == 1
+    assert all(entry["entries"] == 0 for entry in store.info().values())
+
+
+def test_unknown_kind_rejected(store):
+    with pytest.raises(ValueError):
+        store.path("weights", "k")
+    with pytest.raises(ValueError):
+        store.clear("weights")
+
+
+def test_contains_does_not_touch_counters(store, records):
+    assert not store.contains("samples", "k")
+    store.save_samples("k", records)
+    assert store.contains("samples", "k")
+    assert store.stats.hits == {}
+    assert store.stats.misses == {}
+
+
+def test_corrupt_artifacts_read_as_misses(store, design, records):
+    """Truncated entries must fall back to recomputation, not crash warm runs."""
+    dataset = build_dataset(design, records)
+    store.save_samples("k", records)
+    store.save_dataset("d", dataset)
+    store.save_model("m", BoolGebraPredictor(ModelConfig.small()))
+    store.save_result("r", {"x": 1})
+    for kind, key in [("samples", "k"), ("datasets", "d"), ("models", "m"), ("results", "r")]:
+        with open(store.path(kind, key), "wb") as handle:
+            handle.write(b"\x00garbage")
+    assert store.load_samples("k") is None
+    assert store.load_dataset("d") is None
+    assert store.load_model("m", ModelConfig.small()) is None
+    assert store.load_result("r") is None
+
+
+def test_dataset_without_sidecar_counts_as_miss(store, design, records):
+    dataset = build_dataset(design, records)
+    store.save_dataset("d", dataset)
+    os.remove(store.path("datasets", "d") + ".meta.json")
+    assert store.load_dataset("d") is None
+    assert store.stats.hits.get("datasets", 0) == 0
+    assert store.stats.misses.get("datasets", 0) == 1
+
+
+def test_no_temp_files_left_behind(store, records):
+    store.save_samples("k", records)
+    directory = os.path.dirname(store.path("samples", "k"))
+    assert not [entry for entry in os.listdir(directory) if entry.endswith(".tmp")]
+
+
+def test_info_counts_sidecar_bytes(store, design, records):
+    dataset = build_dataset(design, records)
+    store.save_dataset("d", dataset)
+    info = store.info()
+    npz_bytes = os.path.getsize(store.path("datasets", "d"))
+    assert info["datasets"]["entries"] == 1
+    assert info["datasets"]["bytes"] > npz_bytes  # sidecar included

@@ -1,0 +1,71 @@
+"""Tests for the content-addressed cache keys."""
+
+import dataclasses
+
+import pytest
+
+from repro.circuits.benchmarks import load_benchmark
+from repro.circuits.generators import alu_slice
+from repro.orchestration.decision import Operation
+from repro.orchestration.transformability import OperationParams
+from repro.store.fingerprint import aig_fingerprint, combine_keys, config_fingerprint
+
+
+def test_aig_fingerprint_stable_across_rebuilds():
+    assert aig_fingerprint(load_benchmark("b08")) == aig_fingerprint(
+        load_benchmark("b08")
+    )
+
+
+def test_aig_fingerprint_ignores_name():
+    first = load_benchmark("b08")
+    second = first.copy()  # the registry may hand out a shared instance
+    second.name = "renamed"
+    assert aig_fingerprint(first) == aig_fingerprint(second)
+
+
+def test_aig_fingerprint_distinguishes_designs():
+    assert aig_fingerprint(load_benchmark("b08")) != aig_fingerprint(
+        load_benchmark("b10")
+    )
+
+
+def test_aig_fingerprint_changes_on_structural_edit():
+    aig = alu_slice(2, name="alu")
+    before = aig_fingerprint(aig)
+    pis = aig.pis()
+    aig.add_po(aig.add_and(2 * pis[0], 2 * pis[1]))
+    assert aig_fingerprint(aig) != before
+
+
+def test_aig_fingerprint_matches_after_copy():
+    aig = load_benchmark("b08")
+    assert aig_fingerprint(aig) == aig_fingerprint(aig.copy())
+
+
+def test_config_fingerprint_dataclasses_and_enums():
+    params = OperationParams()
+    assert config_fingerprint(params) == config_fingerprint(OperationParams())
+    assert config_fingerprint(Operation.REWRITE) != config_fingerprint(
+        Operation.RESUB
+    )
+    changed = OperationParams()
+    changed.resub = dataclasses.replace(changed.resub, max_divisors=3)
+    assert config_fingerprint(params) != config_fingerprint(changed)
+
+
+def test_config_fingerprint_dict_order_independent():
+    assert config_fingerprint({"a": 1, "b": 2}) == config_fingerprint(
+        {"b": 2, "a": 1}
+    )
+
+
+def test_combine_keys_deterministic_and_sensitive():
+    assert combine_keys("x", "y") == combine_keys("x", "y")
+    assert combine_keys("x", "y") != combine_keys("y", "x")
+    assert combine_keys("xy") != combine_keys("x", "y")
+
+
+@pytest.mark.parametrize("value", [None, True, 1, 1.5, "s", [1, 2], (1, 2)])
+def test_config_fingerprint_primitives(value):
+    assert config_fingerprint(value) == config_fingerprint(value)

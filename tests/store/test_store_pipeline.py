@@ -1,0 +1,100 @@
+"""Tests for the cache-backed pipeline helpers."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.benchmarks import load_benchmark
+from repro.nn.model import ModelConfig
+from repro.nn.trainer import TrainingConfig
+from repro.store.artifacts import ArtifactStore
+from repro.store.pipeline import dataset_for, dataset_key, model_key, train_or_load
+
+
+@pytest.fixture(scope="module")
+def design():
+    return load_benchmark("b08")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(str(tmp_path / "store"))
+
+
+class _ForbiddenEvaluator:
+    """An evaluator that must never be invoked (warm-cache assertions)."""
+
+    def evaluate(self, aig, decision_vectors, params=None):
+        raise AssertionError("evaluator invoked despite a warm cache")
+
+
+def test_dataset_key_sensitivity(design):
+    base = dataset_key(design, 8, True, 0)
+    assert base == dataset_key(design, 8, True, 0)
+    assert base != dataset_key(design, 9, True, 0)
+    assert base != dataset_key(design, 8, False, 0)
+    assert base != dataset_key(design, 8, True, 1)
+
+
+def test_dataset_for_cold_then_warm(design, store):
+    cold = dataset_for(design, 6, True, 0, store=store)
+    assert cold.cache_key is not None
+    assert store.stats.total_hits == 0
+    warm = dataset_for(design, 6, True, 0, store=store)
+    assert store.stats.hits.get("datasets") == 1
+    for first, second in zip(cold.samples, warm.samples):
+        assert first.features.tobytes() == second.features.tobytes()
+        assert first.label == second.label
+
+
+def test_dataset_for_warm_skips_evaluation(design, store):
+    dataset_for(design, 6, True, 0, store=store)
+    warm = dataset_for(
+        design, 6, True, 0, evaluator=_ForbiddenEvaluator(), store=store
+    )
+    assert len(warm) == 6
+
+
+def test_dataset_for_without_store_matches(design, store):
+    cached = dataset_for(design, 5, True, 3, store=store)
+    plain = dataset_for(design, 5, True, 3, store=None)
+    assert plain.cache_key == cached.cache_key
+    for first, second in zip(cached.samples, plain.samples):
+        assert first.features.tobytes() == second.features.tobytes()
+
+
+def test_train_or_load_round_trip(design, store):
+    dataset = dataset_for(design, 8, True, 0, store=store)
+    model_config = ModelConfig.small()
+    schedule = TrainingConfig.fast(epochs=4)
+    trainer, history, hit = train_or_load(
+        dataset, model_config, schedule, store=store
+    )
+    assert not hit
+    warm_trainer, warm_history, warm_hit = train_or_load(
+        dataset, model_config, schedule, store=store
+    )
+    assert warm_hit
+    assert warm_history.to_dict() == history.to_dict()
+    cold_predictions = trainer.predict(dataset.samples)
+    warm_predictions = warm_trainer.predict(dataset.samples)
+    assert np.array_equal(cold_predictions, warm_predictions)
+
+
+def test_model_key_depends_on_configs(design, store):
+    dataset = dataset_for(design, 6, True, 0, store=store)
+    base = model_key(dataset, ModelConfig.small(), TrainingConfig.fast(), 0.8)
+    assert base == model_key(dataset, ModelConfig.small(), TrainingConfig.fast(), 0.8)
+    assert base != model_key(
+        dataset, ModelConfig.small(seed=1), TrainingConfig.fast(), 0.8
+    )
+    assert base != model_key(
+        dataset, ModelConfig.small(), TrainingConfig.fast(epochs=5), 0.8
+    )
+    assert base != model_key(dataset, ModelConfig.small(), TrainingConfig.fast(), 0.7)
+
+
+def test_model_key_without_cache_key(design):
+    dataset = dataset_for(design, 6, True, 0, store=None)
+    dataset.cache_key = None
+    key = model_key(dataset, ModelConfig.small(), TrainingConfig.fast(), 0.8)
+    assert key == model_key(dataset, ModelConfig.small(), TrainingConfig.fast(), 0.8)

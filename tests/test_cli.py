@@ -125,3 +125,43 @@ def test_benchmarks_command(capsys):
     assert main(["benchmarks"]) == 0
     captured = capsys.readouterr().out
     assert "b11" in captured and "c5315" in captured
+
+
+def test_cache_info_command(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["cache", "info", "--store", store]) == 0
+    captured = capsys.readouterr().out
+    assert "Artifact store" in captured
+    assert "samples" in captured and "models" in captured
+
+
+def test_cache_clear_command(tmp_path, capsys):
+    from repro.store.artifacts import ArtifactStore
+
+    store_path = str(tmp_path / "store")
+    ArtifactStore(store_path).save_result("run", {"ok": True})
+    assert main(["cache", "info", "--store", store_path]) == 0
+    assert "1" in capsys.readouterr().out
+    assert main(["cache", "clear", "--store", store_path, "--kind", "results"]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert main(["cache", "clear", "--store", store_path]) == 0
+    assert "removed 0" in capsys.readouterr().out
+
+
+def test_cache_populated_by_flow_run(tmp_path, capsys):
+    import dataclasses
+
+    from repro.circuits.benchmarks import load_benchmark
+    from repro.flow.boolgebra import BoolGebraFlow
+    from repro.flow.config import fast_config
+
+    store_path = str(tmp_path / "store")
+    config = dataclasses.replace(
+        fast_config(num_samples=6, top_k=2, epochs=2), store=store_path
+    )
+    BoolGebraFlow(config).run(load_benchmark("b08"))
+    assert main(["cache", "info", "--store", store_path]) == 0
+    out = capsys.readouterr().out
+    assert "samples" in out
+    assert main(["cache", "clear", "--store", store_path]) == 0
+    assert "removed" in capsys.readouterr().out
