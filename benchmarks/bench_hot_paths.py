@@ -89,6 +89,10 @@ FULL = {
     "flow_design": "b08",
     "flow_samples": 16,
     "flow_epochs": 10,
+    #: Duplicate-heavy service traffic: (design, script) distinct jobs, each
+    #: submitted ``service_duplication`` times concurrently.
+    "service_jobs": [["b08", "rw; b"], ["b10", "rw; rs"], ["c880", "rw"]],
+    "service_duplication": 8,
 }
 
 #: Smoke configuration: small enough for a CI step, same code paths.
@@ -111,6 +115,8 @@ SMOKE = {
     "flow_design": "b08",
     "flow_samples": 10,
     "flow_epochs": 6,
+    "service_jobs": [["b08", "rw"], ["b08", "b"]],
+    "service_duplication": 6,
 }
 
 #: Kernels whose ``speedup`` ratio is guarded by the CI perf gate, and the
@@ -123,6 +129,7 @@ GATED_KERNELS = (
     "pass_sweep",
     "train_epoch",
     "flow_end_to_end",
+    "service_throughput",
 )
 GATE_TOLERANCE = 0.25
 
@@ -136,6 +143,10 @@ GATE_TOLERANCE = 0.25
 SPEEDUP_CLAMPS = {
     "train_epoch": 12.0,
     "flow_end_to_end": 30.0,
+    # Coalesced serving collapses N duplicate jobs onto one execution, so the
+    # raw ratio approaches the duplication factor; the acceptance bar is >=2x
+    # and the clamp keeps the gate floor (clamp * 0.75 = 3x) safely above it.
+    "service_throughput": 4.0,
 }
 
 
@@ -525,6 +536,85 @@ def bench_flow_end_to_end(config: Dict) -> Dict:
     }
 
 
+def bench_service_throughput(config: Dict) -> Dict:
+    """Batched + coalesced serving vs N independent serial ``Engine`` runs.
+
+    The traffic is duplicate-heavy on purpose (each distinct (design, script)
+    job is submitted ``service_duplication`` times): the reference executes
+    every submission independently in a serial loop — N full ``Engine.run``
+    invocations — while the service coalesces the in-flight duplicates onto
+    one execution per distinct job and fans the result back out to every
+    submitter.  Every served payload is asserted byte-identical to the direct
+    run of its spec (the ``identical`` flag), so the speedup is pure
+    scheduling, not approximation.  Workers run inline: the win measured here
+    is the coalescer's, not the process pool's.
+    """
+    import threading
+
+    from repro.service import (
+        InProcessClient,
+        JobSpec,
+        SynthesisService,
+        canonical_payload_bytes,
+        execute_spec,
+    )
+
+    distinct = [
+        JobSpec(kind="optimize", design=design, options={"script": script})
+        for design, script in config["service_jobs"]
+    ]
+    duplication = config["service_duplication"]
+    traffic = [distinct[i % len(distinct)] for i in range(len(distinct) * duplication)]
+
+    # Warm the shared caches (benchmark generation, fragment/NPN libraries)
+    # once for both sides, and keep the direct payloads as the reference
+    # results the served ones must match.
+    direct = {spec.job_id(): canonical_payload_bytes(execute_spec(spec)) for spec in distinct}
+
+    start = time.perf_counter()
+    for spec in traffic:
+        execute_spec(spec)
+    reference_s = time.perf_counter() - start
+
+    payloads = {}
+    with SynthesisService(
+        num_workers=2, max_depth=len(traffic) + 1, mode="inline"
+    ) as service:
+        client = InProcessClient(service)
+
+        def submit_one(index: int, spec: JobSpec) -> None:
+            submitted = client.submit(spec)
+            payloads[index] = (spec, client.result(submitted["job_id"], timeout=600.0))
+
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=submit_one, args=(index, spec))
+            for index, spec in enumerate(traffic)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        service_s = time.perf_counter() - start
+        counters = service.metrics_snapshot()["counters"]
+
+    identical = len(payloads) == len(traffic) and all(
+        canonical_payload_bytes(payload) == direct[spec.job_id()]
+        for spec, payload in payloads.values()
+    )
+    return {
+        "jobs": len(traffic),
+        "distinct_jobs": len(distinct),
+        "duplication": duplication,
+        "executions": counters["completed"],
+        "coalesced": counters["coalesced"] + counters["memory_hits"],
+        "reference_s": reference_s,
+        "vectorized_s": service_s,
+        **_clamped_speedup("service_throughput", reference_s, service_s),
+        "identical": identical,
+    }
+
+
 def bench_engine_sample(config: Dict) -> Dict:
     engine = Engine.load(config["sample_design"])
     vectors = PriorityGuidedSampler(engine.aig, seed=0).generate(config["num_samples"])
@@ -549,6 +639,7 @@ def run_suite(config: Dict, repeats: int = 3) -> Dict:
         "pass_sweep": bench_pass_sweep(config, repeats),
         "train_epoch": bench_train_epoch(config, repeats),
         "flow_end_to_end": bench_flow_end_to_end(config),
+        "service_throughput": bench_service_throughput(config),
         "engine_sample": bench_engine_sample(config),
     }
     return {
@@ -637,6 +728,13 @@ def test_bench_train_epoch_smoke(benchmark):
 def test_bench_flow_end_to_end_smoke(benchmark):
     result = run_once(benchmark, bench_flow_end_to_end, SMOKE)
     assert result["identical"], "warm flow run must reproduce the cold result"
+
+
+def test_bench_service_throughput_smoke(benchmark):
+    result = run_once(benchmark, bench_service_throughput, SMOKE)
+    assert result["identical"], "served payloads must match direct Engine runs"
+    assert result["executions"] == result["distinct_jobs"], "duplicates must coalesce"
+    assert result["speedup"] > 1.0
 
 
 # --------------------------------------------------------------------------- #

@@ -26,7 +26,14 @@ Algebraic Manipulation"* (DATE 2024):
 * a content-addressed, disk-backed artifact store caching evaluated sample
   batches, built datasets and trained model checkpoints, which makes every
   experiment resumable and cross-design inference reuse trained models
-  (:mod:`repro.store`).
+  (:mod:`repro.store`),
+* a batched, cache-coalescing synthesis service — bounded priority queue
+  with backpressure, fingerprint-keyed request coalescing, a crash-isolated
+  worker pool, a stdlib JSON HTTP front end with metrics, and Python clients
+  (:mod:`repro.service`; ``boolgebra serve`` / ``boolgebra submit``).
+
+:mod:`repro.service` is imported lazily (``from repro.service import
+SynthesisService``) so that library users do not pay for the serving stack.
 """
 
 from repro.aig.aig import Aig
@@ -84,4 +91,4 @@ __all__ = [
     "run_baselines",
 ]
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

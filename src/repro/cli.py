@@ -26,11 +26,22 @@ everyday workflows of the library without writing Python:
     Inspect (``info``) or wipe (``clear``) the content-addressed artifact
     store that caches evaluated sample batches, built datasets and trained
     model checkpoints.
+``serve``
+    Run the batched, cache-coalescing synthesis service: a bounded priority
+    queue with request coalescing and backpressure, a crash-isolated worker
+    pool and a stdlib JSON HTTP front end (see :mod:`repro.service`).
+``submit``
+    Submit one job — to a running server (``--url``) or to an ephemeral
+    in-process service — and optionally wait for and print its result.
+
+``stats`` and ``benchmarks`` accept ``--json`` for machine-readable output,
+so service tooling can consume them without screen-scraping the tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -86,6 +97,9 @@ _PASSES = _LegacyPassTable()
 def _cmd_stats(args: argparse.Namespace) -> int:
     engine = Engine.load(args.design)
     stats = engine.stats()
+    if args.json:
+        print(json.dumps({"design": engine.name, **stats}, sort_keys=True))
+        return 0
     print(
         format_table(
             headers=["design", "PIs", "POs", "ANDs", "depth"],
@@ -234,14 +248,28 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_benchmarks(args: argparse.Namespace) -> int:
-    rows = []
+    entries = []
     for name in available_benchmarks():
         spec = BENCHMARK_SPECS[name]
+        entry = {"name": name, "kind": spec.kind, "target_size": spec.target_size}
         if args.generate:
             aig = load_benchmark(name)
-            rows.append([name, spec.kind, spec.target_size, aig.size, aig.depth()])
-        else:
-            rows.append([name, spec.kind, spec.target_size, "-", "-"])
+            entry["ands"] = aig.size
+            entry["depth"] = aig.depth()
+        entries.append(entry)
+    if args.json:
+        print(json.dumps(entries, sort_keys=True))
+        return 0
+    rows = [
+        [
+            entry["name"],
+            entry["kind"],
+            entry["target_size"],
+            entry.get("ands", "-"),
+            entry.get("depth", "-"),
+        ]
+        for entry in entries
+    ]
     print(
         format_table(
             headers=["name", "kind", "target ANDs", "generated ANDs", "depth"],
@@ -250,6 +278,97 @@ def _cmd_benchmarks(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+# --------------------------------------------------------------------------- #
+# Service sub-commands
+# --------------------------------------------------------------------------- #
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service import ServiceServer, SynthesisService
+
+    def _terminate(signum, frame):  # SIGTERM == Ctrl-C: drain and report
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    service = SynthesisService(
+        num_workers=args.workers,
+        max_depth=args.queue_size,
+        store=args.store,
+        mode=args.mode,
+        default_timeout=args.timeout,
+    )
+    server = ServiceServer(service, host=args.host, port=args.port)
+    print(f"serving on {server.url} ({args.workers} workers, queue {args.queue_size})")
+    if args.port_file:
+        with open(args.port_file, "w", encoding="ascii") as handle:
+            handle.write(f"{server.port}\n")
+    sys.stdout.flush()
+    server.serve_forever()
+    if args.report:
+        gauges = service.scheduler.gauges()
+        gauges.update(service.pool.gauges())
+        print()
+        print(service.metrics.format_report(gauges))
+    return 0
+
+
+def _build_job_spec(args: argparse.Namespace) -> dict:
+    options = {}
+    if args.option:
+        for item in args.option:
+            if "=" not in item:
+                raise ValueError(f"--option expects key=value, got {item!r}")
+            key, _, raw = item.partition("=")
+            try:
+                options[key] = json.loads(raw)
+            except json.JSONDecodeError:
+                options[key] = raw  # bare strings need no quoting
+    if args.script is not None:
+        options["script"] = args.script
+    spec = {
+        "kind": args.kind,
+        "design": args.design,
+        "options": options,
+        "priority": args.priority,
+    }
+    if args.timeout is not None:
+        spec["timeout_seconds"] = args.timeout
+    return spec
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import (
+        HttpServiceClient,
+        InProcessClient,
+        JobSpec,
+        SynthesisService,
+    )
+
+    from repro.service.client import ServiceError
+
+    spec = JobSpec.from_dict(_build_job_spec(args))
+    try:
+        if args.url:
+            client = HttpServiceClient(args.url)
+            submitted = client.submit(spec)
+            if not args.wait:
+                print(json.dumps(submitted, sort_keys=True))
+                return 0
+            payload = client.result(submitted["job_id"], timeout=args.result_timeout)
+            print(json.dumps(payload, sort_keys=True))
+            return 0
+        # No URL: run the job on an ephemeral in-process service.
+        with SynthesisService(num_workers=args.workers, store=args.store) as service:
+            in_process = InProcessClient(service)
+            submitted = in_process.submit(spec)
+            payload = in_process.result(submitted["job_id"], timeout=args.result_timeout)
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    except (ServiceError, TimeoutError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 # --------------------------------------------------------------------------- #
@@ -264,7 +383,13 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     stats = subparsers.add_parser("stats", help="print design statistics")
-    stats.add_argument("design", help="netlist path (.aag/.aig/.bench/.blif) or benchmark name")
+    stats.add_argument(
+        "design",
+        help="netlist path (.aag/.aig/.bench/.blif, optionally .gz) or benchmark name",
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="print machine-readable JSON instead of a table"
+    )
     stats.set_defaults(handler=_cmd_stats)
 
     optimize = subparsers.add_parser("optimize", help="run an optimization pass script")
@@ -321,7 +446,81 @@ def build_parser() -> argparse.ArgumentParser:
     benchmarks.add_argument(
         "--generate", action="store_true", help="generate each design and report exact sizes"
     )
+    benchmarks.add_argument(
+        "--json", action="store_true", help="print machine-readable JSON instead of a table"
+    )
     benchmarks.set_defaults(handler=_cmd_benchmarks)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the batched, cache-coalescing synthesis service over HTTP"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="listening port (0 binds an ephemeral port)"
+    )
+    serve.add_argument(
+        "--port-file", help="write the bound port here (for ephemeral-port callers)"
+    )
+    serve.add_argument("--workers", "-j", type=int, default=2, help="worker pool width")
+    serve.add_argument(
+        "--queue-size", type=int, default=256, help="queue bound before 429 backpressure"
+    )
+    serve.add_argument(
+        "--store",
+        help="artifact store directory backing the completed-result cache "
+        "(omit to disable the warm-store short-circuit)",
+    )
+    serve.add_argument(
+        "--mode",
+        choices=["auto", "process", "inline"],
+        default="auto",
+        help="job execution: crash-isolated worker processes, inline threads, "
+        "or processes with inline fallback (default)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, help="default per-job timeout in seconds"
+    )
+    serve.add_argument(
+        "--report", action="store_true", help="print the metrics report on shutdown"
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit", help="submit one job to a running server (--url) or in-process"
+    )
+    submit.add_argument("design", help="netlist path or benchmark name")
+    submit.add_argument(
+        "--kind",
+        choices=["optimize", "sample", "orchestrate", "flow"],
+        default="optimize",
+    )
+    submit.add_argument(
+        "--script", "-s", help="pass script for optimize jobs (e.g. 'rw; rs -K 8; b')"
+    )
+    submit.add_argument(
+        "--option",
+        "-O",
+        action="append",
+        help="kind-specific option as key=value (value parsed as JSON when possible); "
+        "repeatable",
+    )
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--timeout", type=float, help="per-job timeout in seconds")
+    submit.add_argument("--url", help="server base URL; omitted: run in-process")
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="with --url, wait for completion and print the result payload "
+        "(in-process submissions always wait)",
+    )
+    submit.add_argument(
+        "--result-timeout", type=float, default=600.0, help="seconds to wait for the result"
+    )
+    submit.add_argument(
+        "--workers", "-j", type=int, default=1, help="in-process mode: worker pool width"
+    )
+    submit.add_argument("--store", help="in-process mode: artifact store directory")
+    submit.set_defaults(handler=_cmd_submit)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or wipe the learning-pipeline artifact store"

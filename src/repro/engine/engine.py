@@ -26,6 +26,7 @@ from repro.engine.pipeline import Pipeline, PipelineLike, PipelineReport, as_pip
 from repro.io.aiger import read_aiger, write_aiger
 from repro.io.bench import read_bench, write_bench
 from repro.io.blif import read_blif, write_blif
+from repro.io.fileio import format_extension
 from repro.orchestration.sampling import (
     PriorityGuidedSampler,
     RandomSampler,
@@ -42,9 +43,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 # Netlist loading / saving (canonical home; re-exported by repro.cli)
 # --------------------------------------------------------------------------- #
 def load_design(spec: str) -> Aig:
-    """Load ``spec``: a netlist path (by extension) or a registered benchmark name."""
+    """Load ``spec``: a netlist path (by extension) or a registered benchmark name.
+
+    A trailing ``.gz`` selects transparent gzip decompression; the format is
+    taken from the suffix underneath (``design.blif.gz`` is a gzipped BLIF).
+    """
     if os.path.exists(spec):
-        extension = os.path.splitext(spec)[1].lower()
+        extension = format_extension(spec)
         if extension in (".aag", ".aig"):
             return read_aiger(spec)
         if extension == ".bench":
@@ -61,8 +66,12 @@ def load_design(spec: str) -> Aig:
 
 
 def save_design(aig: Aig, path: str) -> None:
-    """Write ``aig`` to ``path`` in the format implied by the extension."""
-    extension = os.path.splitext(path)[1].lower()
+    """Write ``aig`` to ``path`` in the format implied by the extension.
+
+    As for :func:`load_design`, a trailing ``.gz`` gzips the output and the
+    format comes from the suffix underneath.
+    """
+    extension = format_extension(path)
     if extension == ".aag":
         write_aiger(aig, path)
     elif extension == ".aig":

@@ -17,7 +17,7 @@ from __future__ import annotations
 import re
 import time
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.aig.aig import Aig
 from repro.engine.registry import Pass, PassError, get_pass
@@ -56,6 +56,36 @@ class PipelineReport:
     def total_applied(self) -> int:
         """Total number of transformations applied across all passes."""
         return sum(stats.applied for stats in self.pass_stats)
+
+    # JSON interchange (used by reporting and the synthesis service) -------- #
+    def to_dict(self) -> Dict:
+        """Return a JSON-serializable rendering of the report."""
+        return {
+            "design": self.design,
+            "size_before": self.size_before,
+            "size_after": self.size_after,
+            "depth_before": self.depth_before,
+            "depth_after": self.depth_after,
+            "pass_stats": [stats.to_dict() for stats in self.pass_stats],
+            "runtime_seconds": self.runtime_seconds,
+            "equivalent": self.equivalent,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "PipelineReport":
+        """Rebuild a report previously rendered by :meth:`to_dict`."""
+        return PipelineReport(
+            design=payload["design"],
+            size_before=payload["size_before"],
+            size_after=payload["size_after"],
+            depth_before=payload["depth_before"],
+            depth_after=payload["depth_after"],
+            pass_stats=[
+                PassStats.from_dict(stats) for stats in payload.get("pass_stats", [])
+            ],
+            runtime_seconds=payload.get("runtime_seconds", 0.0),
+            equivalent=payload.get("equivalent"),
+        )
 
     def __str__(self) -> str:
         steps = "; ".join(

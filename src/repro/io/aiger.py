@@ -13,6 +13,7 @@ from typing import Dict, List, Tuple, Union
 
 from repro.aig.aig import Aig
 from repro.aig.literals import lit_is_compl, lit_var
+from repro.io.fileio import design_name, open_netlist
 
 PathLike = Union[str, os.PathLike]
 
@@ -38,34 +39,56 @@ def _map_literal(mapping: Dict[int, int], literal: int) -> int:
     return mapping[lit_var(literal)] * 2 + int(lit_is_compl(literal))
 
 
-def write_aiger(aig: Aig, path: PathLike, binary: bool = False) -> None:
-    """Write ``aig`` to ``path`` in ASCII (default) or binary AIGER format."""
+def aiger_ascii(aig: Aig) -> str:
+    """Render ``aig`` as ASCII AIGER text (the ``aag`` format).
+
+    The rendering is deterministic for a given network — nodes are written in
+    topological order under the canonical re-encoding — so the text doubles as
+    a stable interchange payload (the synthesis service ships optimized
+    netlists this way).
+    """
     mapping, order = _reencode(aig)
     num_pis = aig.num_pis()
     num_ands = len(order)
     max_var = num_pis + num_ands
-    header_kind = "aig" if binary else "aag"
-    header = f"{header_kind} {max_var} {num_pis} 0 {aig.num_pos()} {num_ands}\n"
+    lines = [f"aag {max_var} {num_pis} 0 {aig.num_pos()} {num_ands}\n"]
+    for index in range(num_pis):
+        lines.append(f"{(index + 1) * 2}\n")
+    for driver in aig.pos():
+        lines.append(f"{_map_literal(mapping, driver)}\n")
+    for node in order:
+        lhs = mapping[node] * 2
+        rhs0 = _map_literal(mapping, aig.fanin0(node))
+        rhs1 = _map_literal(mapping, aig.fanin1(node))
+        if rhs0 < rhs1:
+            rhs0, rhs1 = rhs1, rhs0
+        lines.append(f"{lhs} {rhs0} {rhs1}\n")
+    lines.extend(_symbol_lines(aig))
+    return "".join(lines)
 
+
+def parse_aiger(text: Union[str, bytes], name: str = "aiger") -> Aig:
+    """Parse ASCII or binary AIGER content into an AIG (see :func:`read_aiger`)."""
+    data = text.encode("ascii") if isinstance(text, str) else text
+    return _parse_aiger_bytes(data, name)
+
+
+def write_aiger(aig: Aig, path: PathLike, binary: bool = False) -> None:
+    """Write ``aig`` to ``path`` in ASCII (default) or binary AIGER format.
+
+    A trailing ``.gz`` on the path gzips the output transparently.
+    """
     if not binary:
-        lines = [header]
-        for index in range(num_pis):
-            lines.append(f"{(index + 1) * 2}\n")
-        for driver in aig.pos():
-            lines.append(f"{_map_literal(mapping, driver)}\n")
-        for node in order:
-            lhs = mapping[node] * 2
-            rhs0 = _map_literal(mapping, aig.fanin0(node))
-            rhs1 = _map_literal(mapping, aig.fanin1(node))
-            if rhs0 < rhs1:
-                rhs0, rhs1 = rhs1, rhs0
-            lines.append(f"{lhs} {rhs0} {rhs1}\n")
-        lines.extend(_symbol_lines(aig))
-        with open(path, "w", encoding="ascii") as handle:
-            handle.writelines(lines)
+        with open_netlist(path, "w") as handle:
+            handle.write(aiger_ascii(aig))
         return
 
-    with open(path, "wb") as handle:
+    mapping, order = _reencode(aig)
+    num_pis = aig.num_pis()
+    num_ands = len(order)
+    max_var = num_pis + num_ands
+    header = f"aig {max_var} {num_pis} 0 {aig.num_pos()} {num_ands}\n"
+    with open_netlist(path, "wb") as handle:
         handle.write(header.encode("ascii"))
         for driver in aig.pos():
             handle.write(f"{_map_literal(mapping, driver)}\n".encode("ascii"))
@@ -110,20 +133,24 @@ def _encode_delta(delta: int) -> bytes:
 # Reading
 # --------------------------------------------------------------------------- #
 def read_aiger(path: PathLike, name: str = "") -> Aig:
-    """Read an ASCII or binary combinational AIGER file."""
-    with open(path, "rb") as handle:
+    """Read an ASCII or binary combinational AIGER file (``.gz`` transparent)."""
+    with open_netlist(path, "rb") as handle:
         data = handle.read()
+    return _parse_aiger_bytes(data, name or design_name(path), source=str(path))
+
+
+def _parse_aiger_bytes(data: bytes, name: str, source: str = "<aiger>") -> Aig:
     header_end = data.index(b"\n")
     header = data[:header_end].decode("ascii").split()
     if not header or header[0] not in ("aag", "aig"):
-        raise ValueError(f"{path}: not an AIGER file")
+        raise ValueError(f"{source}: not an AIGER file")
     kind, max_var, num_pis, num_latches, num_pos, num_ands = (
         header[0],
         *(int(token) for token in header[1:6]),
     )
     if num_latches:
         raise ValueError("sequential AIGER files are not supported")
-    aig = Aig(name or os.path.splitext(os.path.basename(str(path)))[0])
+    aig = Aig(name)
     var_to_lit: Dict[int, int] = {0: 0}
     for index in range(num_pis):
         var_to_lit[index + 1] = aig.add_pi(f"pi{index}")

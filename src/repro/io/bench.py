@@ -16,19 +16,21 @@ from typing import Dict, List, Tuple, Union
 
 from repro.aig.aig import Aig
 from repro.aig.literals import lit_is_compl, lit_not, lit_var
+from repro.io.fileio import design_name, open_netlist
 
 PathLike = Union[str, os.PathLike]
 
+# The gate name must admit digits: the constant gates are CONST0 / CONST1.
 _GATE_RE = re.compile(
-    r"^\s*(?P<out>[^=\s]+)\s*=\s*(?P<gate>[A-Za-z]+)\s*\((?P<ins>[^)]*)\)\s*$"
+    r"^\s*(?P<out>[^=\s]+)\s*=\s*(?P<gate>[A-Za-z][A-Za-z0-9]*)\s*\((?P<ins>[^)]*)\)\s*$"
 )
 
 
 def read_bench(path: PathLike, name: str = "") -> Aig:
     """Read a ``.bench`` netlist and return it as an AIG."""
-    with open(path, "r", encoding="ascii") as handle:
+    with open_netlist(path, "r") as handle:
         text = handle.read()
-    return parse_bench(text, name or os.path.splitext(os.path.basename(str(path)))[0])
+    return parse_bench(text, name or design_name(path))
 
 
 def parse_bench(text: str, name: str = "bench") -> Aig:
@@ -149,5 +151,5 @@ def write_bench(aig: Aig, path: PathLike) -> None:
             lines.append(f"{po_names[index]} = NOT({source})")
         else:
             lines.append(f"{po_names[index]} = BUF({source})")
-    with open(path, "w", encoding="ascii") as handle:
+    with open_netlist(path, "w") as handle:
         handle.write("\n".join(lines) + "\n")

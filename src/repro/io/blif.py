@@ -13,15 +13,16 @@ from typing import Dict, List, Tuple, Union
 
 from repro.aig.aig import Aig
 from repro.aig.literals import lit_is_compl, lit_not, lit_var
+from repro.io.fileio import design_name, open_netlist
 
 PathLike = Union[str, os.PathLike]
 
 
 def read_blif(path: PathLike, name: str = "") -> Aig:
     """Read a combinational BLIF file into an AIG."""
-    with open(path, "r", encoding="ascii") as handle:
+    with open_netlist(path, "r") as handle:
         text = handle.read()
-    return parse_blif(text, name or os.path.splitext(os.path.basename(str(path)))[0])
+    return parse_blif(text, name or design_name(path))
 
 
 def parse_blif(text: str, name: str = "blif") -> Aig:
@@ -152,5 +153,5 @@ def write_blif(aig: Aig, path: PathLike) -> None:
         lines.append(f".names {source} {po_names[index]}")
         lines.append(("0 1" if lit_is_compl(driver) else "1 1"))
     lines.append(".end")
-    with open(path, "w", encoding="ascii") as handle:
+    with open_netlist(path, "w") as handle:
         handle.write("\n".join(lines) + "\n")

@@ -1,0 +1,62 @@
+"""Shared file-opening helpers for the netlist readers and writers.
+
+Every netlist format in :mod:`repro.io` transparently supports gzip
+compression: a trailing ``.gz`` on the path selects compressed storage, and
+the *format* is determined by the suffix underneath (``design.blif.gz`` is a
+gzipped BLIF file).  The helpers here centralise that convention so the
+per-format readers and writers stay format-only:
+
+* :func:`open_netlist` — ``open`` / ``gzip.open`` by suffix, text or binary.
+* :func:`format_extension` — the format suffix with any ``.gz`` stripped.
+* :func:`design_name` — the default design name for a path (base name with
+  both the ``.gz`` and the format suffix removed).
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+from typing import IO, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+def is_gzipped(path: PathLike) -> bool:
+    """Return whether ``path`` selects gzip compression (``.gz`` suffix)."""
+    return os.fspath(path).lower().endswith(".gz")
+
+
+def open_netlist(path: PathLike, mode: str = "r") -> IO:
+    """Open a netlist file, transparently gzipped when the path ends in ``.gz``.
+
+    ``mode`` is one of ``"r"``/``"w"`` (ASCII text) or ``"rb"``/``"wb"``
+    (binary); the gzip layer is applied underneath either.
+    """
+    if mode not in ("r", "w", "rb", "wb"):
+        raise ValueError(f"unsupported netlist open mode {mode!r}")
+    if is_gzipped(path):
+        if "b" in mode:
+            return gzip.open(path, mode)
+        return gzip.open(path, mode + "t", encoding="ascii")
+    if "b" in mode:
+        return open(path, mode)
+    return open(path, mode, encoding="ascii")
+
+
+def format_extension(path: PathLike) -> str:
+    """Return the lower-case format suffix of ``path``, ignoring ``.gz``.
+
+    ``design.aag`` and ``design.aag.gz`` both report ``".aag"``.
+    """
+    text = os.fspath(path)
+    if is_gzipped(text):
+        text = text[: -len(".gz")]
+    return os.path.splitext(text)[1].lower()
+
+
+def design_name(path: PathLike) -> str:
+    """Default design name for ``path``: base name minus ``.gz`` and format."""
+    base = os.path.basename(os.fspath(path))
+    if is_gzipped(base):
+        base = base[: -len(".gz")]
+    return os.path.splitext(base)[0]

@@ -1,0 +1,69 @@
+"""``repro.service`` — the batched, cache-coalescing synthesis service.
+
+The service layer turns the library into a system: it accepts concurrent
+optimization / sampling / orchestration / flow requests, schedules them on a
+bounded priority queue with backpressure, deduplicates identical in-flight
+work through content-addressed request coalescing (structural AIG fingerprint
+× config fingerprint), short-circuits repeated work through the artifact
+store, executes on a crash-isolated prewarmed worker pool, and serves it all
+over a stdlib-only JSON HTTP front end with metrics.
+
+Entry points:
+
+* :class:`SynthesisService` — scheduler + workers + metrics, in process.
+* :class:`ServiceServer` — the HTTP front end (``boolgebra serve``).
+* :class:`HttpServiceClient` / :class:`InProcessClient` — clients.
+* :class:`JobSpec` / :func:`execute_spec` — job model and direct execution.
+
+See the README's *Serving* section and ``examples/serve_quickstart.py``.
+"""
+
+from repro.service.client import (
+    BackpressureError,
+    HttpServiceClient,
+    InProcessClient,
+    JobFailedError,
+    ServiceError,
+)
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_KINDS,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobSpec,
+    canonical_payload_bytes,
+    execute_spec,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import QueueFull, Scheduler, UnknownJob
+from repro.service.server import JobFailed, ServiceServer, SynthesisService
+from repro.service.workers import WorkerPool
+
+__all__ = [
+    "BackpressureError",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "HttpServiceClient",
+    "InProcessClient",
+    "JOB_KINDS",
+    "Job",
+    "JobFailed",
+    "JobFailedError",
+    "JobSpec",
+    "QUEUED",
+    "QueueFull",
+    "RUNNING",
+    "Scheduler",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceServer",
+    "SynthesisService",
+    "UnknownJob",
+    "WorkerPool",
+    "canonical_payload_bytes",
+    "execute_spec",
+]

@@ -1,0 +1,180 @@
+"""Clients for the synthesis service: HTTP (stdlib-only) and in-process.
+
+Both clients speak the same small API so call sites (CLI, examples, tests)
+can swap transports freely:
+
+* ``submit(spec) -> status dict`` (with the deterministic ``job_id``)
+* ``status(job_id) -> status dict``
+* ``result(job_id, timeout=...) -> canonical result payload``
+* ``metrics() -> metrics snapshot``
+* ``healthz() -> bool``
+
+:class:`HttpServiceClient` talks to a :class:`~repro.service.server.ServiceServer`
+over ``urllib.request`` — no third-party dependencies.  Backpressure (HTTP
+429) surfaces as :class:`BackpressureError`, failed jobs as
+:class:`JobFailedError`; both carry the server's JSON payload.
+:class:`InProcessClient` wraps a :class:`~repro.service.server.SynthesisService`
+directly (no sockets) and raises the same exception types.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Union
+
+from repro.service.jobs import JobSpec
+from repro.service.scheduler import QueueFull, UnknownJob
+from repro.service.server import JobFailed, SynthesisService
+
+
+class ServiceError(Exception):
+    """Base error of a client call; carries the HTTP status and payload."""
+
+    def __init__(self, status: int, payload: Dict) -> None:
+        super().__init__(payload.get("error", f"service error (HTTP {status})"))
+        self.status = status
+        self.payload = payload
+
+
+class BackpressureError(ServiceError):
+    """The queue is full (HTTP 429); retry after a pause."""
+
+
+class JobFailedError(ServiceError):
+    """The job reached a failed/cancelled terminal state."""
+
+
+def _as_spec_dict(spec: Union[Dict, JobSpec]) -> Dict:
+    # Dicts pass through untouched: validation is the server's job, so the
+    # client exercises (and surfaces) the real 400 path.
+    return spec.to_dict() if isinstance(spec, JobSpec) else spec
+
+
+class HttpServiceClient:
+    """Talk to a running service over HTTP.
+
+    ``base_url`` is the server root (``http://127.0.0.1:8080``); a trailing
+    slash is tolerated.  ``request_timeout`` bounds each HTTP round trip, not
+    job completion — job completion is bounded per call via ``timeout``.
+    """
+
+    def __init__(self, base_url: str, request_timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.request_timeout = request_timeout
+
+    # Transport ---------------------------------------------------------- #
+    def _request(self, method: str, path: str, payload: Optional[Dict] = None):
+        request = urllib.request.Request(
+            self.base_url + path,
+            method=method,
+            data=None if payload is None else json.dumps(payload).encode("ascii"),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.request_timeout) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            try:
+                body = json.loads(error.read())
+            except (ValueError, OSError):
+                body = {"error": str(error)}
+            return error.code, body
+
+    def _checked(self, method: str, path: str, payload: Optional[Dict] = None) -> Dict:
+        status, body = self._request(method, path, payload)
+        if status == 429:
+            raise BackpressureError(status, body)
+        if status >= 400:
+            raise ServiceError(status, body)
+        return body
+
+    # API ---------------------------------------------------------------- #
+    def submit(self, spec: Union[Dict, JobSpec]) -> Dict:
+        """Submit a job; return its status snapshot (with ``job_id``)."""
+        return self._checked("POST", "/submit", _as_spec_dict(spec))
+
+    def status(self, job_id: str) -> Dict:
+        return self._checked("GET", f"/status/{job_id}")
+
+    def result(
+        self,
+        job_id: str,
+        timeout: Optional[float] = 120.0,
+        poll_interval: float = 0.05,
+    ) -> Dict:
+        """Block until the job finishes; return its canonical payload.
+
+        Polls ``/result`` with server-side long-polling (``?wait=``) until the
+        job is terminal or ``timeout`` expires (:class:`TimeoutError`).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise TimeoutError(f"job {job_id} not finished after {timeout}s")
+            wait = 5.0 if remaining is None else max(0.0, min(5.0, remaining))
+            status, body = self._request("GET", f"/result/{job_id}?wait={wait:g}")
+            if status == 200:
+                return body["result"]
+            if status == 202:
+                time.sleep(poll_interval)
+                continue
+            if status in (409, 500) and "state" in body:
+                raise JobFailedError(status, body)
+            raise ServiceError(status, body)
+
+    def metrics(self) -> Dict:
+        return self._checked("GET", "/metrics")
+
+    def healthz(self) -> bool:
+        try:
+            status, body = self._request("GET", "/healthz")
+        except (urllib.error.URLError, OSError):
+            return False
+        return status == 200 and body.get("status") == "ok"
+
+
+class InProcessClient:
+    """The same client API, wired straight into a :class:`SynthesisService`."""
+
+    def __init__(self, service: SynthesisService) -> None:
+        self.service = service
+
+    def submit(self, spec: Union[Dict, JobSpec]) -> Dict:
+        try:
+            return self.service.submit(spec).snapshot()
+        except QueueFull as error:
+            raise BackpressureError(
+                429, {"error": str(error), "queue_depth": error.depth}
+            ) from None
+
+    def status(self, job_id: str) -> Dict:
+        try:
+            return self.service.status(job_id)
+        except UnknownJob as error:
+            raise ServiceError(404, {"error": str(error)}) from None
+
+    def result(
+        self,
+        job_id: str,
+        timeout: Optional[float] = 120.0,
+        poll_interval: float = 0.05,  # noqa: ARG002 - parity with the HTTP client
+    ) -> Dict:
+        try:
+            return self.service.result(job_id, wait=True, timeout=timeout)
+        except UnknownJob as error:
+            raise ServiceError(404, {"error": str(error)}) from None
+        except JobFailed as error:
+            snapshot = error.job.snapshot()
+            raise JobFailedError(
+                409 if error.job.state == "cancelled" else 500, snapshot
+            ) from None
+
+    def metrics(self) -> Dict:
+        return self.service.metrics_snapshot()
+
+    def healthz(self) -> bool:
+        return True

@@ -1,0 +1,170 @@
+"""Thread-safe service metrics: counters, gauges and latency percentiles.
+
+One :class:`ServiceMetrics` instance is shared by the scheduler, the worker
+pool and the HTTP front end.  Counters are monotonic (submissions, rejections,
+coalesce hits, store hits, completions, failures); latencies are recorded into
+bounded ring buffers (queue wait, execution, end-to-end) from which
+:meth:`ServiceMetrics.snapshot` computes p50/p90/p99 on demand.  The snapshot
+is what ``/metrics`` serves and what ``boolgebra serve --report`` prints.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, Iterable, Optional
+
+#: Counter names, with their roles; unknown names are rejected so typos in
+#: call sites fail loudly instead of silently creating a new series.
+COUNTERS = (
+    "submitted",        # every submission, including coalesced duplicates
+    "accepted",         # submissions that created a new queued job
+    "coalesced",        # submissions attached to an in-flight duplicate
+    "store_hits",       # submissions served from the warm artifact store
+    "memory_hits",      # submissions served from an already-completed job
+    "rejected",         # submissions refused due to backpressure (429)
+    "completed",        # jobs that reached DONE
+    "failed",           # jobs that reached FAILED (errors, timeouts, crashes)
+    "cancelled",        # jobs cancelled before completion
+    "timeouts",         # failures caused by the per-job timeout
+    "worker_crashes",   # failures caused by a dying worker process
+)
+
+_QUANTILES = {"p50": 0.50, "p90": 0.90, "p99": 0.99}
+
+
+def _percentile(sorted_values: list, fraction: float) -> float:
+    """Nearest-rank percentile of a pre-sorted, non-empty list."""
+    rank = max(0, min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))))
+    return float(sorted_values[rank])
+
+
+class LatencySeries:
+    """A bounded ring buffer of latency observations with quantile summaries."""
+
+    def __init__(self, maxlen: int = 2048) -> None:
+        self._values: deque = deque(maxlen=maxlen)
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        self._values.append(float(seconds))
+        self.count += 1
+
+    def summary(self) -> Dict[str, float]:
+        """Lifetime ``count`` plus mean/percentiles over the retained window.
+
+        ``window`` is the number of recent observations backing ``mean`` and
+        the percentiles (at most the ring-buffer size); ``count`` keeps
+        counting past it.
+        """
+        values = sorted(self._values)
+        if not values:
+            return {
+                "count": 0,
+                "window": 0,
+                "mean": 0.0,
+                **{name: 0.0 for name in _QUANTILES},
+            }
+        return {
+            "count": self.count,
+            "window": len(values),
+            "mean": sum(values) / len(values),
+            **{
+                name: _percentile(values, fraction)
+                for name, fraction in _QUANTILES.items()
+            },
+        }
+
+
+class ServiceMetrics:
+    """Counters + latency series behind one lock.
+
+    All mutation goes through :meth:`increment` and :meth:`observe`; readers
+    take a consistent :meth:`snapshot`.  Gauges (queue depth, running jobs,
+    worker count) are owned by the scheduler / pool and passed into the
+    snapshot, since they are views of live state rather than events.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {name: 0 for name in COUNTERS}
+        self._latencies: Dict[str, LatencySeries] = {
+            "queue_seconds": LatencySeries(),
+            "run_seconds": LatencySeries(),
+            "total_seconds": LatencySeries(),
+        }
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the counter ``name`` (must be a known counter)."""
+        if name not in self._counters:
+            raise ValueError(f"unknown counter {name!r} (expected one of {COUNTERS})")
+        with self._lock:
+            self._counters[name] += amount
+
+    def observe(
+        self,
+        queue_seconds: Optional[float] = None,
+        run_seconds: Optional[float] = None,
+        total_seconds: Optional[float] = None,
+    ) -> None:
+        """Record the latency decomposition of one finished job."""
+        with self._lock:
+            if queue_seconds is not None:
+                self._latencies["queue_seconds"].observe(queue_seconds)
+            if run_seconds is not None:
+                self._latencies["run_seconds"].observe(run_seconds)
+            if total_seconds is not None:
+                self._latencies["total_seconds"].observe(total_seconds)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters[name]
+
+    def snapshot(self, gauges: Optional[Dict[str, int]] = None) -> Dict:
+        """One consistent JSON-serializable view of every series.
+
+        ``gauges`` carries the live-state values (queue depth, running job
+        count, worker count) owned by the scheduler and pool.  The derived
+        ``coalesce_rate`` / ``cache_hit_rate`` express how much submitted
+        work was deduplicated away, per the coalescing semantics in the
+        README's Serving section.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            latencies = {
+                name: series.summary() for name, series in self._latencies.items()
+            }
+        submitted = counters["submitted"]
+        saved = counters["coalesced"] + counters["store_hits"] + counters["memory_hits"]
+        return {
+            "counters": counters,
+            "gauges": dict(gauges or {}),
+            "latency": latencies,
+            "coalesce_rate": (counters["coalesced"] / submitted) if submitted else 0.0,
+            "cache_hit_rate": (saved / submitted) if submitted else 0.0,
+        }
+
+    def format_report(self, gauges: Optional[Dict[str, int]] = None) -> str:
+        """Plain-text rendering of :meth:`snapshot` for the CLI ``--report``."""
+        from repro.flow.reporting import format_table
+
+        snapshot = self.snapshot(gauges)
+        rows: Iterable = [
+            *sorted(snapshot["counters"].items()),
+            *sorted(snapshot["gauges"].items()),
+            ("coalesce_rate", f"{snapshot['coalesce_rate']:.3f}"),
+            ("cache_hit_rate", f"{snapshot['cache_hit_rate']:.3f}"),
+        ]
+        tables = [format_table(["metric", "value"], rows, title="Service metrics")]
+        latency_rows = [
+            [name, summary["count"], summary["mean"], summary["p50"], summary["p90"], summary["p99"]]
+            for name, summary in snapshot["latency"].items()
+        ]
+        tables.append(
+            format_table(
+                ["series", "count", "mean", "p50", "p90", "p99"],
+                latency_rows,
+                title="Latency (seconds)",
+            )
+        )
+        return "\n\n".join(tables)

@@ -1,0 +1,307 @@
+"""Bounded, coalescing priority scheduler for the synthesis service.
+
+The scheduler owns every :class:`~repro.service.jobs.Job` the service has
+seen and decides, at submission time, whether new work actually needs to run:
+
+1. **Coalescing** — submissions are keyed by the spec's content-addressed
+   coalescing key (structural AIG fingerprint × config fingerprint, see
+   :meth:`repro.service.jobs.JobSpec.coalesce_key`).  A duplicate of a
+   queued or running job *attaches* to it (one execution, many waiters); a
+   duplicate of a completed job is served from memory immediately.
+2. **Warm store short-circuit** — with an :class:`~repro.store.ArtifactStore`
+   attached, results of earlier runs (even from other processes) are loaded
+   from the ``results`` kind and returned as already-``done`` jobs without
+   queueing anything.
+3. **Backpressure** — the queue is bounded; a submission that would exceed
+   ``max_depth`` raises :class:`QueueFull`, which the HTTP front end maps to
+   ``429 Too Many Requests``.
+
+Queued work is ordered by priority (higher first) with strict FIFO order
+among equal priorities (a monotonic sequence number breaks ties), so a burst
+of equal-priority jobs is served in arrival order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from repro.aig.aig import Aig
+from repro.service.jobs import CANCELLED, QUEUED, Job, JobSpec
+from repro.service.metrics import ServiceMetrics
+from repro.store.artifacts import ArtifactStore
+from repro.store.fingerprint import combine_keys
+
+
+class QueueFull(Exception):
+    """Raised when a submission would exceed the queue bound (HTTP 429)."""
+
+    def __init__(self, depth: int, max_depth: int) -> None:
+        super().__init__(
+            f"job queue is full ({depth}/{max_depth} pending); retry later"
+        )
+        self.depth = depth
+        self.max_depth = max_depth
+
+
+class UnknownJob(Exception):
+    """Raised when a job id is not known to the scheduler (HTTP 404)."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"unknown job id {job_id!r}")
+        self.job_id = job_id
+
+
+class Scheduler:
+    """Priority queue + job registry + result cache, behind one lock."""
+
+    def __init__(
+        self,
+        max_depth: int = 256,
+        store: Union[None, str, ArtifactStore] = None,
+        metrics: Optional[ServiceMetrics] = None,
+        retain_jobs: int = 1024,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if retain_jobs < 1:
+            raise ValueError("retain_jobs must be >= 1")
+        self.max_depth = max_depth
+        #: Terminal jobs (and their payloads) kept in memory for status /
+        #: result lookups and memory-hit coalescing.  Beyond this bound the
+        #: oldest finished jobs are evicted — a bounded memory footprint for
+        #: a long-running server; evicted results are still served from the
+        #: artifact store when one is attached.
+        self.retain_jobs = retain_jobs
+        self.store = ArtifactStore.resolve(store)
+        self.metrics = metrics or ServiceMetrics()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        #: Min-heap of ``(-priority, seq, job)``: higher priority pops first,
+        #: FIFO among equals via the monotonic sequence number.
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self._jobs: Dict[str, Job] = {}
+        self._by_id: Dict[str, Job] = {}
+        #: Coalesce keys of jobs that reached a terminal state, oldest first
+        #: (the eviction order once ``retain_jobs`` is exceeded).
+        self._terminal: Deque[str] = deque()
+        self._pending = 0
+        self._running = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Submission (coalescing, store short-circuit, backpressure)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def result_key(coalesce_key: str) -> str:
+        """Artifact-store key of a completed result for ``coalesce_key``."""
+        return combine_keys("service-result/v1", coalesce_key)
+
+    def submit(self, spec: JobSpec, aig: Optional[Aig] = None) -> Tuple[Job, bool]:
+        """Submit ``spec``; return ``(job, created)``.
+
+        ``created`` is True only when a new execution was enqueued; False
+        means the submission was served by coalescing (attached to an
+        in-flight duplicate), by an already-completed job, or by a warm
+        artifact-store entry.  Raises :class:`QueueFull` under backpressure —
+        deliberately *after* the dedup checks, so duplicates of in-flight
+        work are never rejected (they add no load).
+        """
+        # Fingerprinting loads/hashes the design; keep it outside the lock.
+        key = spec.coalesce_key(aig)
+        store_payload = None
+        store_checked = False
+        while True:
+            with self._not_empty:
+                self.metrics.increment("submitted")
+                existing = self._jobs.get(key)
+                if existing is not None and existing.state not in ("failed", CANCELLED):
+                    existing.submit_count += 1
+                    self.metrics.increment(
+                        "memory_hits" if existing.terminal else "coalesced"
+                    )
+                    return existing, False
+                if store_checked or self.store is None:
+                    if store_payload is not None:
+                        job = Job(spec, key)
+                        job.source = "store"
+                        job.mark_running()
+                        job.finish(store_payload)
+                        self._jobs[key] = job
+                        self._by_id[job.job_id] = job
+                        self._note_terminal_locked(job)
+                        self.metrics.increment("store_hits")
+                        return job, False
+                    if self._pending >= self.max_depth:
+                        self.metrics.increment("rejected")
+                        raise QueueFull(self._pending, self.max_depth)
+                    job = Job(spec, key)
+                    self._jobs[key] = job
+                    self._by_id[job.job_id] = job
+                    heapq.heappush(self._heap, (-spec.priority, next(self._seq), job))
+                    self._pending += 1
+                    self.metrics.increment("accepted")
+                    self._not_empty.notify()
+                    return job, True
+                # A second submitted counter tick on the re-entry would double
+                # count; undo the one this round recorded before looping.
+                self.metrics.increment("submitted", -1)
+            # Store lookup does disk I/O: run it outside the lock, then
+            # re-enter (an identical job registered meanwhile wins the race).
+            store_payload = self.store.load_result(self.result_key(key))
+            store_checked = True
+
+    # ------------------------------------------------------------------ #
+    # Worker side
+    # ------------------------------------------------------------------ #
+    def next_job(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the next runnable job (blocking up to ``timeout`` seconds).
+
+        Returns ``None`` on timeout or once the scheduler is closed and
+        drained.  Cancelled entries are skipped.  The returned job is already
+        marked ``running``.
+        """
+        with self._not_empty:
+            while True:
+                while self._heap:
+                    _, _, job = heapq.heappop(self._heap)
+                    if job.state != QUEUED:
+                        continue  # cancelled while queued; capacity already freed
+                    self._pending -= 1
+                    self._running += 1
+                    job.mark_running()
+                    return job
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+
+    def _note_terminal_locked(self, job: Job) -> None:
+        """Record a terminal job and evict the oldest beyond ``retain_jobs``."""
+        self._terminal.append(job.key)
+        while len(self._terminal) > self.retain_jobs:
+            key = self._terminal.popleft()
+            stale = self._jobs.get(key)
+            # The registry entry may have been replaced by a newer (possibly
+            # still-running) job for the same key; only terminal ones go.
+            if stale is not None and stale.terminal:
+                del self._jobs[key]
+                if self._by_id.get(stale.job_id) is stale:
+                    del self._by_id[stale.job_id]
+
+    def _observe(self, job: Job) -> None:
+        total = (
+            None
+            if job.finished_at is None
+            else job.finished_at - job.created_at
+        )
+        self.metrics.observe(
+            queue_seconds=job.queue_seconds(),
+            run_seconds=job.run_seconds(),
+            total_seconds=total,
+        )
+
+    def complete(self, job: Job, payload: Dict) -> None:
+        """Mark a running job done and persist its payload to the store."""
+        with self._lock:
+            job.finish(payload)
+            self._running -= 1
+            self._note_terminal_locked(job)
+        self.metrics.increment("completed")
+        self._observe(job)
+        if self.store is not None:
+            self.store.save_result(self.result_key(job.key), payload)
+
+    def fail(
+        self, job: Job, error: str, timeout: bool = False, crash: bool = False
+    ) -> None:
+        """Mark a running job failed (optionally as a timeout / worker crash)."""
+        with self._lock:
+            job.fail(error)
+            self._running -= 1
+            self._note_terminal_locked(job)
+        self.metrics.increment("failed")
+        if timeout:
+            self.metrics.increment("timeouts")
+        if crash:
+            self.metrics.increment("worker_crashes")
+        self._observe(job)
+
+    def release_cancelled(self, job: Job) -> None:
+        """Finish a popped job whose cancellation was requested mid-flight."""
+        with self._lock:
+            job.cancel()
+            self._running -= 1
+            self._note_terminal_locked(job)
+        self.metrics.increment("cancelled")
+
+    # ------------------------------------------------------------------ #
+    # Client side
+    # ------------------------------------------------------------------ #
+    def get(self, job_id: str) -> Job:
+        """Look a job up by id; raise :class:`UnknownJob` if absent."""
+        with self._lock:
+            job = self._by_id.get(job_id)
+        if job is None:
+            raise UnknownJob(job_id)
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; return whether the job is (now) cancelled.
+
+        Queued jobs are cancelled immediately (their queue slot is freed);
+        for running jobs only the request flag is set — a process-mode worker
+        honours it by terminating the execution, an inline worker lets the
+        job run out.
+        """
+        job = self.get(job_id)
+        with self._lock:
+            if job.state == QUEUED:
+                job.cancel()
+                self._pending -= 1
+                self._note_terminal_locked(job)
+                self.metrics.increment("cancelled")
+                return True
+            job.cancel_requested = True
+            return job.state == CANCELLED
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def depth(self) -> int:
+        """Number of queued (not yet running) jobs."""
+        with self._lock:
+            return self._pending
+
+    def gauges(self) -> Dict[str, int]:
+        """Live-state gauges for the metrics snapshot."""
+        with self._lock:
+            return {
+                "queue_depth": self._pending,
+                "running": self._running,
+                "jobs_tracked": len(self._jobs),
+                "max_depth": self.max_depth,
+            }
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop handing out work; blocked :meth:`next_job` calls return."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def reopen(self) -> None:
+        """Hand out work again after :meth:`close` (a worker-pool restart).
+
+        Jobs submitted while closed stayed queued; they are served as soon
+        as a pool drains the scheduler again.
+        """
+        with self._not_empty:
+            self._closed = False

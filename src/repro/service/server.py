@@ -1,0 +1,314 @@
+"""The synthesis service facade and its stdlib-only HTTP front end.
+
+:class:`SynthesisService` bundles the scheduler, the worker pool, the metrics
+registry and an optional artifact store into one start/stoppable object — the
+in-process API that :class:`~repro.service.client.InProcessClient`, the CLI
+and the test-suite drive directly.
+
+:class:`ServiceServer` exposes a running service over HTTP using only
+:mod:`http.server` (``ThreadingHTTPServer`` — one thread per connection, no
+third-party dependencies).  All bodies are JSON:
+
+``POST /submit``
+    Body: a :class:`~repro.service.jobs.JobSpec` dict.  ``202`` with the job
+    snapshot (the deterministic ``job_id``) on acceptance *or* any form of
+    dedup hit; ``400`` on a malformed spec; ``429`` (+ ``Retry-After``) under
+    backpressure.
+``GET /status/{job_id}``
+    ``200`` with the job snapshot; ``404`` for unknown ids.
+``GET /result/{job_id}[?wait=seconds]``
+    ``200`` with ``{"job_id", "state", "result"}`` once done; ``202`` with
+    the snapshot while queued/running (after blocking up to ``wait`` seconds,
+    capped at 30); ``500`` for failed jobs; ``409`` for cancelled ones.
+``GET /metrics``
+    ``200`` with the metrics snapshot (counters, gauges, latency quantiles).
+``GET /healthz``
+    ``200 {"status": "ok"}`` while the service accepts work.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Union
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.jobs import DONE, FAILED, Job, JobSpec
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import QueueFull, Scheduler, UnknownJob
+from repro.service.workers import WorkerPool
+from repro.store.artifacts import ArtifactStore
+
+#: Upper bound on the ``?wait=`` long-poll of ``/result`` (seconds).
+MAX_RESULT_WAIT = 30.0
+
+
+class JobFailed(Exception):
+    """Raised by :meth:`SynthesisService.result` for failed/cancelled jobs."""
+
+    def __init__(self, job: Job) -> None:
+        super().__init__(f"job {job.job_id} {job.state}: {job.error}")
+        self.job = job
+
+
+class SynthesisService:
+    """Scheduler + worker pool + metrics behind one lifecycle.
+
+    Usable as a context manager::
+
+        with SynthesisService(num_workers=2, store="/tmp/store") as service:
+            job = service.submit({"kind": "optimize", "design": "b08"})
+            payload = service.result(job.job_id)
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        max_depth: int = 256,
+        store: Union[None, str, ArtifactStore] = None,
+        mode: str = "auto",
+        default_timeout: Optional[float] = None,
+        retain_jobs: int = 1024,
+    ) -> None:
+        self.metrics = ServiceMetrics()
+        self.store = ArtifactStore.resolve(store)
+        self.scheduler = Scheduler(
+            max_depth=max_depth,
+            store=self.store,
+            metrics=self.metrics,
+            retain_jobs=retain_jobs,
+        )
+        self.pool = WorkerPool(
+            self.scheduler,
+            num_workers=num_workers,
+            mode=mode,
+            default_timeout=default_timeout,
+        )
+        self._started = False
+
+    # Lifecycle --------------------------------------------------------- #
+    def start(self) -> "SynthesisService":
+        if not self._started:
+            self.pool.start()
+            self._started = True
+        return self
+
+    def stop(self) -> None:
+        if self._started:
+            self.pool.stop()
+            self._started = False
+
+    def __enter__(self) -> "SynthesisService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # Client-facing API -------------------------------------------------- #
+    def submit(self, spec: Union[Dict, JobSpec]) -> Job:
+        """Submit a spec (or its dict form); return the (possibly shared) job.
+
+        Raises :class:`ValueError` for malformed specs and
+        :class:`~repro.service.scheduler.QueueFull` under backpressure.
+        """
+        if not isinstance(spec, JobSpec):
+            spec = JobSpec.from_dict(spec)
+        job, _ = self.scheduler.submit(spec)
+        return job
+
+    def status(self, job_id: str) -> Dict:
+        """The job's status snapshot (raises :class:`UnknownJob`)."""
+        return self.scheduler.get(job_id).snapshot()
+
+    def result(
+        self, job_id: str, wait: bool = True, timeout: Optional[float] = None
+    ) -> Dict:
+        """Return the canonical result payload of a finished job.
+
+        With ``wait`` (the default) blocks until the job is terminal or
+        ``timeout`` expires (:class:`TimeoutError`).  Raises
+        :class:`JobFailed` for failed/cancelled jobs.
+        """
+        job = self.scheduler.get(job_id)
+        if wait and not job.wait(timeout):
+            raise TimeoutError(f"job {job_id} not finished after {timeout}s")
+        if job.state == DONE:
+            return job.result
+        if job.terminal:
+            raise JobFailed(job)
+        raise TimeoutError(f"job {job_id} is still {job.state}")
+
+    def cancel(self, job_id: str) -> bool:
+        return self.scheduler.cancel(job_id)
+
+    def metrics_snapshot(self) -> Dict:
+        """Counters, live gauges and latency quantiles, one consistent dict."""
+        gauges = self.scheduler.gauges()
+        gauges.update(self.pool.gauges())
+        if self.store is not None:
+            gauges["store_result_hits"] = self.store.stats.hits.get("results", 0)
+            gauges["store_result_misses"] = self.store.stats.misses.get("results", 0)
+        return self.metrics.snapshot(gauges)
+
+
+# --------------------------------------------------------------------------- #
+# HTTP front end
+# --------------------------------------------------------------------------- #
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    server_version = "boolgebra-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> SynthesisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # request logging is the metrics' job; keep stdio clean
+
+    # Helpers ------------------------------------------------------------ #
+    def _send_json(self, code: int, payload: Dict, headers: Optional[Dict] = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("ascii")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("request body must be a JSON object")
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as error:
+            raise ValueError(f"invalid JSON body: {error}") from None
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # Routes ------------------------------------------------------------- #
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlparse(self.path).path
+        if path != "/submit":
+            self._send_json(404, {"error": f"unknown endpoint {path!r}"})
+            return
+        try:
+            spec = JobSpec.from_dict(self._read_json())
+            job = self.service.submit(spec)
+        except ValueError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        except QueueFull as error:
+            self._send_json(
+                429,
+                {"error": str(error), "queue_depth": error.depth},
+                headers={"Retry-After": "1"},
+            )
+            return
+        self._send_json(202, job.snapshot())
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        try:
+            if parts == ["healthz"]:
+                self._send_json(200, {"status": "ok"})
+            elif parts == ["metrics"]:
+                self._send_json(200, self.service.metrics_snapshot())
+            elif len(parts) == 2 and parts[0] == "status":
+                self._send_json(200, self.service.status(parts[1]))
+            elif len(parts) == 2 and parts[0] == "result":
+                self._get_result(parts[1], parse_qs(parsed.query))
+            else:
+                self._send_json(404, {"error": f"unknown endpoint {parsed.path!r}"})
+        except UnknownJob as error:
+            self._send_json(404, {"error": str(error)})
+
+    def _get_result(self, job_id: str, query: Dict) -> None:
+        job = self.service.scheduler.get(job_id)
+        wait_values = query.get("wait")
+        if wait_values:
+            try:
+                wait_seconds = min(MAX_RESULT_WAIT, max(0.0, float(wait_values[0])))
+            except ValueError:
+                self._send_json(400, {"error": "wait must be a number of seconds"})
+                return
+            job.wait(wait_seconds)
+        if job.state == DONE:
+            self._send_json(
+                200, {"job_id": job.job_id, "state": job.state, "result": job.result}
+            )
+        elif job.state == FAILED:
+            self._send_json(500, {**job.snapshot(), "error": job.error})
+        elif job.terminal:  # cancelled
+            self._send_json(409, job.snapshot())
+        else:
+            self._send_json(202, job.snapshot())
+
+
+class ServiceServer:
+    """A :class:`SynthesisService` bound to a listening HTTP socket.
+
+    ``port=0`` binds an ephemeral port; the actual port is available as
+    ``server.port`` (and in ``server.url``) after construction, which is how
+    the CI smoke test and the quickstart example avoid port collisions.
+    """
+
+    def __init__(
+        self,
+        service: SynthesisService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.httpd = ThreadingHTTPServer((host, port), _ServiceRequestHandler)
+        self.httpd.daemon_threads = True
+        self.httpd.service = service  # type: ignore[attr-defined]
+        self.host = self.httpd.server_address[0]
+        self.port = self.httpd.server_address[1]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        """Start the service workers and the HTTP listener thread."""
+        self.service.start()
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.httpd.serve_forever,
+                name="boolgebra-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop listening, then stop the service workers."""
+        if self._thread is not None:
+            self.httpd.shutdown()
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.httpd.server_close()
+        self.service.stop()
+
+    def serve_forever(self) -> None:
+        """Blocking serve loop for the CLI (Ctrl-C returns cleanly)."""
+        self.service.start()
+        try:
+            self.httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.httpd.server_close()
+            self.service.stop()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,272 @@
+"""Worker pool: crash-isolated, timeout-bounded job execution.
+
+Each pool slot is a dispatcher thread owning one *persistent, prewarmed*
+worker process (the idiom of
+:class:`repro.engine.evaluator.ProcessPoolEvaluator`: pay the interpreter
+start-up and import cost once per worker, not once per job).  Job specs
+travel to the worker as JSON dicts, canonical result payloads travel back —
+nothing else crosses the process boundary, so a worker can die without
+corrupting service state:
+
+* **Crash isolation** — a worker that exits mid-job (segfault, ``os._exit``,
+  OOM kill) fails *only its job*; the dispatcher respawns a fresh worker for
+  the next one.
+* **Per-job timeout** — ``JobSpec.timeout_seconds`` (or the pool default)
+  bounds one execution; on expiry the worker is terminated and the job fails
+  with a timeout error.
+* **Cancellation** — a running job whose ``cancel_requested`` flag is set is
+  terminated at the next poll tick.
+
+``mode="inline"`` executes jobs directly on the dispatcher thread instead —
+no isolation, timeouts and mid-run cancellation are best-effort ignored, but
+it works in environments without process semaphores and is deterministic for
+tests.  ``mode="auto"`` (the default) tries processes and falls back to
+inline on spawn failure, mirroring ``ProcessPoolEvaluator``'s
+``fallback_to_serial``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+import traceback
+from typing import List, Optional, Tuple
+
+from repro.service import jobs as jobs_module
+from repro.service.jobs import Job, JobSpec, execute_spec
+from repro.service.scheduler import Scheduler
+
+#: Exceptions that indicate "cannot spawn processes here" — the same set the
+#: engine evaluator treats as grounds for serial fallback.
+_SPAWN_ERRORS = (OSError, PermissionError, RuntimeError)
+
+#: How often a dispatcher re-checks liveness / timeout / cancellation while
+#: waiting for a worker's result.
+_POLL_SECONDS = 0.05
+
+
+def _worker_main(task_queue, result_queue) -> None:
+    """Entry point of a persistent worker process.
+
+    Prewarms the heavyweight imports once, then serves ``(job_id, spec)``
+    tasks until it receives ``None``.  Every outcome — success or exception —
+    is reported through the result queue; anything that escapes this loop is
+    a *crash* and is detected by the dispatcher via process death.
+    """
+    jobs_module._IN_WORKER_PROCESS = True
+    from repro.engine.engine import Engine  # noqa: F401  (prewarm imports)
+
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        job_id, spec_payload = task
+        try:
+            payload = execute_spec(JobSpec.from_dict(spec_payload))
+            result_queue.put((job_id, "ok", payload))
+        except Exception:
+            result_queue.put((job_id, "error", traceback.format_exc(limit=8)))
+
+
+class _WorkerProcess:
+    """One persistent worker process plus its task/result queues."""
+
+    def __init__(self, context) -> None:
+        self._context = context
+        self._process = None
+        self._tasks = None
+        self._results = None
+
+    def _ensure(self) -> None:
+        if self._process is not None and self._process.is_alive():
+            return
+        self._tasks = self._context.Queue()
+        self._results = self._context.Queue()
+        self._process = self._context.Process(
+            target=_worker_main, args=(self._tasks, self._results), daemon=True
+        )
+        self._process.start()
+
+    def run(self, job: Job, timeout: Optional[float]) -> Tuple[str, Optional[object]]:
+        """Execute ``job`` in the worker; return ``(status, detail)``.
+
+        ``status`` is ``"ok"`` (detail: payload), ``"error"`` (detail:
+        traceback text), ``"timeout"``, ``"crash"`` (detail: exit code) or
+        ``"cancelled"``.
+        """
+        self._ensure()
+        self._tasks.put((job.job_id, job.spec.to_dict()))
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                job_id, status, detail = self._results.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                if job.cancel_requested:
+                    self.terminate()
+                    return "cancelled", None
+                if not self._process.is_alive():
+                    # Drain a result that raced with process death.
+                    try:
+                        job_id, status, detail = self._results.get_nowait()
+                    except queue_module.Empty:
+                        exitcode = self._process.exitcode
+                        self.terminate()
+                        return "crash", exitcode
+                else:
+                    if deadline is not None and time.monotonic() > deadline:
+                        self.terminate()
+                        return "timeout", None
+                    continue
+            if job_id != job.job_id:
+                continue  # stale result from an earlier abandoned execution
+            return status, detail
+
+    def terminate(self) -> None:
+        """Kill the worker (a fresh one is spawned for the next job)."""
+        if self._process is not None and self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+        self._process = None
+        self._tasks = None
+        self._results = None
+
+    def close(self) -> None:
+        if self._process is not None and self._process.is_alive():
+            try:
+                self._tasks.put(None)
+                self._process.join(timeout=1.0)
+            except (OSError, ValueError):  # pragma: no cover - shutdown race
+                pass
+        self.terminate()
+
+
+class WorkerPool:
+    """N dispatcher threads draining a :class:`Scheduler`.
+
+    Parameters
+    ----------
+    scheduler:
+        The queue to drain; jobs are completed/failed back through it.
+    num_workers:
+        Pool width — concurrent executions (and, in process mode, resident
+        worker processes).
+    mode:
+        ``"process"`` (isolated workers), ``"inline"`` (execute on the
+        dispatcher thread), or ``"auto"`` (process with inline fallback).
+    default_timeout:
+        Per-job execution bound applied when the spec carries none.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        num_workers: int = 2,
+        mode: str = "auto",
+        default_timeout: Optional[float] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if mode not in ("process", "inline", "auto"):
+            raise ValueError(f"unknown worker mode {mode!r}")
+        self.scheduler = scheduler
+        self.num_workers = num_workers
+        self.mode = mode
+        self.default_timeout = default_timeout
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._context = multiprocessing.get_context()
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "WorkerPool":
+        """Spawn the dispatcher threads (idempotent; restarts after stop)."""
+        if self._threads:
+            return self
+        self._stop.clear()
+        self.scheduler.reopen()
+        for index in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._serve, name=f"boolgebra-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, join: bool = True) -> None:
+        """Stop accepting work and (optionally) join the dispatchers."""
+        self._stop.set()
+        self.scheduler.close()
+        if join:
+            for thread in self._threads:
+                thread.join(timeout=10.0)
+        self._threads = []
+
+    def gauges(self) -> dict:
+        return {"workers": self.num_workers}
+
+    # ------------------------------------------------------------------ #
+    def _serve(self) -> None:
+        worker: Optional[_WorkerProcess] = None
+        mode = self.mode
+        try:
+            while not self._stop.is_set():
+                job = self.scheduler.next_job(timeout=0.1)
+                if job is None:
+                    if self._stop.is_set() or self.scheduler.closed:
+                        return
+                    continue
+                if job.cancel_requested:
+                    self.scheduler.release_cancelled(job)
+                    continue
+                timeout = job.spec.timeout_seconds
+                if timeout is None:
+                    timeout = self.default_timeout
+                if mode in ("process", "auto") and worker is None:
+                    try:
+                        worker = _WorkerProcess(self._context)
+                        worker._ensure()
+                    except _SPAWN_ERRORS:
+                        worker = None
+                        if mode == "process":
+                            self.scheduler.fail(job, "cannot spawn worker process")
+                            continue
+                        mode = "inline"
+                if mode == "inline" or worker is None:
+                    self._run_inline(job)
+                else:
+                    self._run_in_process(worker, job, timeout)
+        finally:
+            if worker is not None:
+                worker.close()
+
+    def _run_inline(self, job: Job) -> None:
+        try:
+            payload = execute_spec(job.spec)
+        except Exception as error:
+            self.scheduler.fail(job, f"{type(error).__name__}: {error}")
+            return
+        self.scheduler.complete(job, payload)
+
+    def _run_in_process(
+        self, worker: _WorkerProcess, job: Job, timeout: Optional[float]
+    ) -> None:
+        try:
+            status, detail = worker.run(job, timeout)
+        except _SPAWN_ERRORS as error:  # pragma: no cover - spawn race
+            self.scheduler.fail(job, f"worker unavailable: {error}")
+            return
+        if status == "ok":
+            self.scheduler.complete(job, detail)
+        elif status == "error":
+            self.scheduler.fail(job, str(detail))
+        elif status == "timeout":
+            self.scheduler.fail(
+                job, f"job exceeded its {timeout:.1f}s timeout", timeout=True
+            )
+        elif status == "cancelled":
+            self.scheduler.release_cancelled(job)
+        else:  # crash
+            self.scheduler.fail(
+                job, f"worker process died (exit code {detail})", crash=True
+            )

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.aig.aig import Aig
 from repro.synth.balance import balance
@@ -75,6 +75,38 @@ class PassStats:
             f"{self.name}: {self.size_before} -> {self.size_after} ANDs "
             f"({self.applied} transforms, depth {self.depth_before} -> {self.depth_after}, "
             f"{self.runtime_seconds:.2f}s)"
+        )
+
+    # JSON interchange (used by reporting and the synthesis service) -------- #
+    def to_dict(self) -> Dict:
+        """Return a JSON-serializable rendering of the statistics."""
+        return {
+            "name": self.name,
+            "size_before": self.size_before,
+            "size_after": self.size_after,
+            "depth_before": self.depth_before,
+            "depth_after": self.depth_after,
+            "applied": self.applied,
+            "runtime_seconds": self.runtime_seconds,
+            "strategy": self.strategy,
+            "sweeps": self.sweeps,
+            "conflicts": self.conflicts,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "PassStats":
+        """Rebuild statistics previously rendered by :meth:`to_dict`."""
+        return PassStats(
+            name=payload["name"],
+            size_before=payload["size_before"],
+            size_after=payload["size_after"],
+            depth_before=payload["depth_before"],
+            depth_after=payload["depth_after"],
+            applied=payload["applied"],
+            runtime_seconds=payload.get("runtime_seconds", 0.0),
+            strategy=payload.get("strategy", "sequential"),
+            sweeps=payload.get("sweeps", 0),
+            conflicts=payload.get("conflicts", 0),
         )
 
 

@@ -1,0 +1,65 @@
+"""Tests for transparent ``.gz`` netlist handling (all formats)."""
+
+import gzip
+
+import pytest
+
+from repro.circuits.generators import alu_slice
+from repro.engine.engine import Engine, load_design, save_design
+from repro.io.fileio import design_name, format_extension, is_gzipped, open_netlist
+from repro.store.fingerprint import aig_fingerprint
+
+
+@pytest.fixture
+def design():
+    return alu_slice(2, name="alu2")
+
+
+@pytest.mark.parametrize("extension", [".aag", ".aig", ".bench", ".blif"])
+def test_save_load_gz_round_trip_all_formats(tmp_path, design, extension):
+    path = tmp_path / f"alu2{extension}.gz"
+    save_design(design, str(path))
+    # The file really is gzip-compressed, not just renamed.
+    with open(path, "rb") as handle:
+        assert handle.read(2) == b"\x1f\x8b"
+    loaded = load_design(str(path))
+    assert aig_fingerprint(loaded) == aig_fingerprint(design)
+
+
+def test_gz_and_plain_produce_identical_networks(tmp_path, design):
+    plain = tmp_path / "alu2.aag"
+    compressed = tmp_path / "alu2.aag.gz"
+    save_design(design, str(plain))
+    save_design(design, str(compressed))
+    with gzip.open(compressed, "rt", encoding="ascii") as handle:
+        assert handle.read() == plain.read_text(encoding="ascii")
+
+
+def test_engine_load_and_save_gz(tmp_path, design):
+    path = tmp_path / "alu2.bench.gz"
+    save_design(design, str(path))
+    engine = Engine.load(str(path))
+    assert engine.name == "alu2"
+    assert engine.size == design.size
+    out = tmp_path / "optimized.blif.gz"
+    engine.save(str(out))
+    assert aig_fingerprint(load_design(str(out))) == aig_fingerprint(design)
+
+
+def test_unknown_inner_extension_is_rejected(tmp_path, design):
+    with pytest.raises(ValueError):
+        save_design(design, str(tmp_path / "alu2.v.gz"))
+    bad = tmp_path / "alu2.v.gz"
+    bad.write_bytes(b"")
+    with pytest.raises(ValueError):
+        load_design(str(bad))
+
+
+def test_fileio_helpers():
+    assert is_gzipped("x.aag.gz") and not is_gzipped("x.aag")
+    assert format_extension("a/b/x.blif.gz") == ".blif"
+    assert format_extension("x.AAG") == ".aag"
+    assert design_name("a/b/c880.bench.gz") == "c880"
+    assert design_name("c880.aag") == "c880"
+    with pytest.raises(ValueError):
+        open_netlist("x.aag", mode="a")

@@ -1,0 +1,99 @@
+"""Hypothesis round-trip fuzzing of the netlist readers and writers.
+
+Random AIGs are pushed through every format chain — binary AIGER ↔ ASCII
+AIGER ↔ BLIF ↔ BENCH (and the gzipped variants) — and must come back
+*structurally identical*: the content-addressed fingerprint of
+:mod:`repro.store.fingerprint` (which canonically renumbers nodes and ignores
+names — names are lossy across formats) must survive every leg, and the
+result must stay functionally equivalent to the original.
+"""
+
+import os
+import tempfile
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.aig.equivalence import check_equivalence  # noqa: E402
+from repro.aig.random_aig import random_aig_simple  # noqa: E402
+from repro.io.aiger import aiger_ascii, parse_aiger, read_aiger, write_aiger  # noqa: E402
+from repro.io.bench import read_bench, write_bench  # noqa: E402
+from repro.io.blif import read_blif, write_blif  # noqa: E402
+from repro.store.fingerprint import aig_fingerprint  # noqa: E402
+
+#: One write+read leg per format; chains are composed from these.
+_LEGS = {
+    "aag": (write_aiger, read_aiger),
+    "aig": (lambda aig, path: write_aiger(aig, path, binary=True), read_aiger),
+    "blif": (write_blif, read_blif),
+    "bench": (write_bench, read_bench),
+}
+
+
+def _random_network(num_pis: int, num_ands: int, num_pos: int, seed: int):
+    return random_aig_simple(
+        num_pis=num_pis,
+        num_ands=num_ands,
+        num_pos=num_pos,
+        seed=seed,
+        name="fuzz",
+    )
+
+
+def _round_trip(aig, formats, gzipped=False):
+    """Chain ``aig`` through each format in order; return the final network."""
+    current = aig
+    with tempfile.TemporaryDirectory() as tmp:
+        for index, fmt in enumerate(formats):
+            writer, reader = _LEGS[fmt]
+            path = os.path.join(tmp, f"hop{index}.{fmt}" + (".gz" if gzipped else ""))
+            writer(current, path)
+            current = reader(path)
+    return current
+
+
+@st.composite
+def networks(draw):
+    num_pis = draw(st.integers(min_value=1, max_value=6))
+    num_ands = draw(st.integers(min_value=0, max_value=48))
+    num_pos = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return _random_network(num_pis, num_ands, num_pos, seed)
+
+
+@given(aig=networks())
+@settings(max_examples=20, deadline=None)
+def test_full_format_chain_preserves_structure(aig):
+    """aig → binary AIGER → ASCII AIGER → BLIF → BENCH → aig, structurally."""
+    fingerprint = aig_fingerprint(aig)
+    final = _round_trip(aig, ["aig", "aag", "blif", "bench"])
+    assert aig_fingerprint(final) == fingerprint
+    assert final.num_pis() == aig.num_pis()
+    assert final.num_pos() == aig.num_pos()
+    assert bool(check_equivalence(aig, final))
+
+
+@given(aig=networks(), fmt=st.sampled_from(sorted(_LEGS)))
+@settings(max_examples=20, deadline=None)
+def test_single_leg_round_trip_every_format(aig, fmt):
+    final = _round_trip(aig, [fmt])
+    assert aig_fingerprint(final) == aig_fingerprint(aig)
+
+
+@given(aig=networks(), fmt=st.sampled_from(sorted(_LEGS)))
+@settings(max_examples=10, deadline=None)
+def test_gzipped_round_trip_every_format(aig, fmt):
+    final = _round_trip(aig, [fmt], gzipped=True)
+    assert aig_fingerprint(final) == aig_fingerprint(aig)
+
+
+@given(aig=networks())
+@settings(max_examples=20, deadline=None)
+def test_aiger_text_round_trip_without_files(aig):
+    """The in-memory serializer matches the file writer byte for byte."""
+    text = aiger_ascii(aig)
+    rebuilt = parse_aiger(text)
+    assert aig_fingerprint(rebuilt) == aig_fingerprint(aig)
+    assert aiger_ascii(rebuilt).split("\nc\n")[0] == text.split("\nc\n")[0]

@@ -1,0 +1,145 @@
+"""Tests for job specs: normalization, identity, execution payloads."""
+
+import json
+
+import pytest
+
+from repro.engine.engine import Engine
+from repro.io.aiger import aiger_ascii
+from repro.service.jobs import (
+    JOB_KINDS,
+    Job,
+    JobSpec,
+    canonical_payload_bytes,
+    execute_spec,
+)
+
+
+def test_spec_normalizes_defaults():
+    spec = JobSpec(kind="optimize", design="b08")
+    assert spec.options == JOB_KINDS["optimize"]
+    explicit = JobSpec(kind="optimize", design="b08", options={"script": "rw; rs; rf"})
+    assert explicit.options == spec.options
+
+
+def test_spec_rejects_unknown_kind_and_options():
+    with pytest.raises(ValueError):
+        JobSpec(kind="transmogrify", design="b08")
+    with pytest.raises(ValueError):
+        JobSpec(kind="optimize", design="b08", options={"scirpt": "rw"})
+    with pytest.raises(ValueError):
+        JobSpec(kind="optimize")  # design required
+
+
+def test_spec_json_round_trip():
+    spec = JobSpec(
+        kind="sample",
+        design="b08",
+        options={"num_samples": 4, "seed": 7},
+        priority=3,
+        timeout_seconds=12.5,
+    )
+    rebuilt = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert rebuilt == spec
+
+
+def test_spec_from_dict_validation_errors():
+    with pytest.raises(ValueError):
+        JobSpec.from_dict("not an object")
+    with pytest.raises(ValueError):
+        JobSpec.from_dict({"design": "b08"})  # no kind
+    with pytest.raises(ValueError):
+        JobSpec.from_dict({"kind": "optimize", "design": "b08", "options": []})
+    with pytest.raises(ValueError):
+        JobSpec.from_dict({"kind": "optimize", "design": "b08", "priority": "high"})
+    with pytest.raises(ValueError):
+        JobSpec.from_dict({"kind": "optimize", "design": "b08", "timeout_seconds": "soon"})
+
+
+def test_deterministic_ids_and_coalesce_keys():
+    a = JobSpec(kind="optimize", design="b08", options={"script": "rw; b"})
+    b = JobSpec(kind="optimize", design="b08", options={"script": "rw; b"}, priority=9)
+    c = JobSpec(kind="optimize", design="b08", options={"script": "rw; rs"})
+    d = JobSpec(kind="optimize", design="b10", options={"script": "rw; b"})
+    # Priority and timeout shape scheduling, not the result: same identity.
+    assert a.coalesce_key() == b.coalesce_key()
+    assert a.job_id() == b.job_id()
+    # Different script or design: different identity.
+    assert a.coalesce_key() != c.coalesce_key()
+    assert a.coalesce_key() != d.coalesce_key()
+    assert a.job_id().startswith("optimize-")
+
+
+def test_renamed_design_does_not_coalesce(tmp_path):
+    """Payloads carry names, so a renamed copy must be a different job."""
+    from repro.engine.engine import Engine, save_design
+
+    renamed = str(tmp_path / "renamed_b08.aag")
+    save_design(Engine.load("b08").aig, renamed)
+    by_name = JobSpec(kind="optimize", design="b08", options={"script": "rw"})
+    by_path = JobSpec(kind="optimize", design=renamed, options={"script": "rw"})
+    # Structurally identical designs, but the rendered design name differs —
+    # coalescing them would serve one caller the other's name and netlist.
+    assert by_name.coalesce_key() != by_path.coalesce_key()
+    assert execute_spec(by_name)["design"] == "b08"
+    assert execute_spec(by_path)["design"] == "renamed_b08"
+
+
+def test_execute_optimize_matches_direct_engine_run():
+    spec = JobSpec(kind="optimize", design="b08", options={"script": "rw; b"})
+    payload = execute_spec(spec)
+    engine = Engine.load("b08")
+    report = engine.run("rw; b")
+    direct = report.to_dict()
+    direct["runtime_seconds"] = 0.0
+    for stats in direct["pass_stats"]:
+        stats["runtime_seconds"] = 0.0
+    assert payload["report"] == direct
+    assert payload["netlist"] == aiger_ascii(engine.aig)
+    # Re-execution is byte-identical (the invariant coalescing relies on).
+    assert canonical_payload_bytes(execute_spec(spec)) == canonical_payload_bytes(payload)
+
+
+def test_execute_sample_matches_direct_engine_sample():
+    spec = JobSpec(kind="sample", design="b08", options={"num_samples": 3, "seed": 1})
+    payload = execute_spec(spec)
+    records = Engine.load("b08").sample(num_samples=3, seed=1)
+    direct = []
+    for record in records:
+        entry = record.to_dict()
+        entry["result"]["runtime_seconds"] = 0.0
+        direct.append(entry)
+    assert payload["records"] == direct
+
+
+def test_execute_orchestrate_returns_netlist():
+    spec = JobSpec(kind="orchestrate", design="b08", options={"seed": 2})
+    payload = execute_spec(spec)
+    assert payload["result"]["size_after"] <= payload["result"]["size_before"]
+    assert payload["netlist"].startswith("aag ")
+    assert payload["result"]["runtime_seconds"] == 0.0
+
+
+def test_execute_selftest_actions():
+    ok = execute_spec(JobSpec(kind="selftest", options={"payload": {"x": 1}}))
+    assert ok == {"kind": "selftest", "action": "ok", "payload": {"x": 1}}
+    # Inline (non-worker) crash degrades to an ordinary exception.
+    with pytest.raises(RuntimeError):
+        execute_spec(JobSpec(kind="selftest", options={"action": "crash"}))
+    with pytest.raises(ValueError):
+        execute_spec(JobSpec(kind="selftest", options={"action": "explode"}))
+
+
+def test_job_lifecycle_and_snapshot():
+    spec = JobSpec(kind="selftest")
+    job = Job(spec, key="abc123" * 10)
+    assert job.state == "queued" and not job.terminal
+    job.mark_running()
+    assert job.state == "running"
+    job.finish({"kind": "selftest"})
+    assert job.terminal and job.wait(0.1)
+    snapshot = job.snapshot()
+    assert snapshot["state"] == "done"
+    assert snapshot["queue_seconds"] >= 0.0
+    assert snapshot["run_seconds"] >= 0.0
+    assert json.dumps(snapshot)  # JSON-serializable throughout

@@ -1,0 +1,87 @@
+"""Tests for the service metrics registry."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service.metrics import LatencySeries, ServiceMetrics
+
+
+def test_unknown_counter_is_rejected():
+    metrics = ServiceMetrics()
+    with pytest.raises(ValueError):
+        metrics.increment("typo_counter")
+
+
+def test_counters_are_thread_safe():
+    metrics = ServiceMetrics()
+
+    def bump():
+        for _ in range(500):
+            metrics.increment("submitted")
+
+    threads = [threading.Thread(target=bump) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert metrics.counter("submitted") == 2000
+
+
+def test_latency_series_percentiles():
+    series = LatencySeries()
+    for value in range(1, 101):  # 0.01 .. 1.00
+        series.observe(value / 100.0)
+    summary = series.summary()
+    assert summary["count"] == 100
+    assert summary["p50"] == pytest.approx(0.50, abs=0.02)
+    assert summary["p90"] == pytest.approx(0.90, abs=0.02)
+    assert summary["p99"] == pytest.approx(0.99, abs=0.02)
+    assert summary["mean"] == pytest.approx(0.505, abs=0.001)
+
+
+def test_empty_latency_summary_is_zeroed():
+    assert LatencySeries().summary() == {
+        "count": 0,
+        "window": 0,
+        "mean": 0.0,
+        "p50": 0.0,
+        "p90": 0.0,
+        "p99": 0.0,
+    }
+
+
+def test_latency_series_windowed_mean_with_lifetime_count():
+    series = LatencySeries(maxlen=4)
+    for value in (10.0, 10.0, 10.0, 10.0, 1.0, 1.0, 1.0, 1.0):
+        series.observe(value)
+    summary = series.summary()
+    assert summary["count"] == 8  # lifetime observations
+    assert summary["window"] == 4  # retained window backing the stats
+    assert summary["mean"] == pytest.approx(1.0)  # only the recent window
+    assert summary["p90"] == pytest.approx(1.0)
+
+
+def test_snapshot_rates_and_gauges():
+    metrics = ServiceMetrics()
+    for _ in range(8):
+        metrics.increment("submitted")
+    metrics.increment("coalesced", 3)
+    metrics.increment("store_hits")
+    metrics.observe(queue_seconds=0.1, run_seconds=0.2, total_seconds=0.3)
+    snapshot = metrics.snapshot({"queue_depth": 2})
+    assert snapshot["coalesce_rate"] == pytest.approx(3 / 8)
+    assert snapshot["cache_hit_rate"] == pytest.approx(4 / 8)
+    assert snapshot["gauges"] == {"queue_depth": 2}
+    assert snapshot["latency"]["run_seconds"]["count"] == 1
+    json.dumps(snapshot)  # the /metrics endpoint serves this verbatim
+
+
+def test_format_report_renders_tables():
+    metrics = ServiceMetrics()
+    metrics.increment("submitted")
+    report = metrics.format_report({"workers": 3})
+    assert "Service metrics" in report
+    assert "Latency (seconds)" in report
+    assert "workers" in report

@@ -1,0 +1,119 @@
+"""Tests for the worker pool: execution modes, timeout, crash isolation."""
+
+import pytest
+
+from repro.service.jobs import JobSpec
+from repro.service.scheduler import Scheduler
+from repro.service.workers import WorkerPool
+
+
+def _selftest(payload=None, **options):
+    merged = {"payload": payload}
+    merged.update(options)
+    return JobSpec(kind="selftest", options=merged)
+
+
+@pytest.fixture
+def scheduler():
+    return Scheduler(max_depth=32)
+
+
+def _run_pool(scheduler, specs, timeout=30.0, **pool_kwargs):
+    jobs = [scheduler.submit(spec)[0] for spec in specs]
+    pool = WorkerPool(scheduler, **pool_kwargs).start()
+    try:
+        for job in jobs:
+            assert job.wait(timeout), f"{job} did not finish"
+    finally:
+        pool.stop()
+    return jobs
+
+
+def test_inline_pool_executes_jobs(scheduler):
+    jobs = _run_pool(
+        scheduler, [_selftest(i) for i in range(4)], num_workers=2, mode="inline"
+    )
+    assert all(job.state == "done" for job in jobs)
+    assert [job.result["payload"] for job in jobs] == [0, 1, 2, 3]
+
+
+def test_inline_pool_turns_exceptions_into_failures(scheduler):
+    jobs = _run_pool(
+        scheduler,
+        [_selftest(action="crash"), _selftest("after")],
+        num_workers=1,
+        mode="inline",
+    )
+    assert jobs[0].state == "failed"
+    assert "RuntimeError" in jobs[0].error
+    # The pool survives a failing job and serves the next one.
+    assert jobs[1].state == "done"
+
+
+def test_auto_mode_executes_real_optimize_job(scheduler):
+    spec = JobSpec(kind="optimize", design="b08", options={"script": "rw"})
+    (job,) = _run_pool(scheduler, [spec], num_workers=1, mode="auto", timeout=120.0)
+    assert job.state == "done"
+    assert job.result["report"]["size_after"] <= job.result["report"]["size_before"]
+
+
+def test_process_pool_timeout_fails_only_that_job(scheduler):
+    jobs = _run_pool(
+        scheduler,
+        [
+            JobSpec(
+                kind="selftest",
+                options={"action": "hang", "seconds": 30.0},
+                timeout_seconds=0.5,
+            ),
+            _selftest("survivor"),
+        ],
+        num_workers=1,
+        mode="process",
+        timeout=60.0,
+    )
+    assert jobs[0].state == "failed"
+    assert "timeout" in jobs[0].error
+    assert jobs[1].state == "done"
+    assert scheduler.metrics.counter("timeouts") == 1
+
+
+def test_process_pool_worker_crash_is_isolated(scheduler):
+    jobs = _run_pool(
+        scheduler,
+        [_selftest(action="crash"), _selftest("survivor")],
+        num_workers=1,
+        mode="process",
+        timeout=60.0,
+    )
+    assert jobs[0].state == "failed"
+    assert "died" in jobs[0].error
+    assert jobs[1].state == "done"
+    assert scheduler.metrics.counter("worker_crashes") == 1
+
+
+def test_cancel_requested_before_execution_is_honoured(scheduler):
+    # Submit without workers, request cancellation of the running-soon job,
+    # then start the pool: the dispatcher must release it unexecuted.
+    job, _ = scheduler.submit(_selftest("never"))
+    scheduler.cancel(job.job_id)
+    pool = WorkerPool(scheduler, num_workers=1, mode="inline").start()
+    try:
+        assert job.wait(5.0)
+    finally:
+        pool.stop()
+    assert job.state == "cancelled"
+    assert job.result is None
+
+
+def test_pool_validates_arguments(scheduler):
+    with pytest.raises(ValueError):
+        WorkerPool(scheduler, num_workers=0)
+    with pytest.raises(ValueError):
+        WorkerPool(scheduler, mode="quantum")
+
+
+def test_pool_stop_is_idempotent(scheduler):
+    pool = WorkerPool(scheduler, num_workers=1, mode="inline").start()
+    pool.stop()
+    pool.stop()

@@ -165,3 +165,136 @@ def test_cache_populated_by_flow_run(tmp_path, capsys):
     assert "samples" in out
     assert main(["cache", "clear", "--store", store_path]) == 0
     assert "removed" in capsys.readouterr().out
+
+
+def test_stats_command_json(design_file, capsys):
+    import json
+
+    assert main(["stats", design_file, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["design"] == "alu2"
+    assert set(payload) >= {"pis", "pos", "ands", "depth"}
+    assert payload["ands"] > 0
+
+
+def test_benchmarks_command_json(capsys):
+    import json
+
+    assert main(["benchmarks", "--json"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    names = {entry["name"] for entry in entries}
+    assert "b11" in names and "c5315" in names
+    assert all(set(entry) == {"name", "kind", "target_size"} for entry in entries)
+
+
+def test_benchmarks_command_json_generate(capsys):
+    import json
+
+    assert main(["benchmarks", "--json", "--generate"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert all("ands" in entry and "depth" in entry for entry in entries)
+
+
+def test_stats_command_reads_gz(design_file, tmp_path, capsys):
+    gz_path = tmp_path / "alu2.aag.gz"
+    save_design(load_design(design_file), str(gz_path))
+    assert main(["stats", str(gz_path), "--json"]) == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["design"] == "alu2"
+
+
+def test_submit_command_in_process(design_file, capsys):
+    import json
+
+    code = main(["submit", design_file, "--kind", "optimize", "-s", "rw; b"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "optimize"
+    assert payload["report"]["size_after"] <= payload["report"]["size_before"]
+    assert payload["netlist"].startswith("aag ")
+
+
+def test_submit_command_matches_direct_engine_run(capsys):
+    import json
+
+    from repro.service import JobSpec, canonical_payload_bytes, execute_spec
+
+    spec = {"kind": "optimize", "design": "b08", "options": {"script": "rw"}}
+    assert main(["submit", "b08", "--kind", "optimize", "-s", "rw"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    direct = execute_spec(JobSpec.from_dict(spec))
+    assert canonical_payload_bytes(payload) == canonical_payload_bytes(direct)
+
+
+def test_submit_command_with_options_and_store(tmp_path, capsys):
+    import json
+
+    store = str(tmp_path / "store")
+    argv = [
+        "submit",
+        "b08",
+        "--kind",
+        "sample",
+        "-O",
+        "num_samples=2",
+        "-O",
+        "seed=3",
+        "--store",
+        store,
+    ]
+    assert main(argv) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert len(cold["records"]) == 2
+    # Second run over the same store is served warm and prints the same bytes.
+    assert main(argv) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm == cold
+
+
+def test_submit_command_rejects_bad_option(capsys):
+    assert main(["submit", "b08", "-O", "nonsense"]) == 2
+    assert "key=value" in capsys.readouterr().err
+
+
+def test_submit_command_unreachable_url(capsys):
+    code = main(
+        ["submit", "b08", "--url", "http://127.0.0.1:1", "--result-timeout", "1"]
+    )
+    assert code == 2  # URLError is an OSError: the generic CLI error path
+    assert "error" in capsys.readouterr().err
+
+
+def test_serve_and_submit_over_http(tmp_path, capsys):
+    import json
+    import threading
+
+    from repro.service import HttpServiceClient, ServiceServer, SynthesisService
+
+    service = SynthesisService(num_workers=1, mode="inline")
+    server = ServiceServer(service, port=0)
+    with server:
+        code = main(
+            [
+                "submit",
+                "b08",
+                "--kind",
+                "optimize",
+                "-s",
+                "rw",
+                "--url",
+                server.url,
+                "--wait",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["design"] == "b08"
+        # Fire-and-forget submission prints the job snapshot instead.
+        code = main(["submit", "b08", "--kind", "optimize", "-s", "rw", "--url", server.url])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["job_id"].startswith("optimize-")
+        assert HttpServiceClient(server.url).healthz()
+        assert threading.active_count() >= 1
