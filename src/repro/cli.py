@@ -20,6 +20,10 @@ everyday workflows of the library without writing Python:
     optionally the vectors themselves) to CSV.
 ``passes``
     List the registered optimization passes and their script options.
+``backends``
+    List the registered compute backends, the per-op implementation each
+    would use on this install, and which backend is currently selected
+    (``--json`` for machine-readable output).
 ``benchmarks``
     List the registered benchmark designs and their statistics.
 ``cache``
@@ -214,6 +218,44 @@ def _cmd_passes(args: argparse.Namespace) -> int:
             title="Registered optimization passes",
         )
     )
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.backend import (
+        ENV_VAR,
+        available_backends,
+        create_backend,
+        get_backend,
+    )
+
+    selected = get_backend()
+    names = available_backends()
+    payload = {
+        "selected": selected.name,
+        "env_var": ENV_VAR,
+        "env_value": os.environ.get(ENV_VAR),
+        "backends": {},
+    }
+    for name in names:
+        backend = create_backend(name)
+        payload["backends"][name] = {"ops": backend.op_support()}
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    ops = sorted(create_backend(names[0]).op_support())
+    for op in ops:
+        rows.append([op] + [payload["backends"][name]["ops"].get(op, "-") for name in names])
+    print(
+        format_table(
+            headers=["op"] + names,
+            rows=rows,
+            title="Registered compute backends (per-op implementation)",
+        )
+    )
+    marker = f" (${ENV_VAR}={payload['env_value']})" if payload["env_value"] else ""
+    print(f"\nselected backend: {selected.name}{marker}")
     return 0
 
 
@@ -450,6 +492,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print machine-readable JSON instead of a table"
     )
     benchmarks.set_defaults(handler=_cmd_benchmarks)
+
+    backends = subparsers.add_parser(
+        "backends", help="list compute backends and their per-op implementations"
+    )
+    backends.add_argument(
+        "--json", action="store_true", help="print machine-readable JSON instead of a table"
+    )
+    backends.set_defaults(handler=_cmd_backends)
 
     serve = subparsers.add_parser(
         "serve", help="run the batched, cache-coalescing synthesis service over HTTP"

@@ -28,6 +28,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, ClassVar, Dict, List, Optional, Sequence, Union
 
 from repro.aig.aig import Aig
+from repro.backend import get_backend, set_default_backend
 from repro.orchestration.decision import DecisionVector
 from repro.orchestration.orchestrate import orchestrate
 from repro.orchestration.sampling import SampleRecord
@@ -106,9 +107,18 @@ class SerialEvaluator(Evaluator):
 _WORKER_STATE: Dict[str, Any] = {}
 
 
-def _init_worker(aig_bytes: bytes, params: Optional[OperationParams]) -> None:
+def _init_worker(
+    aig_bytes: bytes,
+    params: Optional[OperationParams],
+    backend_name: Optional[str] = None,
+) -> None:
     from repro.aig.kernels import cached_topological_order
 
+    if backend_name is not None:
+        # Propagate the parent's compute backend: process-local selections
+        # (``use_backend`` / ``FlowConfig.backend``) do not travel with the
+        # environment, so the pool passes the effective name explicitly.
+        set_default_backend(backend_name)
     _WORKER_STATE["aig"] = pickle.loads(aig_bytes)
     _WORKER_STATE["params"] = params
     # Warm the per-network kernel caches once per worker: every sample copies
@@ -188,7 +198,7 @@ class ProcessPoolEvaluator(Evaluator):
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(pickle.dumps(aig), params),
+                initargs=(pickle.dumps(aig), params, get_backend().name),
             ) as executor:
                 # executor.map preserves submission order: the concatenation
                 # below is index-aligned with ``decision_vectors``.

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.aig.aig import Aig
+from repro.backend import use_backend
 from repro.features.dataset import BoolGebraDataset, GraphSample
 from repro.flow.config import FlowConfig, fast_config
 from repro.nn.metrics import regression_report
@@ -149,15 +150,16 @@ class BoolGebraFlow:
         num_samples = num_samples or config.num_samples
         guided = config.guided_sampling if guided is None else guided
         seed = config.seed if seed is None else seed
-        return dataset_for(
-            aig,
-            num_samples,
-            guided,
-            seed,
-            params=config.operations,
-            evaluator=config.evaluator,
-            store=self.store,
-        )
+        with use_backend(config.backend):
+            return dataset_for(
+                aig,
+                num_samples,
+                guided,
+                seed,
+                params=config.operations,
+                evaluator=config.evaluator,
+                store=self.store,
+            )
 
     # ------------------------------------------------------------------ #
     # Training
@@ -175,14 +177,15 @@ class BoolGebraFlow:
             dataset = self.generate_dataset(aig, num_samples=num_training)
         self.training_dataset = dataset
         self.training_design = aig.name
-        self.trainer, history, self.training_from_cache = train_or_load(
-            dataset,
-            config.model,
-            config.training,
-            train_fraction=config.train_fraction,
-            store=self.store,
-            prebatch=config.prebatch,
-        )
+        with use_backend(config.backend):
+            self.trainer, history, self.training_from_cache = train_or_load(
+                dataset,
+                config.model,
+                config.training,
+                train_fraction=config.train_fraction,
+                store=self.store,
+                prebatch=config.prebatch,
+            )
         return history
 
     # ------------------------------------------------------------------ #
@@ -207,7 +210,8 @@ class BoolGebraFlow:
         start = time.perf_counter()
         if candidates is None:
             candidates = self.generate_dataset(aig, seed=config.seed + 1)
-        predictions = self.trainer.predict(candidates.samples)
+        with use_backend(config.backend):
+            predictions = self.trainer.predict(candidates.samples)
         targets = candidates.labels()
         top_k_effective = min(top_k, len(predictions))
         order = np.argsort(predictions, kind="stable")[:top_k_effective]
@@ -253,4 +257,5 @@ class BoolGebraFlow:
         """Raw model scores for arbitrary attributed-graph samples."""
         if self.trainer is None:
             raise RuntimeError("train() must be called before predict_scores()")
-        return self.trainer.predict(samples)
+        with use_backend(self.config.backend):
+            return self.trainer.predict(samples)

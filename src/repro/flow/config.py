@@ -50,6 +50,11 @@ class FlowConfig:
     #: Train through the pinned batch cache (:meth:`Trainer.fit`); the
     #: per-epoch-rebatch reference loop is byte-identical but slower.
     prebatch: bool = True
+    #: Compute backend for the numeric inner loops: ``None`` defers to the
+    #: ``BOOLGEBRA_BACKEND`` environment variable (default ``"auto"``),
+    #: otherwise ``"reference"``, ``"accelerated"`` or ``"auto"``.  Every
+    #: backend is gated bit-identical, so this changes speed, never results.
+    backend: Optional[str] = None
     #: Architecture of the GNN predictor.
     model: ModelConfig = field(default_factory=ModelConfig.paper)
     #: Training schedule.

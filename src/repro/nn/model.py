@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.features.dataset import FEATURE_DIM
 from repro.nn.graph import GraphBatch
 from repro.nn.layers import BatchNorm1d, Dropout, Layer, Linear, Parameter, ReLU6, Sigmoid
@@ -110,15 +111,16 @@ class BoolGebraPredictor:
     # ------------------------------------------------------------------ #
     def forward(self, batch: GraphBatch, training: bool = False) -> np.ndarray:
         """Return per-graph predictions of shape ``(num_graphs, 1)``."""
+        backend = get_backend()
         x = batch.features
-        for conv, activation, dropout in zip(
-            self.conv_layers, self.conv_activations, self.conv_dropouts
+        for index, (conv, activation, dropout) in enumerate(
+            zip(self.conv_layers, self.conv_activations, self.conv_dropouts)
         ):
-            x = conv.forward(x, batch.aggregation, training=training)
-            x = activation.forward(x, training=training)
-            x = dropout.forward(x, training=training)
+            x = backend.sage_layer_fused(
+                conv, activation, dropout, x, batch.aggregation, training, key=index
+            )
 
-        pooled = batch.pooling @ x
+        pooled = backend.csr_aggregate(batch.pooling, x, key="pool")
         self._pooling_cache = batch.pooling
 
         hidden = self.dense_layers[0].forward(pooled, training=training)
@@ -139,6 +141,7 @@ class BoolGebraPredictor:
         activations), saving the bottom convolution's input-gradient matmuls.
         Parameter gradients are identical either way.
         """
+        backend = get_backend()
         grad = self.output_activation.backward(grad_output)
         grad = self.dense_layers[2].backward(grad)
         grad = self.batch_norms[1].backward(grad)
@@ -148,7 +151,7 @@ class BoolGebraPredictor:
         grad = self.dense_layers[0].backward(grad)
 
         assert self._pooling_cache is not None
-        grad = self._pooling_cache.T @ grad
+        grad = backend.csr_aggregate_t(self._pooling_cache, grad, key="pool")
 
         bottom = len(self.conv_layers) - 1
         for index, (conv, activation, dropout) in enumerate(
@@ -158,9 +161,14 @@ class BoolGebraPredictor:
                 reversed(self.conv_dropouts),
             )
         ):
-            grad = dropout.backward(grad)
-            grad = activation.backward(grad)
-            grad = conv.backward(grad, input_grad=input_grad or index < bottom)
+            grad = backend.sage_layer_backward(
+                conv,
+                activation,
+                dropout,
+                grad,
+                input_grad or index < bottom,
+                key=bottom - index,
+            )
         return grad
 
     def predict(self, batch: GraphBatch) -> np.ndarray:

@@ -17,6 +17,7 @@ from typing import List, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from repro.backend import get_backend
 from repro.nn.initializers import glorot_uniform, zeros
 from repro.nn.layers import Layer, Parameter, default_init_rng
 
@@ -53,9 +54,12 @@ class SageConv(Layer):
         x: np.ndarray,
         aggregation: sp.csr_matrix,
         training: bool = False,
+        backend=None,
     ) -> np.ndarray:
         """Apply the convolution given node features and the aggregation operator."""
-        neighbours = aggregation @ x
+        if backend is None:
+            backend = get_backend()
+        neighbours = backend.csr_aggregate(aggregation, x)
         self._cache = (x, neighbours, aggregation)
         return (
             x @ self.weight_self.value
@@ -64,7 +68,7 @@ class SageConv(Layer):
         )
 
     def backward(
-        self, grad_output: np.ndarray, input_grad: bool = True
+        self, grad_output: np.ndarray, input_grad: bool = True, backend=None
     ) -> Optional[np.ndarray]:
         """Accumulate parameter gradients; return the input gradient.
 
@@ -73,6 +77,8 @@ class SageConv(Layer):
         network, whose input is data rather than an upstream activation.
         """
         assert self._cache is not None, "forward must be called before backward"
+        if backend is None:
+            backend = get_backend()
         x, neighbours, aggregation = self._cache
         self.weight_self.grad += x.T @ grad_output
         self.weight_neigh.grad += neighbours.T @ grad_output
@@ -80,5 +86,7 @@ class SageConv(Layer):
         if not input_grad:
             return None
         grad_input = grad_output @ self.weight_self.value.T
-        grad_input += aggregation.T @ (grad_output @ self.weight_neigh.value.T)
+        grad_input += backend.csr_aggregate_t(
+            aggregation, grad_output @ self.weight_neigh.value.T
+        )
         return grad_input

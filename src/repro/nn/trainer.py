@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.backend import use_backend
 from repro.features.dataset import BoolGebraDataset, GraphSample
 from repro.nn.graph import GraphBatch, batch_iterator
 from repro.nn.loss import MSELoss
@@ -106,7 +107,13 @@ class Trainer:
         model: Optional[BoolGebraPredictor] = None,
         config: Optional[TrainingConfig] = None,
         model_config: Optional[ModelConfig] = None,
+        backend: Optional[str] = None,
     ) -> None:
+        # ``backend=None`` defers to the process default (env var / config);
+        # a name pins every forward/backward/step of this trainer to that
+        # compute backend.  All backends are bit-identical, so this only
+        # changes speed, never the history.
+        self.backend = backend
         self.config = config or TrainingConfig.fast()
         self.model = model or BoolGebraPredictor(model_config or ModelConfig.small())
         self.loss = MSELoss()
@@ -192,23 +199,26 @@ class Trainer:
         test_batch = (
             GraphBatch.from_samples(test_samples) if test_samples else None
         )
-        for epoch in range(self.config.epochs):
-            epoch_losses = []
-            for batch in epoch_batches(epoch):
-                epoch_losses.append(self._train_step(batch))
-            history.train_loss.append(float(np.mean(epoch_losses)))
-            if test_batch is not None:
-                predictions = self.model.forward(test_batch, training=False)
-                history.test_loss.append(self.loss.forward(predictions, test_batch.labels))
-            history.learning_rates.append(self.scheduler.current_lr)
-            self.scheduler.step()
-            if self.config.log_every and (epoch + 1) % self.config.log_every == 0:
-                test_text = (
-                    f", test={history.test_loss[-1]:.5f}" if history.test_loss else ""
-                )
-                print(
-                    f"epoch {epoch + 1:4d}: train={history.train_loss[-1]:.5f}{test_text}"
-                )
+        with use_backend(self.backend):
+            for epoch in range(self.config.epochs):
+                epoch_losses = []
+                for batch in epoch_batches(epoch):
+                    epoch_losses.append(self._train_step(batch))
+                history.train_loss.append(float(np.mean(epoch_losses)))
+                if test_batch is not None:
+                    predictions = self.model.forward(test_batch, training=False)
+                    history.test_loss.append(
+                        self.loss.forward(predictions, test_batch.labels)
+                    )
+                history.learning_rates.append(self.scheduler.current_lr)
+                self.scheduler.step()
+                if self.config.log_every and (epoch + 1) % self.config.log_every == 0:
+                    test_text = (
+                        f", test={history.test_loss[-1]:.5f}" if history.test_loss else ""
+                    )
+                    print(
+                        f"epoch {epoch + 1:4d}: train={history.train_loss[-1]:.5f}{test_text}"
+                    )
         history.runtime_seconds = time.perf_counter() - start
         evaluation_samples = test_samples or train_samples
         predictions = self.predict(evaluation_samples)
@@ -249,10 +259,11 @@ class Trainer:
         if not samples:
             return np.zeros(0, dtype=np.float64)
         predictions = []
-        for start in range(0, len(samples), max(1, self.config.batch_size)):
-            chunk = samples[start : start + max(1, self.config.batch_size)]
-            batch = GraphBatch.from_samples(chunk)
-            predictions.append(self.model.predict(batch))
+        with use_backend(self.backend):
+            for start in range(0, len(samples), max(1, self.config.batch_size)):
+                chunk = samples[start : start + max(1, self.config.batch_size)]
+                batch = GraphBatch.from_samples(chunk)
+                predictions.append(self.model.predict(batch))
         return np.concatenate(predictions)
 
     def evaluate(self, samples: Sequence[GraphSample]) -> Dict[str, float]:

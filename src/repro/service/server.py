@@ -70,6 +70,7 @@ class SynthesisService:
         mode: str = "auto",
         default_timeout: Optional[float] = None,
         retain_jobs: int = 1024,
+        backend: Optional[str] = None,
     ) -> None:
         self.metrics = ServiceMetrics()
         self.store = ArtifactStore.resolve(store)
@@ -84,6 +85,7 @@ class SynthesisService:
             num_workers=num_workers,
             mode=mode,
             default_timeout=default_timeout,
+            backend=backend,
         )
         self._started = False
 
@@ -149,7 +151,9 @@ class SynthesisService:
         if self.store is not None:
             gauges["store_result_hits"] = self.store.stats.hits.get("results", 0)
             gauges["store_result_misses"] = self.store.stats.misses.get("results", 0)
-        return self.metrics.snapshot(gauges)
+        snapshot = self.metrics.snapshot(gauges)
+        snapshot["backend"] = self.pool.backend_name()
+        return snapshot
 
 
 # --------------------------------------------------------------------------- #

@@ -34,6 +34,7 @@ import time
 import traceback
 from typing import List, Optional, Tuple
 
+from repro.backend import get_backend, set_default_backend, use_backend
 from repro.service import jobs as jobs_module
 from repro.service.jobs import Job, JobSpec, execute_spec
 from repro.service.scheduler import Scheduler
@@ -47,7 +48,7 @@ _SPAWN_ERRORS = (OSError, PermissionError, RuntimeError)
 _POLL_SECONDS = 0.05
 
 
-def _worker_main(task_queue, result_queue) -> None:
+def _worker_main(task_queue, result_queue, backend_name=None) -> None:
     """Entry point of a persistent worker process.
 
     Prewarms the heavyweight imports once, then serves ``(job_id, spec)``
@@ -56,6 +57,10 @@ def _worker_main(task_queue, result_queue) -> None:
     a *crash* and is detected by the dispatcher via process death.
     """
     jobs_module._IN_WORKER_PROCESS = True
+    if backend_name is not None:
+        # Process-local backend selections don't survive the process
+        # boundary, so the pool ships the effective name explicitly.
+        set_default_backend(backend_name)
     from repro.engine.engine import Engine  # noqa: F401  (prewarm imports)
 
     while True:
@@ -73,8 +78,9 @@ def _worker_main(task_queue, result_queue) -> None:
 class _WorkerProcess:
     """One persistent worker process plus its task/result queues."""
 
-    def __init__(self, context) -> None:
+    def __init__(self, context, backend_name: Optional[str] = None) -> None:
         self._context = context
+        self._backend_name = backend_name
         self._process = None
         self._tasks = None
         self._results = None
@@ -85,7 +91,9 @@ class _WorkerProcess:
         self._tasks = self._context.Queue()
         self._results = self._context.Queue()
         self._process = self._context.Process(
-            target=_worker_main, args=(self._tasks, self._results), daemon=True
+            target=_worker_main,
+            args=(self._tasks, self._results, self._backend_name),
+            daemon=True,
         )
         self._process.start()
 
@@ -165,6 +173,7 @@ class WorkerPool:
         num_workers: int = 2,
         mode: str = "auto",
         default_timeout: Optional[float] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -174,9 +183,14 @@ class WorkerPool:
         self.num_workers = num_workers
         self.mode = mode
         self.default_timeout = default_timeout
+        self.backend = backend
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
         self._context = multiprocessing.get_context()
+
+    def backend_name(self) -> str:
+        """The compute backend jobs execute under (reported in ``/metrics``)."""
+        return self.backend or get_backend().name
 
     # ------------------------------------------------------------------ #
     def start(self) -> "WorkerPool":
@@ -224,7 +238,7 @@ class WorkerPool:
                     timeout = self.default_timeout
                 if mode in ("process", "auto") and worker is None:
                     try:
-                        worker = _WorkerProcess(self._context)
+                        worker = _WorkerProcess(self._context, self.backend_name())
                         worker._ensure()
                     except _SPAWN_ERRORS:
                         worker = None
@@ -242,7 +256,8 @@ class WorkerPool:
 
     def _run_inline(self, job: Job) -> None:
         try:
-            payload = execute_spec(job.spec)
+            with use_backend(self.backend):
+                payload = execute_spec(job.spec)
         except Exception as error:
             self.scheduler.fail(job, f"{type(error).__name__}: {error}")
             return

@@ -19,6 +19,7 @@ from repro.aig.aig import Aig
 from repro.aig.literals import lit, lit_is_compl, lit_not, lit_var
 from repro.aig.reconv_cut import reconvergence_driven_cut
 from repro.aig.truth import cached_table_var, table_mask
+from repro.backend import get_backend
 from repro.synth.candidates import TransformCandidate
 from repro.synth.mffc import mffc_nodes
 
@@ -74,64 +75,57 @@ def find_resub_candidate(
     mask = table_mask(num_vars)
     tables = _window_truth_tables(aig, leaves, window)
     target = tables[node]
+    backend = get_backend()
 
     # --- 0-resub: the function already exists in the window. -------------- #
     gain0 = len(deref)
     if gain0 >= params.effective_min_gain():
-        for divisor in divisors:
-            table = tables[divisor]
-            if table == target:
-                return _make_candidate(
-                    aig, node, leaves, gain0, lit(divisor), deref,
-                    params.effective_min_gain(),
-                )
-            if table == (target ^ mask):
-                return _make_candidate(
-                    aig, node, leaves, gain0, lit(divisor, True), deref,
-                    params.effective_min_gain(),
-                )
+        hit = backend.resub_zero_match(divisors, tables, target, mask)
+        if hit is not None:
+            divisor, complemented = hit
+            return _make_candidate(
+                aig, node, leaves, gain0, lit(divisor, complemented), deref,
+                params.effective_min_gain(),
+            )
 
     # --- 1-resub: AND / OR of two (possibly complemented) divisors. ------- #
     if params.max_resub_nodes < 1:
         return None
     gain1 = len(deref) - 1
-    ranked = _rank_divisors(divisors, tables, target, mask)[: params.max_divisors]
+    ranked = backend.resub_rank_divisors(divisors, tables, target, mask)[
+        : params.max_divisors
+    ]
     if gain1 >= params.effective_min_gain():
-        for index, first in enumerate(ranked):
-            table_a = tables[first]
-            for second in ranked[index + 1 :]:
-                table_b = tables[second]
-                combo = _match_pair(target, table_a, table_b, mask)
-                if combo is None:
-                    continue
-                compl_a, compl_b, compl_out = combo
+        pair = backend.resub_one_match(ranked, tables, target, mask)
+        if pair is not None:
+            first, second, compl_a, compl_b, compl_out = pair
 
-                def apply(
-                    target_aig: Aig,
-                    first=first,
-                    second=second,
-                    compl_a=compl_a,
-                    compl_b=compl_b,
-                    compl_out=compl_out,
-                ) -> None:
-                    lit_a = lit(first, compl_a)
-                    lit_b = lit(second, compl_b)
-                    new_lit = target_aig.add_and(lit_a, lit_b)
-                    if compl_out:
-                        new_lit = lit_not(new_lit)
-                    target_aig.replace(node, new_lit)
+            def apply(
+                target_aig: Aig,
+                first=first,
+                second=second,
+                compl_a=compl_a,
+                compl_b=compl_b,
+                compl_out=compl_out,
+            ) -> None:
+                lit_a = lit(first, compl_a)
+                lit_b = lit(second, compl_b)
+                new_lit = target_aig.add_and(lit_a, lit_b)
+                if compl_out:
+                    new_lit = lit_not(new_lit)
+                target_aig.replace(node, new_lit)
 
-                return TransformCandidate(
-                    node=node,
-                    operation="rs",
-                    gain=gain1,
-                    leaves=tuple(leaves),
-                    _apply=apply,
-                    refs=(first, second),
-                    deref=frozenset(deref),
-                    min_gain=params.effective_min_gain(),
-                    _regain=_resub_regain(node, tuple(leaves), 1),
-                )
+            return TransformCandidate(
+                node=node,
+                operation="rs",
+                gain=gain1,
+                leaves=tuple(leaves),
+                _apply=apply,
+                refs=(first, second),
+                deref=frozenset(deref),
+                min_gain=params.effective_min_gain(),
+                _regain=_resub_regain(node, tuple(leaves), 1),
+            )
 
     # --- 2-resub: AND-OR of three divisors (two new nodes). --------------- #
     if params.max_resub_nodes < 2:

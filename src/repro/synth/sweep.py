@@ -42,13 +42,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
-
-from repro.aig.aig import Aig, AigError
+from repro.aig.aig import Aig
 from repro.aig.cuts import CutEnumerator
 from repro.aig.kernels import LevelizedAig, cached_topological_order, expand_region, levelized
 from repro.aig.simulate import random_patterns
-from repro.aig.truth import cached_table_var, table_mask
+from repro.backend import get_backend
 from repro.synth.candidates import TransformCandidate
 from repro.synth.refactor import RefactorParams, find_refactor_candidate
 from repro.synth.resub import ResubParams, find_resub_candidate
@@ -118,59 +116,15 @@ def batched_cut_tables(
     correlated) are reported as ``None`` and the caller falls back to the
     exact scalar cone walk on demand, so the end result is always exact and
     deterministic.
+
+    This is a thin dispatcher over the selected compute backend's
+    ``cut_truth_tables`` op (see :mod:`repro.backend`); every backend's
+    result is bit-identical to the canonical numpy implementation in
+    :class:`repro.backend.reference.ReferenceBackend`.
     """
-    tables: Dict[Tuple[int, Tuple[int, ...]], Optional[int]] = {}
-    if not work:
-        return tables
-    patterns = random_patterns(aig.num_pis(), num_patterns, seed=seed)
-    values = view.simulate(patterns)
-    # (num_slots, num_patterns) 0/1 matrix: unpack each uint64 word.
-    shifts = np.arange(64, dtype=np.uint64)
-    bits = ((values[:, :, None] >> shifts) & np.uint64(1)).astype(np.uint8)
-    bits = bits.reshape(values.shape[0], -1)[:, :num_patterns]
-
-    by_size: Dict[int, List[Tuple[int, Tuple[int, ...]]]] = {}
-    for root, leaves in work:
-        by_size.setdefault(len(leaves), []).append((root, leaves))
-
-    for size, items in by_size.items():
-        if size > 6:
-            # The packed-table arithmetic lives in single uint64 words
-            # (2**size table bits, shift weights up to 2**size - 1), which is
-            # only sound for size <= 6; larger cuts take the exact scalar
-            # fallback.  The default rewriting cut size is 4.
-            for item in items:
-                tables[item] = None
-            continue
-        width = 1 << size
-        weights = np.left_shift(
-            np.uint64(1), np.arange(width, dtype=np.uint64)
-        ).astype(np.uint64)
-        for start in range(0, len(items), chunk):
-            batch = items[start : start + chunk]
-            count = len(batch)
-            roots = np.fromiter((root for root, _ in batch), np.int64, count)
-            leaf_matrix = np.array([leaves for _, leaves in batch], dtype=np.int64)
-            index = bits[leaf_matrix[:, 0]].astype(np.uint16)
-            for position in range(1, size):
-                index |= bits[leaf_matrix[:, position]].astype(np.uint16) << position
-            root_bits = bits[roots]
-            rows = np.arange(count, dtype=np.int64)[:, None]
-            flat = (rows * width + index).ravel()
-            seen = np.zeros(count * width, dtype=bool)
-            seen[flat] = True
-            entries = np.zeros(count * width, dtype=np.uint8)
-            entries[flat] = root_bits.ravel()
-            seen = seen.reshape(count, width)
-            entries = entries.reshape(count, width)
-            complete = seen.all(axis=1)
-            packed = (entries.astype(np.uint64) * weights).sum(axis=1)
-            for position, (root, leaves) in enumerate(batch):
-                if complete[position]:
-                    tables[(root, leaves)] = int(packed[position])
-                else:
-                    tables[(root, leaves)] = None
-    return tables
+    return get_backend().cut_truth_tables(
+        aig, view, work, num_patterns=num_patterns, seed=seed, chunk=chunk
+    )
 
 
 def _snapshot_cut_table(view: LevelizedAig, root: int, leaves: Tuple[int, ...]) -> int:
@@ -179,40 +133,10 @@ def _snapshot_cut_table(view: LevelizedAig, root: int, leaves: Tuple[int, ...]) 
     Semantically identical to :func:`repro.aig.truth.cut_truth_table` but
     walks the snapshot's plain fanin lists instead of calling into the
     mutable network — the fallback path for cuts whose leaf values were not
-    fully covered by the batched matrix extraction.
+    fully covered by the batched matrix extraction.  Dispatches to the
+    selected backend's ``cut_table_exact`` op.
     """
-    num_vars = len(leaves)
-    mask = table_mask(num_vars)
-    tables = {leaf: cached_table_var(i, num_vars) for i, leaf in enumerate(leaves)}
-    tables[0] = 0
-    if root in tables:
-        return tables[root]
-    fanin0 = view._fanin0_list
-    fanin1 = view._fanin1_list
-    # Iterative post-order over the cone bounded by the leaves.
-    stack = [(root, False)]
-    visited = set(leaves)
-    visited.add(0)
-    while stack:
-        node, expanded = stack.pop()
-        if expanded:
-            f0 = fanin0[node]
-            f1 = fanin1[node]
-            t0 = tables[f0 >> 1]
-            t1 = tables[f1 >> 1]
-            if f0 & 1:
-                t0 ^= mask
-            if f1 & 1:
-                t1 ^= mask
-            tables[node] = t0 & t1
-            continue
-        if node in visited:
-            continue
-        visited.add(node)
-        stack.append((node, True))
-        stack.append((fanin1[node] >> 1, False))
-        stack.append((fanin0[node] >> 1, False))
-    return tables[root]
+    return get_backend().cut_table_exact(view, root, leaves)
 
 
 # --------------------------------------------------------------------------- #
@@ -228,12 +152,16 @@ def score_rewrites(
 
     Unlike the sequential finder — which enumerates cuts in a bounded local
     region per node — the batched scorer runs one vectorized full-network
-    enumeration, extracts all cut truth tables from one matrix simulation
-    and evaluates the candidates with the shared
-    :func:`~repro.synth.rewrite.evaluate_rewrite_cut` core.
+    enumeration and evaluates the candidates with the shared
+    :func:`~repro.synth.rewrite.evaluate_rewrite_cut` core.  Cut truth
+    tables are computed lazily with the backend's exact cone walk: the
+    MFFC-sorted scan evaluates only a fraction of the enumerated cuts, and
+    most cut leaf combinations are structurally unreachable under random
+    simulation anyway, so an upfront batched extraction wastes nearly all
+    of its work on tables that are either incomplete or never consulted.
     """
+    del sweep_params
     params = params or RewriteParams()
-    sweep_params = sweep_params or SweepParams()
     library = params.library or DEFAULT_LIBRARY
     topo = cached_topological_order(aig)
     targets = [n for n in topo if nodes is None or n in nodes]
@@ -246,23 +174,11 @@ def score_rewrites(
             if candidate is not None:
                 candidates[node] = candidate
         return candidates
+    backend = get_backend()
     view = levelized(aig)
     view.ensure_node_arrays(aig)
     enumerator = CutEnumerator(k=params.cut_size, cuts_per_node=params.cuts_per_node)
     all_cuts = enumerator.enumerate(aig)
-    work: List[Tuple[int, Tuple[int, ...]]] = []
-    for node in targets:
-        for cut in all_cuts.get(node, ()):
-            if not cut.is_trivial() and cut.size >= 2:
-                work.append((node, cut.leaves))
-    tables = batched_cut_tables(
-        aig,
-        view,
-        work,
-        num_patterns=sweep_params.num_patterns,
-        seed=sweep_params.pattern_seed,
-    )
-
     candidates: Dict[int, TransformCandidate] = {}
     for node in targets:
         scored = []
@@ -278,9 +194,7 @@ def score_rewrites(
         for deref, cut in scored:
             if best is not None and len(deref) <= best.gain:
                 break
-            table = tables[(node, cut.leaves)]
-            if table is None:
-                table = _snapshot_cut_table(view, node, cut.leaves)
+            table = backend.cut_table_exact(view, node, cut.leaves)
             candidate = evaluate_rewrite_cut(
                 aig,
                 node,
@@ -419,42 +333,13 @@ def commit_candidates(
     if the fresh gain still clears the operation's bar.  ``conflicts``
     counts the candidates dropped by re-validation.  Returns
     ``(applied, dirty, conflicts)``.
+
+    Dispatches to the selected compute backend's ``sweep_commit`` op; the
+    canonical implementation lives in
+    :class:`repro.backend.reference.ReferenceBackend` and every backend is
+    gated byte-identical to it (post-sweep structure *and* journal).
     """
-    order = sorted(candidates, key=lambda cand: (-cand.gain, cand.node))
-    dirty: Set[int] = set()
-    applied: List[TransformCandidate] = []
-    conflicts = 0
-    has_node = aig.has_node
-    for candidate in order:
-        if not has_node(candidate.node) or not aig.is_and(candidate.node):
-            continue
-        if not dirty.isdisjoint(candidate.footprint()):
-            fresh_gain = candidate.revalidate(aig)
-            if fresh_gain is None or fresh_gain < candidate.min_gain:
-                conflicts += 1
-                continue
-        elif not all(has_node(ref) for ref in candidate.refs):
-            # Referenced nodes (cut leaves, divisors) only need to be alive:
-            # commits preserve every surviving node's global function, so a
-            # touched-but-live reference still computes what it did when the
-            # candidate was scored.
-            conflicts += 1
-            continue
-        journal = aig.journal_begin()
-        try:
-            candidate.apply(aig)
-        except AigError:
-            # Resubstitution replacements can race into a cycle when distant
-            # commits re-routed the divisor's fanout cone; the replace() guard
-            # rejects them cleanly and the candidate is simply dropped.
-            pass
-        finally:
-            aig.journal_end()
-        dirty |= journal
-        if not (aig.has_node(candidate.node) and aig.is_and(candidate.node)):
-            # The root was consumed: the replacement really happened.
-            applied.append(candidate)
-    return applied, dirty, conflicts
+    return get_backend().sweep_commit(aig, candidates)
 
 
 # --------------------------------------------------------------------------- #
