@@ -37,6 +37,17 @@ everyday workflows of the library without writing Python:
 ``submit``
     Submit one job — to a running server (``--url``) or to an ephemeral
     in-process service — and optionally wait for and print its result.
+    Failed jobs are reported with their structured diagnostics (worker
+    crash exit code, expired timeout), not just an error string.
+``route``
+    Run the cluster router: shard jobs across N running service instances
+    by consistent-hashing their coalescing keys, with health-checked
+    membership, failover and fleet-aggregated metrics
+    (see :mod:`repro.service.cluster`).
+``loadgen``
+    Drive a service or router URL with synthetic, Zipf-distributed
+    duplicate-heavy load and print the throughput/latency report
+    (see :mod:`repro.service.loadgen`).
 
 ``stats`` and ``benchmarks`` accept ``--json`` for machine-readable output,
 so service tooling can consume them without screen-scraping the tables.
@@ -380,15 +391,39 @@ def _build_job_spec(args: argparse.Namespace) -> dict:
     return spec
 
 
+def _describe_job_failure(error) -> str:
+    """One actionable line for a failed job: what died, and how.
+
+    Uses the structured diagnostics on the job snapshot (``failure_kind``,
+    ``exit_code``, ``timeout_limit``) so a worker crash or an expired timeout
+    is distinguishable from an ordinary execution error.
+    """
+    snapshot = error.payload if isinstance(error.payload, dict) else {}
+    job_id = error.job_id or snapshot.get("job_id") or "<unknown>"
+    kind = snapshot.get("failure_kind") or "error"
+    detail = snapshot.get("error") or str(error)
+    if kind == "crash":
+        exit_code = snapshot.get("exit_code")
+        suffix = f" (worker exit code {exit_code})" if exit_code is not None else ""
+        return f"job {job_id} failed: worker process crashed{suffix} — {detail}"
+    if kind == "timeout":
+        limit = snapshot.get("timeout_limit")
+        suffix = f" after its {limit:.1f}s timeout" if limit is not None else ""
+        return f"job {job_id} failed: execution timed out{suffix} — {detail}"
+    if snapshot.get("state") == "cancelled":
+        return f"job {job_id} was cancelled"
+    return f"job {job_id} failed: {detail}"
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.service import (
         HttpServiceClient,
         InProcessClient,
+        JobFailedError,
         JobSpec,
+        ServiceError,
         SynthesisService,
     )
-
-    from repro.service.client import ServiceError
 
     spec = JobSpec.from_dict(_build_job_spec(args))
     try:
@@ -408,9 +443,88 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             payload = in_process.result(submitted["job_id"], timeout=args.result_timeout)
         print(json.dumps(payload, sort_keys=True))
         return 0
-    except (ServiceError, TimeoutError) as error:
+    except JobFailedError as error:
+        print(f"error: {_describe_job_failure(error)}", file=sys.stderr)
+        return 1
+    except TimeoutError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except ServiceError as error:
+        print(f"error: {error} [{error.code}]", file=sys.stderr)
+        return 1
+
+
+def _parse_shards(entries: List[str]) -> dict:
+    """``name=url`` or bare URL shard arguments to an ordered mapping."""
+    shards = {}
+    for index, entry in enumerate(entries):
+        if "=" in entry and not entry.split("=", 1)[0].startswith("http"):
+            name, _, url = entry.partition("=")
+        else:
+            name, url = f"shard-{index}", entry
+        if name in shards:
+            raise ValueError(f"duplicate shard name {name!r}")
+        shards[name] = url
+    return shards
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service import Router, RouterServer
+
+    def _terminate(signum, frame):  # SIGTERM == Ctrl-C: drain and report
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    router = Router(
+        _parse_shards(args.shard),
+        replicas=args.replicas,
+        max_retries=args.max_retries,
+        fail_threshold=args.fail_threshold,
+        health_interval=args.health_interval,
+    )
+    server = RouterServer(router, host=args.host, port=args.port)
+    healthy = router.check_health()
+    up = sum(1 for ok in healthy.values() if ok)
+    print(
+        f"routing on {server.url} across {len(healthy)} shards "
+        f"({up} healthy: {', '.join(sorted(name for name, ok in healthy.items() if ok)) or '-'})"
+    )
+    if args.port_file:
+        with open(args.port_file, "w", encoding="ascii") as handle:
+            handle.write(f"{server.port}\n")
+    sys.stdout.flush()
+    server.serve_forever()
+    if args.report:
+        print()
+        print(json.dumps(router.router_snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service.loadgen import (
+        default_catalog,
+        format_report,
+        run_load,
+        zipf_specs,
+    )
+
+    designs = [name.strip() for name in args.designs.split(",") if name.strip()]
+    catalog = default_catalog(designs) if designs else default_catalog()
+    specs = zipf_specs(args.requests, catalog=catalog, skew=args.skew, seed=args.seed)
+    report = run_load(
+        args.url,
+        specs,
+        concurrency=args.concurrency,
+        hedge_delay=args.hedge_delay,
+        result_timeout=args.result_timeout,
+    )
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(format_report(report))
+    return 0 if report["failed"] == 0 else 1
 
 
 # --------------------------------------------------------------------------- #
@@ -571,6 +685,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--store", help="in-process mode: artifact store directory")
     submit.set_defaults(handler=_cmd_submit)
+
+    route = subparsers.add_parser(
+        "route",
+        help="run the cluster router: consistent-hash jobs across running service shards",
+    )
+    route.add_argument(
+        "-s",
+        "--shard",
+        action="append",
+        required=True,
+        help="backend service URL (bare, or name=url); repeatable, one per shard",
+    )
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument(
+        "--port", type=int, default=8080, help="listening port (0 binds an ephemeral port)"
+    )
+    route.add_argument(
+        "--port-file", help="write the bound port here (for ephemeral-port callers)"
+    )
+    route.add_argument(
+        "--replicas", type=int, default=128, help="virtual nodes per shard on the hash ring"
+    )
+    route.add_argument(
+        "--max-retries", type=int, default=2, help="failover attempts per client call"
+    )
+    route.add_argument(
+        "--fail-threshold",
+        type=int,
+        default=2,
+        help="consecutive probe failures before a shard leaves the ring",
+    )
+    route.add_argument(
+        "--health-interval", type=float, default=2.0, help="seconds between health probes"
+    )
+    route.add_argument(
+        "--report", action="store_true", help="print the router counters on shutdown"
+    )
+    route.set_defaults(handler=_cmd_route)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="drive a service or router with synthetic zipf duplicate-heavy load",
+    )
+    loadgen.add_argument("url", help="service or router base URL")
+    loadgen.add_argument("--requests", "-n", type=int, default=100)
+    loadgen.add_argument(
+        "--concurrency", "-c", type=int, default=16, help="submissions in flight at once"
+    )
+    loadgen.add_argument(
+        "--skew",
+        type=float,
+        default=1.1,
+        help="Zipf exponent: higher = more duplicate-heavy (0 = uniform)",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--designs",
+        default="",
+        help="comma-separated benchmark designs for the catalog (default: b08,b09,b10)",
+    )
+    loadgen.add_argument(
+        "--hedge-delay",
+        type=float,
+        help="duplicate still-unanswered reads after this many seconds",
+    )
+    loadgen.add_argument(
+        "--result-timeout", type=float, default=600.0, help="per-request completion bound"
+    )
+    loadgen.add_argument(
+        "--json", action="store_true", help="print the machine-readable report"
+    )
+    loadgen.set_defaults(handler=_cmd_loadgen)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or wipe the learning-pipeline artifact store"

@@ -6,25 +6,39 @@ bounded priority queue with backpressure, deduplicates identical in-flight
 work through content-addressed request coalescing (structural AIG fingerprint
 × config fingerprint), short-circuits repeated work through the artifact
 store, executes on a crash-isolated prewarmed worker pool, and serves it all
-over a stdlib-only JSON HTTP front end with metrics.
+over a stdlib-only, versioned (``/v1``) JSON HTTP front end with metrics —
+and scales out: a consistent-hash :class:`Router` shards jobs across N such
+service instances while preserving the coalescing semantics fleet-wide.
 
 Entry points:
 
 * :class:`SynthesisService` — scheduler + workers + metrics, in process.
 * :class:`ServiceServer` — the HTTP front end (``boolgebra serve``).
-* :class:`HttpServiceClient` / :class:`InProcessClient` — clients.
+* :class:`Router` / :class:`RouterServer` — the sharded cluster front end
+  (``boolgebra route``); :class:`HashRing` is the sharding function.
+* :class:`ServiceClient` — the one client protocol, implemented by
+  :class:`InProcessClient`, :class:`HttpServiceClient` and
+  :class:`AsyncServiceClient` (and by :class:`Router` itself).
 * :class:`JobSpec` / :func:`execute_spec` — job model and direct execution.
+* :mod:`repro.service.loadgen` — zipf duplicate-heavy synthetic load
+  (``boolgebra loadgen``).
 
-See the README's *Serving* section and ``examples/serve_quickstart.py``.
+See the README's *Serving* and *Scaling out* sections,
+``examples/serve_quickstart.py`` and ``examples/cluster_quickstart.py``.
 """
 
+from repro.service.aio import AsyncServiceClient
+from repro.service.api import API_VERSION, ServiceClient, error_payload, versioned
 from repro.service.client import (
     BackpressureError,
     HttpServiceClient,
     InProcessClient,
     JobFailedError,
     ServiceError,
+    TransportError,
 )
+from repro.service.cluster import Router, RouterServer
+from repro.service.hashing import HashRing
 from repro.service.jobs import (
     CANCELLED,
     DONE,
@@ -38,15 +52,19 @@ from repro.service.jobs import (
     execute_spec,
 )
 from repro.service.metrics import ServiceMetrics
-from repro.service.scheduler import QueueFull, Scheduler, UnknownJob
+from repro.service.scheduler import CoalescingQueue, QueueFull, Scheduler, UnknownJob
 from repro.service.server import JobFailed, ServiceServer, SynthesisService
 from repro.service.workers import WorkerPool
 
 __all__ = [
+    "API_VERSION",
+    "AsyncServiceClient",
     "BackpressureError",
     "CANCELLED",
+    "CoalescingQueue",
     "DONE",
     "FAILED",
+    "HashRing",
     "HttpServiceClient",
     "InProcessClient",
     "JOB_KINDS",
@@ -57,13 +75,19 @@ __all__ = [
     "QUEUED",
     "QueueFull",
     "RUNNING",
+    "Router",
+    "RouterServer",
     "Scheduler",
+    "ServiceClient",
     "ServiceError",
     "ServiceMetrics",
     "ServiceServer",
     "SynthesisService",
+    "TransportError",
     "UnknownJob",
     "WorkerPool",
     "canonical_payload_bytes",
+    "error_payload",
     "execute_spec",
+    "versioned",
 ]

@@ -1,0 +1,261 @@
+"""``asyncio`` client for the synthesis service — stdlib only.
+
+:class:`AsyncServiceClient` implements the same
+:class:`~repro.service.api.ServiceClient` surface as the blocking clients,
+with every method a coroutine, so one event loop can keep hundreds of jobs
+in flight against a service or a cluster router without a thread per job
+(the scale-out load generator runs on it).
+
+There is no async HTTP client in the standard library, so this speaks
+minimal HTTP/1.1 directly over :func:`asyncio.open_connection` — one
+short-lived connection per request (``Connection: close``), JSON bodies,
+``Content-Length`` framing.  That is exactly what the stdlib servers on the
+other side produce.
+
+Reliability knobs, both off the hot path of a healthy fleet:
+
+* **Retries** — connection-level failures (refused, reset, timed out) are
+  retried up to ``max_retries`` times with exponential backoff before
+  surfacing as :class:`~repro.service.client.TransportError`.  Retrying a
+  ``submit`` is safe by construction: job ids are deterministic and
+  duplicate submissions coalesce server-side, so a retry lands on the same
+  job instead of forking a second execution.
+* **Hedging** — read requests (``status`` / ``result`` polls) optionally
+  fire a *duplicate* request after ``hedge_delay`` seconds and take
+  whichever answer lands first, cutting the tail latency a slow shard adds.
+    Hedged reads are idempotent, so the loser is simply cancelled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple, Union
+from urllib.parse import urlsplit
+
+from repro.service.client import TransportError, raise_for_error
+from repro.service.api import versioned
+from repro.service.jobs import JobSpec
+
+#: Exceptions treated as "the shard cannot be reached" (retry, then fail).
+_CONNECTION_ERRORS = (ConnectionError, OSError, asyncio.TimeoutError, EOFError)
+
+
+class AsyncServiceClient:
+    """Async client implementing the ``ServiceClient`` protocol as coroutines.
+
+    Usable as both an async and a plain context manager::
+
+        async with AsyncServiceClient(url) as client:
+            snapshot = await client.submit(spec)
+            payload = await client.result(snapshot["job_id"])
+
+    ``hedge_delay=None`` disables hedging; ``hedge_delay=0.2`` duplicates any
+    read still unanswered after 200 ms.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        request_timeout: float = 60.0,
+        max_retries: int = 2,
+        retry_backoff: float = 0.1,
+        hedge_delay: Optional[float] = None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        split = urlsplit(self.base_url)
+        if split.scheme != "http" or split.hostname is None:
+            raise ValueError(f"base_url must be an http://host:port URL, got {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self._path_prefix = split.path.rstrip("/")
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.hedge_delay = hedge_delay
+        #: Transport-level observability: requests issued, connection retries
+        #: taken, hedge requests fired, hedges that won the race.
+        self.transport_stats = {"requests": 0, "retries": 0, "hedged": 0, "hedge_wins": 0}
+
+    # ------------------------------------------------------------------ #
+    # Minimal HTTP/1.1 over asyncio streams
+    # ------------------------------------------------------------------ #
+    async def _once(
+        self, method: str, path: str, payload: Optional[Dict]
+    ) -> Tuple[int, Dict]:
+        """One HTTP round trip; returns ``(status, parsed JSON body)``."""
+        self.transport_stats["requests"] += 1
+        body = b"" if payload is None else json.dumps(payload).encode("ascii")
+        request = (
+            f"{method} {self._path_prefix}{path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Connection: close\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        ).encode("ascii") + body
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(request)
+            await writer.drain()
+            status_line = await reader.readline()
+            if not status_line:
+                raise EOFError("empty response")
+            try:
+                status = int(status_line.split(None, 2)[1])
+            except (IndexError, ValueError):
+                raise EOFError(f"malformed status line {status_line!r}") from None
+            content_length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    content_length = int(value.strip())
+            raw = await reader.readexactly(content_length) if content_length else b"{}"
+            try:
+                parsed = json.loads(raw)
+            except ValueError:
+                parsed = {"error": raw.decode("utf-8", "replace")}
+            if not isinstance(parsed, dict):
+                parsed = {"value": parsed}
+            return status, parsed
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except _CONNECTION_ERRORS:  # pragma: no cover - close race
+                pass
+
+    async def _hedged_once(
+        self, method: str, path: str, payload: Optional[Dict]
+    ) -> Tuple[int, Dict]:
+        """Fire a duplicate request after ``hedge_delay``; first answer wins."""
+        first = asyncio.ensure_future(self._once(method, path, payload))
+        done, _ = await asyncio.wait({first}, timeout=self.hedge_delay)
+        if done:
+            return first.result()
+        self.transport_stats["hedged"] += 1
+        second = asyncio.ensure_future(self._once(method, path, payload))
+        pending = {first, second}
+        try:
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    if task.exception() is None:
+                        if task is second:
+                            self.transport_stats["hedge_wins"] += 1
+                        return task.result()
+            # Both attempts failed: surface the primary's error.
+            return first.result()
+        finally:
+            for task in (first, second):
+                if not task.done():
+                    task.cancel()
+
+    async def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        hedge: bool = False,
+    ) -> Tuple[int, Dict]:
+        attempt = 0
+        while True:
+            try:
+                if hedge and self.hedge_delay is not None:
+                    round_trip = self._hedged_once(method, path, payload)
+                else:
+                    round_trip = self._once(method, path, payload)
+                return await asyncio.wait_for(round_trip, self.request_timeout)
+            except _CONNECTION_ERRORS as error:
+                if attempt >= self.max_retries:
+                    raise TransportError(f"{self.base_url}: {error}") from None
+                self.transport_stats["retries"] += 1
+                await asyncio.sleep(self.retry_backoff * (2**attempt))
+                attempt += 1
+
+    async def _checked(
+        self, method: str, path: str, payload: Optional[Dict] = None, hedge: bool = False
+    ) -> Dict:
+        status, body = await self._request(method, path, payload, hedge=hedge)
+        return raise_for_error(status, body)
+
+    # ------------------------------------------------------------------ #
+    # ServiceClient API (async)
+    # ------------------------------------------------------------------ #
+    async def submit(self, spec: Union[Dict, JobSpec]) -> Dict:
+        """Submit a job; return its status snapshot (with ``job_id``)."""
+        payload = spec.to_dict() if isinstance(spec, JobSpec) else spec
+        return await self._checked("POST", versioned("/submit"), payload)
+
+    async def status(self, job_id: str) -> Dict:
+        return await self._checked("GET", versioned(f"/status/{job_id}"), hedge=True)
+
+    async def wait(self, job_id: str, timeout: Optional[float] = None) -> Dict:
+        """Long-poll until the job is terminal; return its final snapshot."""
+        loop = asyncio.get_event_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while True:
+            remaining = None if deadline is None else deadline - loop.time()
+            if remaining is not None and remaining <= 0:
+                raise TimeoutError(f"job {job_id} not finished after {timeout}s")
+            wait = 5.0 if remaining is None else max(0.05, min(5.0, remaining))
+            snapshot = await self._checked(
+                "GET", versioned(f"/status/{job_id}?wait={wait:g}")
+            )
+            if snapshot["state"] in ("done", "failed", "cancelled"):
+                return snapshot
+
+    async def result(
+        self,
+        job_id: str,
+        timeout: Optional[float] = 120.0,
+        poll_interval: float = 0.05,
+    ) -> Dict:
+        """Block until the job finishes; return its canonical result payload."""
+        loop = asyncio.get_event_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while True:
+            remaining = None if deadline is None else deadline - loop.time()
+            if remaining is not None and remaining <= 0:
+                raise TimeoutError(f"job {job_id} not finished after {timeout}s")
+            wait = 5.0 if remaining is None else max(0.0, min(5.0, remaining))
+            status, body = await self._request(
+                "GET", versioned(f"/result/{job_id}?wait={wait:g}"), hedge=True
+            )
+            if status == 200:
+                return body["result"]
+            if status == 202:
+                await asyncio.sleep(poll_interval)
+                continue
+            raise_for_error(status, body)
+
+    async def metrics(self) -> Dict:
+        return await self._checked("GET", versioned("/metrics"), hedge=True)
+
+    async def healthz(self) -> bool:
+        try:
+            status, body = await self._request("GET", versioned("/healthz"))
+        except TransportError:
+            return False
+        return status == 200 and body.get("status") == "ok"
+
+    # Lifecycle ----------------------------------------------------------- #
+    def close(self) -> None:
+        """Nothing persistent to release (one connection per request)."""
+
+    def __enter__(self) -> "AsyncServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self.close()

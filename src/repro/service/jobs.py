@@ -100,36 +100,44 @@ class JobSpec:
     # ------------------------------------------------------------------ #
     # Identity
     # ------------------------------------------------------------------ #
-    def coalesce_key(self, aig: Optional[Aig] = None) -> str:
-        """Content-addressed identity of this spec's *result*.
-
-        The key combines the structural fingerprint of the design with a
-        configuration fingerprint of (kind, options): two in-flight requests
-        with equal keys are guaranteed to produce byte-identical payloads,
-        which is what licenses the scheduler to run only one of them.
+    def design_key(self, aig: Optional[Aig] = None) -> str:
+        """Content-addressed identity of the spec's *design* alone.
 
         Result payloads carry the design name and the PI/PO symbol table
         (reports, netlists), so — unlike the pure artifact-store keys — those
         names are part of the identity here: a renamed copy of a structurally
         identical design is a *different* job, or the byte-identity guarantee
         would break.  ``aig`` skips re-loading the design when the caller
-        already holds it.
+        already holds it.  This part depends only on ``design`` (never on the
+        kind or options), which is what lets the cluster router cache it per
+        design string when computing routing keys.
         """
         if self.kind == "selftest":
-            design_part = "selftest"
-        else:
-            if aig is None:
-                aig = self.load_aig()
-            names = {
-                "design": aig.name,
-                "pis": [aig.pi_name(index) for index in range(aig.num_pis())],
-                "pos": [aig.po_name(index) for index in range(aig.num_pos())],
-            }
-            design_part = combine_keys(aig_fingerprint(aig), config_fingerprint(names))
-        return combine_keys(
-            design_part,
-            config_fingerprint({"kind": self.kind, "options": self.options}),
-        )
+            return "selftest"
+        if aig is None:
+            aig = self.load_aig()
+        names = {
+            "design": aig.name,
+            "pis": [aig.pi_name(index) for index in range(aig.num_pis())],
+            "pos": [aig.po_name(index) for index in range(aig.num_pos())],
+        }
+        return combine_keys(aig_fingerprint(aig), config_fingerprint(names))
+
+    def config_key(self) -> str:
+        """Fingerprint of the (kind, normalized options) configuration."""
+        return config_fingerprint({"kind": self.kind, "options": self.options})
+
+    def coalesce_key(self, aig: Optional[Aig] = None) -> str:
+        """Content-addressed identity of this spec's *result*.
+
+        The key combines the structural fingerprint of the design
+        (:meth:`design_key`) with a configuration fingerprint of (kind,
+        options): two in-flight requests with equal keys are guaranteed to
+        produce byte-identical payloads, which is what licenses the scheduler
+        to run only one of them — and what lets the cluster router send
+        duplicates to the same shard so coalescing keeps working fleet-wide.
+        """
+        return combine_keys(self.design_key(aig), self.config_key())
 
     def job_id(self, aig: Optional[Aig] = None) -> str:
         """Deterministic job id: the kind plus a prefix of the coalescing key."""
@@ -318,6 +326,13 @@ class Job:
         #: How the result was obtained: "computed", "coalesced" (attached to
         #: an in-flight duplicate) or "store" (warm artifact-store hit).
         self.source = "computed"
+        #: Structured failure diagnostics: how the job failed ("error",
+        #: "timeout" or "crash"), the worker's exit code on a crash and the
+        #: expired limit on a timeout.  Surfaced on the snapshot so clients
+        #: (and ``boolgebra submit``) can report more than a bare string.
+        self.failure_kind: Optional[str] = None
+        self.exit_code: Optional[int] = None
+        self.timeout_limit: Optional[float] = None
         self.created_at = time.time()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -335,8 +350,17 @@ class Job:
         self.finished_at = time.time()
         self._done.set()
 
-    def fail(self, error: str) -> None:
+    def fail(
+        self,
+        error: str,
+        failure_kind: str = "error",
+        exit_code: Optional[int] = None,
+        timeout_limit: Optional[float] = None,
+    ) -> None:
         self.error = error
+        self.failure_kind = failure_kind
+        self.exit_code = exit_code
+        self.timeout_limit = timeout_limit
         self.state = FAILED
         self.finished_at = time.time()
         self._done.set()
@@ -377,6 +401,9 @@ class Job:
             "submit_count": self.submit_count,
             "source": self.source,
             "error": self.error,
+            "failure_kind": self.failure_kind,
+            "exit_code": self.exit_code,
+            "timeout_limit": self.timeout_limit,
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,

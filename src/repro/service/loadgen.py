@@ -1,0 +1,164 @@
+"""Synthetic, duplicate-heavy load generation for the service and the cluster.
+
+Real synthesis traffic is heavily skewed: a handful of hot designs and
+configurations account for most submissions (regression farms re-running the
+same flows, engineers iterating on one block).  The generator models that
+with a Zipf distribution over a catalog of distinct jobs — rank ``k`` is
+drawn with probability ∝ ``1/k^s`` — so a request stream of N submissions
+touches only a few distinct coalescing keys, which is exactly the regime the
+coalescing queue and the consistent-hash router are built for.
+
+The runner drives a service or router URL with
+:class:`~repro.service.aio.AsyncServiceClient`: one event loop, ``concurrency``
+submissions in flight at once, every request awaited to a terminal state.  It
+reports client-observed throughput and latency plus the dedup behaviour
+(distinct keys vs submissions).  ``boolgebra loadgen`` is the CLI wrapper,
+and the ``service_scaleout`` benchmark kernel uses the same catalog to
+compare a 3-shard cluster against a single instance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.service.aio import AsyncServiceClient
+from repro.service.client import ServiceError
+
+#: Optimization scripts used to diversify the synthetic catalog; each is a
+#: distinct configuration fingerprint, hence a distinct coalescing key.
+_CATALOG_SCRIPTS = ("rw", "rw; rf", "rw; rs; rf", "rs; rw", "rf; rw; rs")
+
+#: Default designs: the small ITC/ISCAS benchmarks, cheap enough that a smoke
+#: run finishes in seconds but real enough to exercise the full engine path.
+_CATALOG_DESIGNS = ("b08", "b09", "b10")
+
+
+def default_catalog(
+    designs: Sequence[str] = _CATALOG_DESIGNS,
+    scripts: Sequence[str] = _CATALOG_SCRIPTS,
+) -> List[Dict]:
+    """The cross product of designs × scripts as ``optimize`` spec dicts."""
+    return [
+        {"kind": "optimize", "design": design, "options": {"script": script}}
+        for design in designs
+        for script in scripts
+    ]
+
+
+def zipf_specs(
+    num_requests: int,
+    catalog: Optional[List[Dict]] = None,
+    skew: float = 1.1,
+    seed: int = 0,
+) -> List[Dict]:
+    """Draw ``num_requests`` specs from ``catalog`` with Zipf(``skew``) ranks.
+
+    Rank 1 (the hottest job) is drawn with probability ∝ ``1/1^skew``, rank 2
+    with ``1/2^skew``, and so on over the catalog — a deterministic function
+    of ``seed``, so load runs are reproducible.
+    """
+    import numpy as np
+
+    if catalog is None:
+        catalog = default_catalog()
+    if not catalog:
+        raise ValueError("catalog must not be empty")
+    if skew < 0:
+        raise ValueError("skew must be >= 0")
+    ranks = np.arange(1, len(catalog) + 1, dtype=float)
+    probabilities = ranks**-skew
+    probabilities /= probabilities.sum()
+    rng = np.random.default_rng(seed)
+    choices = rng.choice(len(catalog), size=num_requests, p=probabilities)
+    return [dict(catalog[int(index)]) for index in choices]
+
+
+async def run_load_async(
+    base_url: str,
+    specs: Sequence[Dict],
+    concurrency: int = 16,
+    hedge_delay: Optional[float] = None,
+    request_timeout: float = 60.0,
+    result_timeout: float = 600.0,
+) -> Dict:
+    """Drive ``specs`` against ``base_url``; return the load report dict.
+
+    Each request is submit → await result; ``concurrency`` bounds how many
+    are in flight at once.  Failures (job failures, backpressure that outlasts
+    retries) are counted, not raised — a load run reports, it does not abort.
+    """
+    client = AsyncServiceClient(
+        base_url,
+        request_timeout=request_timeout,
+        hedge_delay=hedge_delay,
+    )
+    semaphore = asyncio.Semaphore(concurrency)
+    latencies: List[float] = []
+    outcomes = {"ok": 0, "failed": 0, "rejected": 0}
+    job_ids = set()
+
+    async def one(spec: Dict) -> None:
+        async with semaphore:
+            started = time.monotonic()
+            try:
+                snapshot = await client.submit(spec)
+                job_ids.add(snapshot["job_id"])
+                await client.result(snapshot["job_id"], timeout=result_timeout)
+            except ServiceError as error:
+                outcomes["rejected" if error.status == 429 else "failed"] += 1
+                return
+            outcomes["ok"] += 1
+            latencies.append(time.monotonic() - started)
+
+    started = time.monotonic()
+    await asyncio.gather(*(one(spec) for spec in specs))
+    duration = time.monotonic() - started
+
+    latencies.sort()
+
+    def percentile(fraction: float) -> float:
+        if not latencies:
+            return 0.0
+        rank = min(len(latencies) - 1, int(round(fraction * (len(latencies) - 1))))
+        return latencies[rank]
+
+    return {
+        "requests": len(specs),
+        "distinct_jobs": len(job_ids),
+        "ok": outcomes["ok"],
+        "failed": outcomes["failed"],
+        "rejected": outcomes["rejected"],
+        "duration_seconds": duration,
+        "throughput_rps": (outcomes["ok"] / duration) if duration > 0 else 0.0,
+        "latency_p50": percentile(0.50),
+        "latency_p90": percentile(0.90),
+        "latency_p99": percentile(0.99),
+        "transport": dict(client.transport_stats),
+    }
+
+
+def run_load(base_url: str, specs: Sequence[Dict], **kwargs) -> Dict:
+    """Synchronous wrapper around :func:`run_load_async`."""
+    return asyncio.run(run_load_async(base_url, specs, **kwargs))
+
+
+def format_report(report: Dict) -> str:
+    """Plain-text rendering of a load report for ``boolgebra loadgen``."""
+    from repro.flow.reporting import format_table
+
+    rows = [
+        ("requests", report["requests"]),
+        ("distinct jobs", report["distinct_jobs"]),
+        ("ok / failed / rejected", f"{report['ok']} / {report['failed']} / {report['rejected']}"),
+        ("duration (s)", f"{report['duration_seconds']:.3f}"),
+        ("throughput (req/s)", f"{report['throughput_rps']:.1f}"),
+        ("latency p50 (s)", f"{report['latency_p50']:.3f}"),
+        ("latency p90 (s)", f"{report['latency_p90']:.3f}"),
+        ("latency p99 (s)", f"{report['latency_p99']:.3f}"),
+        ("http requests", report["transport"]["requests"]),
+        ("transport retries", report["transport"]["retries"]),
+        ("hedged requests", report["transport"]["hedged"]),
+    ]
+    return format_table(["metric", "value"], rows, title="Load report")

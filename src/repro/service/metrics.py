@@ -144,6 +144,10 @@ class ServiceMetrics:
             "cache_hit_rate": (saved / submitted) if submitted else 0.0,
         }
 
+    def prometheus(self, gauges: Optional[Dict[str, int]] = None) -> str:
+        """Prometheus text-format rendering of the current snapshot."""
+        return render_prometheus([(None, self.snapshot(gauges))])
+
     def format_report(self, gauges: Optional[Dict[str, int]] = None) -> str:
         """Plain-text rendering of :meth:`snapshot` for the CLI ``--report``."""
         from repro.flow.reporting import format_table
@@ -168,3 +172,74 @@ class ServiceMetrics:
             )
         )
         return "\n\n".join(tables)
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text format (the ``/v1/metrics?format=prometheus`` variant)
+# --------------------------------------------------------------------------- #
+#: Prefix of every exported metric name.
+PROMETHEUS_PREFIX = "boolgebra"
+
+
+def _escape_label(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _label_string(labels: Optional[Dict[str, str]]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{key}="{_escape_label(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + rendered + "}"
+
+
+def prometheus_samples(
+    snapshot: Dict, labels: Optional[Dict[str, str]] = None
+) -> list:
+    """Flatten one metrics snapshot into ``(name, type, label_str, value)`` rows.
+
+    Counters export as ``<prefix>_<name>_total`` (type ``counter``); gauges
+    and the derived rates as gauges; every latency series as a Prometheus
+    summary (``{quantile="..."}``  samples plus a ``_count``).  ``labels`` are
+    attached to every sample — the cluster router passes ``{"shard": name}``
+    so one scrape distinguishes the fleet members.
+    """
+    base = _label_string(labels)
+    rows = []
+    for name, value in snapshot.get("counters", {}).items():
+        rows.append((f"{PROMETHEUS_PREFIX}_{name}_total", "counter", base, float(value)))
+    for name, value in snapshot.get("gauges", {}).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            rows.append((f"{PROMETHEUS_PREFIX}_{name}", "gauge", base, float(value)))
+    for rate in ("coalesce_rate", "cache_hit_rate"):
+        if rate in snapshot:
+            rows.append((f"{PROMETHEUS_PREFIX}_{rate}", "gauge", base, float(snapshot[rate])))
+    for series, summary in snapshot.get("latency", {}).items():
+        metric = f"{PROMETHEUS_PREFIX}_{series}"
+        for name, fraction in _QUANTILES.items():
+            quantile_labels = dict(labels or {})
+            quantile_labels["quantile"] = f"{fraction:g}"
+            rows.append(
+                (metric, "summary", _label_string(quantile_labels), float(summary[name]))
+            )
+        rows.append((f"{metric}_count", "summary", base, float(summary["count"])))
+    return rows
+
+
+def render_prometheus(sections: Iterable) -> str:
+    """Render ``(labels, snapshot)`` sections as one Prometheus text exposition.
+
+    ``# TYPE`` headers are emitted once per metric family even when several
+    sections (one per shard) export the same families.
+    """
+    lines = []
+    seen_types = set()
+    for labels, snapshot in sections:
+        for name, metric_type, label_str, value in prometheus_samples(snapshot, labels):
+            family = name[: -len("_count")] if name.endswith("_count") else name
+            if family not in seen_types:
+                seen_types.add(family)
+                lines.append(f"# TYPE {family} {metric_type}")
+            lines.append(f"{name}{label_str} {value:g}")
+    return "\n".join(lines) + "\n"

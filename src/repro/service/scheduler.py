@@ -1,7 +1,16 @@
 """Bounded, coalescing priority scheduler for the synthesis service.
 
-The scheduler owns every :class:`~repro.service.jobs.Job` the service has
-seen and decides, at submission time, whether new work actually needs to run:
+The queue/coalescing core lives in :class:`CoalescingQueue` — an
+instantiable component, one per service instance.  A single-box service owns
+exactly one; the cluster router (:mod:`repro.service.cluster`) fronts N
+service instances, each with its own ``CoalescingQueue``, and keeps
+coalescing effective *fleet-wide* by consistent-hashing every job's coalesce
+key onto one shard, so all duplicates of a request meet in the same queue.
+:class:`Scheduler` is the original name of the component and remains the one
+the service composes — it is the per-shard instantiation.
+
+The queue owns every :class:`~repro.service.jobs.Job` the service has seen
+and decides, at submission time, whether new work actually needs to run:
 
 1. **Coalescing** — submissions are keyed by the spec's content-addressed
    coalescing key (structural AIG fingerprint × config fingerprint, see
@@ -55,8 +64,14 @@ class UnknownJob(Exception):
         self.job_id = job_id
 
 
-class Scheduler:
-    """Priority queue + job registry + result cache, behind one lock."""
+class CoalescingQueue:
+    """Priority queue + job registry + result cache, behind one lock.
+
+    One instance serves one shard: the bounded heap, the coalescing map, the
+    warm-store short-circuit and the terminal-job cache are all per-instance
+    state, so a fleet runs N independent queues and relies on routing — not
+    shared state — to keep duplicate work on one queue.
+    """
 
     def __init__(
         self,
@@ -217,11 +232,27 @@ class Scheduler:
             self.store.save_result(self.result_key(job.key), payload)
 
     def fail(
-        self, job: Job, error: str, timeout: bool = False, crash: bool = False
+        self,
+        job: Job,
+        error: str,
+        timeout: bool = False,
+        crash: bool = False,
+        exit_code: Optional[int] = None,
+        timeout_limit: Optional[float] = None,
     ) -> None:
-        """Mark a running job failed (optionally as a timeout / worker crash)."""
+        """Mark a running job failed (optionally as a timeout / worker crash).
+
+        ``exit_code`` (crashes) and ``timeout_limit`` (timeouts) are recorded
+        on the job so clients see structured diagnostics, not just a string.
+        """
+        failure_kind = "timeout" if timeout else ("crash" if crash else "error")
         with self._lock:
-            job.fail(error)
+            job.fail(
+                error,
+                failure_kind=failure_kind,
+                exit_code=exit_code,
+                timeout_limit=timeout_limit,
+            )
             self._running -= 1
             self._note_terminal_locked(job)
         self.metrics.increment("failed")
@@ -305,3 +336,13 @@ class Scheduler:
         """
         with self._not_empty:
             self._closed = False
+
+
+class Scheduler(CoalescingQueue):
+    """The per-shard instantiation of :class:`CoalescingQueue`.
+
+    Historically the queue/coalescing core was baked into this class; it now
+    *is* a ``CoalescingQueue`` under its service-facing name.  Every
+    :class:`~repro.service.server.SynthesisService` — standalone or one shard
+    of a cluster — owns exactly one.
+    """

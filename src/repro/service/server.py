@@ -7,23 +7,34 @@ and the test-suite drive directly.
 
 :class:`ServiceServer` exposes a running service over HTTP using only
 :mod:`http.server` (``ThreadingHTTPServer`` — one thread per connection, no
-third-party dependencies).  All bodies are JSON:
+third-party dependencies).  All bodies are JSON; the canonical routes live
+under the versioned ``/v1`` prefix (:mod:`repro.service.api`), with the
+pre-v1 unversioned paths kept as deprecated aliases that answer identically
+plus a ``Deprecation: true`` header.  Failures are structured
+``{"error": {"code", "message", "job_id"}}`` envelopes, never bare strings:
 
-``POST /submit``
+``POST /v1/submit``
     Body: a :class:`~repro.service.jobs.JobSpec` dict.  ``202`` with the job
     snapshot (the deterministic ``job_id``) on acceptance *or* any form of
-    dedup hit; ``400`` on a malformed spec; ``429`` (+ ``Retry-After``) under
-    backpressure.
-``GET /status/{job_id}``
-    ``200`` with the job snapshot; ``404`` for unknown ids.
-``GET /result/{job_id}[?wait=seconds]``
+    dedup hit; ``400`` (``bad_request``) on a malformed spec; ``429``
+    (``backpressure``, + ``Retry-After``) under backpressure.
+``GET /v1/status/{job_id}[?wait=seconds]``
+    ``200`` with the job snapshot (after long-polling up to ``wait`` seconds
+    for a terminal state); ``404`` (``not_found``) for unknown ids.
+``GET /v1/result/{job_id}[?wait=seconds]``
     ``200`` with ``{"job_id", "state", "result"}`` once done; ``202`` with
     the snapshot while queued/running (after blocking up to ``wait`` seconds,
-    capped at 30); ``500`` for failed jobs; ``409`` for cancelled ones.
-``GET /metrics``
-    ``200`` with the metrics snapshot (counters, gauges, latency quantiles).
-``GET /healthz``
+    capped at 30); ``500`` (``job_failed``) for failed jobs; ``409``
+    (``job_cancelled``) for cancelled ones — failure bodies carry the full
+    snapshot (crash exit code, timeout limit) next to the error envelope.
+``GET /v1/metrics[?format=prometheus]``
+    ``200`` with the JSON metrics snapshot, or the Prometheus text format.
+``GET /v1/healthz``
     ``200 {"status": "ok"}`` while the service accepts work.
+
+The request-handler plumbing (JSON bodies, version-prefix handling, error
+envelopes) is shared with the cluster router's front end via
+:class:`JsonRequestHandler`.
 """
 
 from __future__ import annotations
@@ -31,9 +42,10 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
+from repro.service.api import API_VERSION, DEPRECATION_HEADER, error_payload
 from repro.service.jobs import DONE, FAILED, Job, JobSpec
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import QueueFull, Scheduler, UnknownJob
@@ -141,8 +153,26 @@ class SynthesisService:
             raise JobFailed(job)
         raise TimeoutError(f"job {job_id} is still {job.state}")
 
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Dict:
+        """Block until the job is terminal; return its final status snapshot.
+
+        Unlike :meth:`result` this reports failed/cancelled jobs instead of
+        raising; it raises :class:`TimeoutError` only when the job is still
+        queued/running at ``timeout``.
+        """
+        job = self.scheduler.get(job_id)
+        if not job.wait(timeout):
+            raise TimeoutError(f"job {job_id} not finished after {timeout}s")
+        return job.snapshot()
+
     def cancel(self, job_id: str) -> bool:
         return self.scheduler.cancel(job_id)
+
+    def metrics_prometheus(self) -> str:
+        """The metrics snapshot rendered in Prometheus text format."""
+        from repro.service.metrics import render_prometheus
+
+        return render_prometheus([(None, self.metrics_snapshot())])
 
     def metrics_snapshot(self) -> Dict:
         """Counters, live gauges and latency quantiles, one consistent dict."""
@@ -159,27 +189,65 @@ class SynthesisService:
 # --------------------------------------------------------------------------- #
 # HTTP front end
 # --------------------------------------------------------------------------- #
-class _ServiceRequestHandler(BaseHTTPRequestHandler):
-    server_version = "boolgebra-service/1.0"
-    protocol_version = "HTTP/1.1"
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Shared plumbing of the service and router front ends.
 
-    @property
-    def service(self) -> SynthesisService:
-        return self.server.service  # type: ignore[attr-defined]
+    Subclasses implement ``handle_get(parts, query)`` / ``handle_post(parts,
+    body)`` against *version-stripped* path parts: :meth:`split_path` removes
+    the ``/v1`` prefix and remembers (per request) whether the caller used a
+    deprecated unversioned alias, in which case every response carries the
+    ``Deprecation: true`` header.
+    """
+
+    server_version = "boolgebra-service/2.0"
+    protocol_version = "HTTP/1.1"
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # request logging is the metrics' job; keep stdio clean
 
     # Helpers ------------------------------------------------------------ #
-    def _send_json(self, code: int, payload: Dict, headers: Optional[Dict] = None) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("ascii")
+    def split_path(self, path: str) -> List[str]:
+        """Strip the API-version prefix; flag deprecated unversioned use."""
+        parts = [part for part in path.split("/") if part]
+        if parts and parts[0] == API_VERSION:
+            self._deprecated = False
+            return parts[1:]
+        self._deprecated = True
+        return parts
+
+    def _send_bytes(self, code: int, body: bytes, content_type: str,
+                    headers: Optional[Dict] = None) -> None:
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if getattr(self, "_deprecated", False):
+            self.send_header(DEPRECATION_HEADER, "true")
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, code: int, payload: Dict, headers: Optional[Dict] = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("ascii")
+        self._send_bytes(code, body, "application/json", headers)
+
+    def _send_text(self, code: int, text: str, headers: Optional[Dict] = None) -> None:
+        self._send_bytes(
+            code, text.encode("utf-8"), "text/plain; version=0.0.4; charset=utf-8", headers
+        )
+
+    def _send_error(
+        self,
+        http_status: int,
+        code: str,
+        message: str,
+        job_id: Optional[str] = None,
+        headers: Optional[Dict] = None,
+        **extra,
+    ) -> None:
+        self._send_json(
+            http_status, error_payload(code, message, job_id, **extra), headers
+        )
 
     def _read_json(self) -> Dict:
         length = int(self.headers.get("Content-Length", 0))
@@ -193,64 +261,132 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return payload
 
-    # Routes ------------------------------------------------------------- #
+    @staticmethod
+    def parse_wait(query: Dict) -> Optional[float]:
+        """The ``?wait=`` long-poll bound, clamped to ``MAX_RESULT_WAIT``.
+
+        Raises :class:`ValueError` on a non-numeric value; returns ``None``
+        when absent.
+        """
+        values = query.get("wait")
+        if not values:
+            return None
+        try:
+            return min(MAX_RESULT_WAIT, max(0.0, float(values[0])))
+        except ValueError:
+            raise ValueError("wait must be a number of seconds") from None
+
+    # Dispatch ------------------------------------------------------------ #
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        path = urlparse(self.path).path
-        if path != "/submit":
-            self._send_json(404, {"error": f"unknown endpoint {path!r}"})
+        parsed = urlparse(self.path)
+        self.handle_post(self.split_path(parsed.path), parse_qs(parsed.query))
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        self.handle_get(self.split_path(parsed.path), parse_qs(parsed.query))
+
+    # Subclass surface ----------------------------------------------------- #
+    def handle_post(self, parts: List[str], query: Dict) -> None:
+        raise NotImplementedError
+
+    def handle_get(self, parts: List[str], query: Dict) -> None:
+        raise NotImplementedError
+
+
+def result_view(job: Job) -> Tuple[int, Dict]:
+    """Map a job's state to the ``/result`` response (status code, body)."""
+    if job.state == DONE:
+        return 200, {"job_id": job.job_id, "state": job.state, "result": job.result}
+    if job.state == FAILED:
+        return 500, {
+            **job.snapshot(),
+            **error_payload("job_failed", job.error or "job failed", job.job_id),
+        }
+    if job.terminal:  # cancelled
+        return 409, {
+            **job.snapshot(),
+            **error_payload("job_cancelled", job.error or "cancelled", job.job_id),
+        }
+    return 202, job.snapshot()
+
+
+class _ServiceRequestHandler(JsonRequestHandler):
+    @property
+    def service(self) -> SynthesisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # Routes ------------------------------------------------------------- #
+    def handle_post(self, parts: List[str], query: Dict) -> None:
+        if parts != ["submit"]:
+            self._send_error(404, "not_found", f"unknown endpoint {'/'.join(parts)!r}")
             return
         try:
             spec = JobSpec.from_dict(self._read_json())
             job = self.service.submit(spec)
         except ValueError as error:
-            self._send_json(400, {"error": str(error)})
+            self._send_error(400, "bad_request", str(error))
             return
         except QueueFull as error:
-            self._send_json(
+            self._send_error(
                 429,
-                {"error": str(error), "queue_depth": error.depth},
+                "backpressure",
+                str(error),
+                queue_depth=error.depth,
                 headers={"Retry-After": "1"},
             )
             return
         self._send_json(202, job.snapshot())
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        parsed = urlparse(self.path)
-        parts = [part for part in parsed.path.split("/") if part]
+    def handle_get(self, parts: List[str], query: Dict) -> None:
         try:
             if parts == ["healthz"]:
                 self._send_json(200, {"status": "ok"})
             elif parts == ["metrics"]:
-                self._send_json(200, self.service.metrics_snapshot())
+                if query.get("format", [""])[0] == "prometheus":
+                    self._send_text(200, self.service.metrics_prometheus())
+                else:
+                    self._send_json(200, self.service.metrics_snapshot())
             elif len(parts) == 2 and parts[0] == "status":
-                self._send_json(200, self.service.status(parts[1]))
+                self._get_status(parts[1], query)
             elif len(parts) == 2 and parts[0] == "result":
-                self._get_result(parts[1], parse_qs(parsed.query))
+                self._get_result(parts[1], query)
             else:
-                self._send_json(404, {"error": f"unknown endpoint {parsed.path!r}"})
+                self._send_error(
+                    404, "not_found", f"unknown endpoint {'/'.join(parts)!r}"
+                )
         except UnknownJob as error:
-            self._send_json(404, {"error": str(error)})
+            self._send_error(404, "not_found", str(error), job_id=error.job_id)
+        except ValueError as error:
+            self._send_error(400, "bad_request", str(error))
+
+    def _get_status(self, job_id: str, query: Dict) -> None:
+        wait_seconds = self.parse_wait(query)  # 400 on bad query, even for unknown ids
+        job = self.service.scheduler.get(job_id)
+        if wait_seconds is not None:
+            job.wait(wait_seconds)
+        self._send_json(200, job.snapshot())
 
     def _get_result(self, job_id: str, query: Dict) -> None:
+        wait_seconds = self.parse_wait(query)
         job = self.service.scheduler.get(job_id)
-        wait_values = query.get("wait")
-        if wait_values:
-            try:
-                wait_seconds = min(MAX_RESULT_WAIT, max(0.0, float(wait_values[0])))
-            except ValueError:
-                self._send_json(400, {"error": "wait must be a number of seconds"})
-                return
+        if wait_seconds is not None:
             job.wait(wait_seconds)
-        if job.state == DONE:
-            self._send_json(
-                200, {"job_id": job.job_id, "state": job.state, "result": job.result}
-            )
-        elif job.state == FAILED:
-            self._send_json(500, {**job.snapshot(), "error": job.error})
-        elif job.terminal:  # cancelled
-            self._send_json(409, job.snapshot())
-        else:
-            self._send_json(202, job.snapshot())
+        code, body = result_view(job)
+        self._send_json(code, body)
+
+
+class FleetHTTPServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` with an accept backlog sized for bursty traffic.
+
+    The :mod:`socketserver` default backlog of 5 makes concurrent clients —
+    the async load generator, a router fanning a burst across its shards —
+    overflow the listen queue, and every dropped SYN costs its connection a
+    ~1s kernel retransmit.  One class attribute removes that artificial
+    latency cliff for the service, router and store servers alike.
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
 
 
 class ServiceServer:
@@ -268,8 +404,7 @@ class ServiceServer:
         port: int = 0,
     ) -> None:
         self.service = service
-        self.httpd = ThreadingHTTPServer((host, port), _ServiceRequestHandler)
-        self.httpd.daemon_threads = True
+        self.httpd = FleetHTTPServer((host, port), _ServiceRequestHandler)
         self.httpd.service = service  # type: ignore[attr-defined]
         self.host = self.httpd.server_address[0]
         self.port = self.httpd.server_address[1]

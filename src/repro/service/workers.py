@@ -277,11 +277,18 @@ class WorkerPool:
             self.scheduler.fail(job, str(detail))
         elif status == "timeout":
             self.scheduler.fail(
-                job, f"job exceeded its {timeout:.1f}s timeout", timeout=True
+                job,
+                f"job exceeded its {timeout:.1f}s timeout",
+                timeout=True,
+                timeout_limit=timeout,
             )
         elif status == "cancelled":
             self.scheduler.release_cancelled(job)
         else:  # crash
+            exit_code = detail if isinstance(detail, int) else None
             self.scheduler.fail(
-                job, f"worker process died (exit code {detail})", crash=True
+                job,
+                f"worker process died (exit code {detail})",
+                crash=True,
+                exit_code=exit_code,
             )

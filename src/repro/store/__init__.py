@@ -9,6 +9,10 @@ Public surface:
   configuration fingerprints that form the cache keys.
 * :mod:`~repro.store.pipeline` — cache-backed sample/evaluate/build/train
   helpers shared by the flow, the experiment harness and the benchmarks.
+* :mod:`~repro.store.tiered` — the two-tier variant for clusters:
+  :class:`~repro.store.tiered.TieredStore` (local L1 + shared HTTP L2 with
+  read-through/write-through), :class:`~repro.store.tiered.StoreServer` (the
+  L2 server) and :class:`~repro.store.tiered.HttpStoreClient`.
 """
 
 from repro.store.artifacts import ArtifactStore, StoreStats, default_store_root
@@ -20,10 +24,14 @@ from repro.store.pipeline import (
     sample_records,
     train_or_load,
 )
+from repro.store.tiered import HttpStoreClient, StoreServer, TieredStore
 
 __all__ = [
     "ArtifactStore",
+    "HttpStoreClient",
+    "StoreServer",
     "StoreStats",
+    "TieredStore",
     "default_store_root",
     "aig_fingerprint",
     "combine_keys",

@@ -1,0 +1,83 @@
+"""AsyncServiceClient: transport behaviour beyond the shared contract suite.
+
+The contract tests already run the async client (adapted) through the full
+API; this module covers what is specific to the asyncio transport — event
+loop concurrency, connection retries, and hedged duplicate reads.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    AsyncServiceClient,
+    ServiceServer,
+    SynthesisService,
+    TransportError,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = SynthesisService(num_workers=2, max_depth=128, mode="inline")
+    with ServiceServer(service, port=0) as running:
+        yield running
+
+
+def test_many_jobs_in_flight_on_one_event_loop(server):
+    async def main():
+        async with AsyncServiceClient(server.url) as client:
+            async def one(index):
+                spec = {"kind": "selftest", "options": {"payload": f"async-{index}"}}
+                snapshot = await client.submit(spec)
+                payload = await client.result(snapshot["job_id"], timeout=30.0)
+                return payload["payload"]
+
+            return await asyncio.gather(*(one(index) for index in range(20)))
+
+    payloads = asyncio.run(main())
+    assert payloads == [f"async-{index}" for index in range(20)]
+
+
+def test_connection_failures_retry_then_raise_transport_error():
+    client = AsyncServiceClient(
+        "http://127.0.0.1:9", max_retries=2, retry_backoff=0.01
+    )
+    with pytest.raises(TransportError) as error:
+        asyncio.run(client.status("selftest-0000000000000000"))
+    assert error.value.code == "shard_unavailable"
+    assert client.transport_stats["retries"] == 2
+    assert not asyncio.run(client.healthz())
+
+
+def test_hedged_reads_fire_on_slow_responses(server):
+    async def main():
+        client = AsyncServiceClient(server.url, hedge_delay=0.05)
+        # A job that hangs 0.4s: the long-polling /result request stays
+        # unanswered past the hedge delay, so a duplicate read fires.
+        spec = {"kind": "selftest", "options": {"action": "hang", "seconds": 0.4}}
+        snapshot = await client.submit(spec)
+        payload = await client.result(snapshot["job_id"], timeout=30.0)
+        return payload, client.transport_stats
+
+    payload, stats = asyncio.run(main())
+    assert payload["action"] == "hang"
+    assert stats["hedged"] >= 1
+
+
+def test_hedging_disabled_by_default(server):
+    async def main():
+        client = AsyncServiceClient(server.url)
+        spec = {"kind": "selftest", "options": {"action": "hang", "seconds": 0.2}}
+        snapshot = await client.submit(spec)
+        await client.result(snapshot["job_id"], timeout=30.0)
+        return client.transport_stats
+
+    assert asyncio.run(main())["hedged"] == 0
+
+
+def test_rejects_non_http_urls():
+    with pytest.raises(ValueError):
+        AsyncServiceClient("ftp://example.com")
+    with pytest.raises(ValueError):
+        AsyncServiceClient("not-a-url")

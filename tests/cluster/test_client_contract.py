@@ -1,0 +1,159 @@
+"""One contract test suite, every client transport.
+
+The ``client`` fixture is parametrized over all ServiceClient
+implementations — in-process, blocking HTTP, asyncio (adapted), and the
+cluster router — against one shared inline-mode service, so every test in
+this module is executed once per transport.  A behaviour difference between
+transports is a bug by definition: the protocol promises one API.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    AsyncServiceClient,
+    HttpServiceClient,
+    InProcessClient,
+    JobFailedError,
+    JobSpec,
+    Router,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    SynthesisService,
+    canonical_payload_bytes,
+    execute_spec,
+)
+
+SPEC = {"kind": "selftest", "options": {"payload": "contract"}}
+CRASH_SPEC = {"kind": "selftest", "options": {"action": "crash", "payload": "boom"}}
+UNKNOWN_ID = "selftest-0000000000000000"
+
+
+class _SyncedAsyncClient:
+    """Blocking adapter so the asyncio client runs the same contract tests."""
+
+    def __init__(self, base_url: str) -> None:
+        self.inner = AsyncServiceClient(base_url)
+
+    def __getattr__(self, name):
+        method = getattr(self.inner, name)
+
+        def call(*args, **kwargs):
+            return asyncio.run(method(*args, **kwargs))
+
+        return call
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = SynthesisService(num_workers=2, max_depth=64, mode="inline")
+    with ServiceServer(service, port=0) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def router_server(server):
+    from repro.service import RouterServer
+
+    router = Router({"only": server.url}, health_interval=30.0)
+    with RouterServer(router, port=0) as running:
+        yield running
+
+
+@pytest.fixture(
+    params=["in_process", "http", "async", "router", "router_http"]
+)
+def client(request, server, router_server):
+    if request.param == "in_process":
+        yield InProcessClient(server.service)
+    elif request.param == "http":
+        with HttpServiceClient(server.url) as http:
+            yield http
+    elif request.param == "async":
+        with _SyncedAsyncClient(server.url) as adapted:
+            yield adapted
+    elif request.param == "router":
+        yield router_server.router
+    else:  # a plain HTTP client pointed at the router: same API, same answers
+        with HttpServiceClient(router_server.url) as http:
+            yield http
+
+
+def test_implements_the_service_client_protocol(client):
+    target = client.inner if isinstance(client, _SyncedAsyncClient) else client
+    assert isinstance(target, ServiceClient)
+
+
+def test_submit_returns_a_deterministic_job_snapshot(client):
+    first = client.submit(SPEC)
+    second = client.submit(dict(SPEC))
+    assert first["job_id"] == second["job_id"]
+    assert first["kind"] == "selftest"
+    assert "state" in first
+
+
+def test_submit_accepts_jobspec_objects(client):
+    snapshot = client.submit(JobSpec.from_dict(SPEC))
+    assert snapshot["job_id"] == JobSpec.from_dict(SPEC).job_id()
+
+
+def test_status_wait_and_result_agree(client):
+    job_id = client.submit(SPEC)["job_id"]
+    payload = client.result(job_id, timeout=30.0)
+    assert canonical_payload_bytes(payload) == canonical_payload_bytes(
+        execute_spec(JobSpec.from_dict(SPEC))
+    )
+    assert client.status(job_id)["state"] == "done"
+    final = client.wait(job_id, timeout=30.0)
+    assert final["state"] == "done"
+
+
+def test_wait_reports_failures_without_raising(client):
+    job_id = client.submit(CRASH_SPEC)["job_id"]
+    snapshot = client.wait(job_id, timeout=30.0)
+    assert snapshot["state"] == "failed"
+    assert snapshot["error"]
+
+
+def test_result_raises_job_failed_with_diagnostics(client):
+    job_id = client.submit(CRASH_SPEC)["job_id"]
+    with pytest.raises(JobFailedError) as error:
+        client.result(job_id, timeout=30.0)
+    assert error.value.status == 500
+    assert error.value.code == "job_failed"
+    assert error.value.payload["state"] == "failed"
+    assert "failure_kind" in error.value.payload
+
+
+def test_unknown_job_raises_not_found(client):
+    with pytest.raises(ServiceError) as error:
+        client.status(UNKNOWN_ID)
+    assert error.value.status == 404
+    assert error.value.code == "not_found"
+
+
+def test_malformed_spec_raises_bad_request(client):
+    with pytest.raises(ServiceError) as error:
+        client.submit({"kind": "optimize", "design": "b08", "options": {"bogus": 1}})
+    assert error.value.status == 400
+    assert error.value.code == "bad_request"
+
+
+def test_metrics_and_healthz(client):
+    assert client.healthz()
+    snapshot = client.metrics()
+    # Single services report their counters at the top level; the router
+    # aggregates the same counters under "fleet".
+    counters = snapshot.get("counters") or snapshot["fleet"]["counters"]
+    assert counters["submitted"] >= 1

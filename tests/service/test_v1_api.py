@@ -1,0 +1,156 @@
+"""The versioned HTTP API: /v1 routes, legacy aliases, structured errors.
+
+The pre-v1 unversioned paths must keep answering byte-identically (modulo
+the ``Deprecation`` header) so deployed clients survive the redesign, and
+every failure body must carry the structured
+``{"error": {"code", "message", "job_id"}}`` envelope.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import (
+    HttpServiceClient,
+    JobSpec,
+    ServiceServer,
+    SynthesisService,
+)
+from repro.service.api import (
+    API_VERSION,
+    DEPRECATION_HEADER,
+    ERROR_CODES,
+    error_fields,
+    error_payload,
+    versioned,
+)
+from repro.service.scheduler import CoalescingQueue, Scheduler
+
+SPEC = {"kind": "selftest", "options": {"payload": "v1"}}
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = SynthesisService(num_workers=1, max_depth=64, mode="inline")
+    with ServiceServer(service, port=0) as running:
+        yield running
+
+
+def _get(server, path):
+    """(status, headers, parsed body) of a GET without client-side sugar."""
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=30.0) as response:
+            return response.status, dict(response.headers), json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), json.loads(error.read())
+
+
+def test_versioned_helper_and_api_version():
+    assert API_VERSION == "v1"
+    assert versioned("/submit") == "/v1/submit"
+    assert versioned("metrics") == "/v1/metrics"
+
+
+def test_v1_routes_answer_without_deprecation_header(server):
+    status, headers, body = _get(server, "/v1/healthz")
+    assert status == 200 and body == {"status": "ok"}
+    assert DEPRECATION_HEADER not in headers
+
+
+def test_legacy_unversioned_routes_alias_v1_with_deprecation(server):
+    client = HttpServiceClient(server.url)
+    job_id = client.submit(SPEC)["job_id"]
+    client.result(job_id, timeout=30.0)
+
+    for path in ("/healthz", "/metrics", f"/status/{job_id}", f"/result/{job_id}"):
+        legacy_status, legacy_headers, legacy_body = _get(server, path)
+        v1_status, v1_headers, v1_body = _get(server, "/v1" + path)
+        assert legacy_status == v1_status
+        assert legacy_body == v1_body  # identical answers, old or new path
+        assert legacy_headers.get(DEPRECATION_HEADER) == "true"
+        assert DEPRECATION_HEADER not in v1_headers
+
+
+def test_legacy_submit_still_accepts_posts(server):
+    request = urllib.request.Request(
+        server.url + "/submit",
+        data=json.dumps(SPEC).encode("ascii"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        assert response.status == 202
+        assert response.headers.get(DEPRECATION_HEADER) == "true"
+        snapshot = json.loads(response.read())
+    assert snapshot["job_id"].startswith("selftest-")
+
+
+def test_errors_carry_the_structured_envelope(server):
+    status, _, body = _get(server, "/v1/status/selftest-0000000000000000")
+    assert status == 404
+    assert body["error"]["code"] == "not_found"
+    assert body["error"]["job_id"] == "selftest-0000000000000000"
+    assert body["error"]["message"]
+
+    status, _, body = _get(server, "/v1/nope")
+    assert status == 404 and body["error"]["code"] == "not_found"
+
+    status, _, body = _get(server, "/v1/status/whatever?wait=abc")
+    assert status == 400 and body["error"]["code"] == "bad_request"
+
+
+def test_failed_result_body_merges_snapshot_and_envelope(server):
+    client = HttpServiceClient(server.url)
+    job_id = client.submit(
+        {"kind": "selftest", "options": {"action": "crash", "payload": "x"}}
+    )["job_id"]
+    client.wait(job_id, timeout=30.0)
+    status, _, body = _get(server, f"/v1/result/{job_id}")
+    assert status == 500
+    assert body["error"]["code"] == "job_failed"
+    assert body["state"] == "failed"
+    assert body["failure_kind"] == "error"  # inline mode: ordinary failure
+
+
+def test_status_long_poll_waits_for_terminal_state(server):
+    client = HttpServiceClient(server.url)
+    job_id = client.submit(
+        {"kind": "selftest", "options": {"action": "hang", "seconds": 0.3}}
+    )["job_id"]
+    status, _, body = _get(server, f"/v1/status/{job_id}?wait=10")
+    assert status == 200 and body["state"] == "done"
+
+
+def test_prometheus_metrics_variant(server):
+    request = urllib.request.Request(server.url + "/v1/metrics?format=prometheus")
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        text = response.read().decode("utf-8")
+    assert "# TYPE boolgebra_submitted_total counter" in text
+    assert "boolgebra_total_seconds" in text and 'quantile="0.5"' in text
+    assert text.count("# TYPE boolgebra_submitted_total counter") == 1
+
+
+def test_error_payload_and_fields_round_trip():
+    payload = error_payload("backpressure", "queue full", "job-1", queue_depth=3)
+    assert payload["queue_depth"] == 3
+    fields = error_fields(payload)
+    assert fields == {"code": "backpressure", "message": "queue full", "job_id": "job-1"}
+    # Pre-v1 string errors degrade instead of crashing old clients' handlers.
+    assert error_fields({"error": "boom"})["message"] == "boom"
+    assert error_fields({"error": "boom"})["code"] == "internal"
+    with pytest.raises(ValueError):
+        error_payload("not-a-code", "nope")
+    assert "job_failed" in ERROR_CODES
+
+
+def test_scheduler_is_the_coalescing_queue():
+    # The per-shard queue core is the instantiable CoalescingQueue; Scheduler
+    # remains as the compatible single-service name.
+    assert issubclass(Scheduler, CoalescingQueue)
+    queue = CoalescingQueue(max_depth=4)
+    job, created = queue.submit(JobSpec.from_dict(SPEC))
+    assert created and job.job_id.startswith("selftest-")
+    queue.close()

@@ -262,8 +262,8 @@ def test_submit_command_unreachable_url(capsys):
     code = main(
         ["submit", "b08", "--url", "http://127.0.0.1:1", "--result-timeout", "1"]
     )
-    assert code == 2  # URLError is an OSError: the generic CLI error path
-    assert "error" in capsys.readouterr().err
+    assert code == 1  # connection failures surface as structured TransportErrors
+    assert "shard_unavailable" in capsys.readouterr().err
 
 
 def test_serve_and_submit_over_http(tmp_path, capsys):
