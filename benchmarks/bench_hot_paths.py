@@ -22,10 +22,19 @@ Stand-alone::
 
     PYTHONPATH=src python benchmarks/bench_hot_paths.py                    # = --update-baseline
     PYTHONPATH=src python benchmarks/bench_hot_paths.py --smoke            # CI gate
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py --smoke --repeat 3 # CI: median of 3
     PYTHONPATH=src python benchmarks/bench_hot_paths.py --smoke --out s.json
     PYTHONPATH=src python benchmarks/bench_hot_paths.py --smoke --kernels service_scaleout
     PYTHONPATH=src python benchmarks/bench_hot_paths.py --update-baseline
     PYTHONPATH=src python benchmarks/bench_hot_paths.py --profile pass_sweep
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py --breakdown        # per-backend sweep
+
+``--repeat N`` measures every kernel N times and reports the run with the
+median gated ratio (default 1; the CI gate passes 3 so one noisy
+measurement cannot trip — or mask — a regression); the chosen ``repeat``
+is recorded in the report and in ``BENCH_hot_paths.json``.  ``--breakdown``
+times the sweep script under each registered backend side by side and
+prints the native backend's per-op engine table.
 
 or under pytest-benchmark::
 
@@ -198,6 +207,12 @@ SPEEDUP_CLAMPS = {
     # so the clamp reports a stable 2.0 on healthy runs while a fleet that
     # stops scaling out still falls through and trips the gate.
     "service_scaleout": 2.0,
+    # Native-backend sweep vs the sequential reference: the measured full
+    # aggregate sits around 3.4x but breathes ~±0.15 with machine noise
+    # (the sequential side alone varies that much between healthy runs);
+    # the acceptance bar is >=3x, so the clamp reports a stable 3.0 while a
+    # compiled engine that stops engaging still falls through the gate.
+    "pass_sweep": 3.0,
 }
 
 
@@ -396,10 +411,11 @@ def _run_pass_script(aig, strategy: str) -> None:
 
 #: Compute backend each side of the pass benchmark is pinned under: the
 #: sequential baseline runs the retained scalar reference code, the batched
-#: sweep runs the accelerated backend — the production pairing whose ratio
-#: the acceptance bar tracks.  (The accelerated backend is constructible on
-#: any install; missing native deps degrade op-by-op, never fail.)
-_PASS_BACKENDS = {"sequential": "reference", "sweep": "accelerated"}
+#: sweep runs the native backend — the production pairing whose ratio the
+#: acceptance bar tracks.  (Both backends are constructible on any install;
+#: a missing compiled engine degrades op-by-op to the accelerated /
+#: reference paths, never fails.)
+_PASS_BACKENDS = {"sequential": "reference", "sweep": "native"}
 
 
 def bench_pass_sweep(config: Dict, repeats: int) -> Dict:
@@ -461,7 +477,7 @@ def bench_pass_sweep(config: Dict, repeats: int) -> Dict:
         "designs": designs,
         "reference_s": total_reference,
         "vectorized_s": total_sweep,
-        "speedup": total_reference / total_sweep if total_sweep else float("inf"),
+        **_clamped_speedup("pass_sweep", total_reference, total_sweep),
         "identical": identical,
     }
 
@@ -841,8 +857,38 @@ def suite_kernels(config: Dict, repeats: int) -> Dict[str, Callable[[], Dict]]:
     }
 
 
-def run_suite(config: Dict, repeats: int = 3, kernels: Optional[List[str]] = None) -> Dict:
-    """Measure the suite; ``kernels`` restricts it to a subset by name."""
+def _median_result(runs: List[Dict]) -> Dict:
+    """The run whose gated ratio is the median of ``runs`` (upper for even N).
+
+    Medianing the *run* rather than each scalar keeps every reported field
+    (wall times, per-design numbers) from one coherent measurement.  The
+    individual ratios are retained as ``speedup_runs`` for inspection, and
+    an identity failure in *any* run fails the reported one — repetition
+    must never mask a correctness problem.
+    """
+    if len(runs) == 1:
+        return runs[0]
+    ordered = sorted(runs, key=lambda run: run.get("speedup", run.get("seconds", 0.0)))
+    chosen = dict(ordered[len(ordered) // 2])
+    if "speedup" in chosen:
+        chosen["speedup_runs"] = [round(run["speedup"], 4) for run in runs]
+    if any(run.get("identical") is False for run in runs):
+        chosen["identical"] = False
+    return chosen
+
+
+def run_suite(
+    config: Dict,
+    repeats: int = 3,
+    kernels: Optional[List[str]] = None,
+    repeat: int = 1,
+) -> Dict:
+    """Measure the suite; ``kernels`` restricts it to a subset by name.
+
+    ``repeats`` is the best-of count *inside* one measurement (timer-noise
+    suppression); ``repeat`` re-runs each whole measurement that many times
+    and reports the median run (machine-noise suppression for the CI gate).
+    """
     measurements = suite_kernels(config, repeats)
     if kernels is None:
         selected = list(measurements)
@@ -859,7 +905,10 @@ def run_suite(config: Dict, repeats: int = 3, kernels: Optional[List[str]] = Non
             for name in measurements
             if name in kernels or (name == "train_epoch" and "train_fit" in kernels)
         ]
-    results = {name: measurements[name]() for name in selected}
+    results = {
+        name: _median_result([measurements[name]() for _ in range(max(1, repeat))])
+        for name in selected
+    }
     # Full-run training promoted to its own gated kernel: Trainer.train on
     # the reference backend vs Trainer.fit on the accelerated one, measured
     # inside bench_train_epoch (one training workload, two tracked ratios).
@@ -878,6 +927,7 @@ def run_suite(config: Dict, repeats: int = 3, kernels: Optional[List[str]] = Non
         "schema": "bench_hot_paths/v1",
         "python": platform.python_version(),
         "backend": get_backend().name,
+        "repeat": max(1, repeat),
         "config": dict(config),
         "results": results,
     }
@@ -1041,6 +1091,52 @@ def _profile_kernel(name: str) -> int:
     return 0
 
 
+#: Backends compared side by side by ``--breakdown`` (sweep strategy).
+_BREAKDOWN_BACKENDS = ("reference", "accelerated", "native")
+
+
+def _breakdown(config: Dict) -> int:
+    """Time the sweep script under every backend; print the native op table.
+
+    Each design runs the standard pass script pinned to each registered
+    backend in turn (best of three on fresh copies, caches warmed), so a
+    per-backend regression is visible without re-deriving it from ratio
+    changes.  The op table then shows which compiled engine (numba / cc)
+    serves each native op — or the fallback reason when the backend
+    degraded.
+    """
+    from repro.backend import create_backend
+
+    times: Dict[str, Dict[str, float]] = {name: {} for name in _BREAKDOWN_BACKENDS}
+    for design in config["sweep_designs"]:
+        original = load_benchmark(design)
+        for backend_name in _BREAKDOWN_BACKENDS:
+            with use_backend(backend_name):
+                warm = original.copy()
+                _run_pass_script(warm, "sweep")
+                best = float("inf")
+                for _ in range(3):
+                    aig = original.copy()
+                    best = min(
+                        best, _best_of(lambda a=aig: _run_pass_script(a, "sweep"), 1)
+                    )
+            times[backend_name][design] = best
+    print(f"{'design':<10}" + "".join(f"{name + ' (s)':>20}" for name in _BREAKDOWN_BACKENDS))
+    for design in config["sweep_designs"]:
+        print(
+            f"{design:<10}"
+            + "".join(f"{times[name][design]:>20.4f}" for name in _BREAKDOWN_BACKENDS)
+        )
+    totals = {name: sum(times[name].values()) for name in _BREAKDOWN_BACKENDS}
+    print(f"{'total':<10}" + "".join(f"{totals[name]:>20.4f}" for name in _BREAKDOWN_BACKENDS))
+    native = create_backend("native")
+    print(f"\nnative engine: {native.engine_name() or 'none (degraded)'}")
+    print(f"{'op':<24}implementation")
+    for op, label in sorted(native.op_support().items()):
+        print(f"{op:<24}{label}")
+    return 0
+
+
 def main(argv) -> int:
     if "--profile" in argv:
         index = argv.index("--profile")
@@ -1048,6 +1144,15 @@ def main(argv) -> int:
             print("--profile requires a kernel name", file=sys.stderr)
             return 2
         return _profile_kernel(argv[index + 1])
+    if "--breakdown" in argv:
+        return _breakdown(SMOKE if "--smoke" in argv else FULL)
+    repeat = 1
+    if "--repeat" in argv:
+        index = argv.index("--repeat")
+        if index + 1 >= len(argv):
+            print("--repeat requires a count", file=sys.stderr)
+            return 2
+        repeat = max(1, int(argv[index + 1]))
     smoke = "--smoke" in argv
     update_baseline = "--update-baseline" in argv or not smoke
     out_path = None
@@ -1070,7 +1175,7 @@ def main(argv) -> int:
 
     failures = []
     if smoke:
-        report = run_suite(SMOKE, repeats=2, kernels=kernels)
+        report = run_suite(SMOKE, repeats=2, kernels=kernels, repeat=repeat)
         failures = _print_report(report)
         if out_path:
             with open(out_path, "w") as handle:
@@ -1103,10 +1208,10 @@ def main(argv) -> int:
             print(f"\nno baseline at {path}; gate skipped")
     elif update_baseline:
         print("== smoke configuration ==")
-        smoke_report = run_suite(SMOKE, repeats=2)
+        smoke_report = run_suite(SMOKE, repeats=2, repeat=repeat)
         failures += _print_report(smoke_report)
         print("\n== full configuration ==")
-        full_report = run_suite(FULL, repeats=3)
+        full_report = run_suite(FULL, repeats=3, repeat=repeat)
         failures += _print_report(full_report)
         payload = {
             "schema": "bench_hot_paths/v2",

@@ -291,10 +291,15 @@ class CutEnumerator:
         The result is identical, cut for cut and key for key, to
         :meth:`enumerate_reference`.
         """
+        backend = get_backend()
+        level_merge = getattr(backend, "cut_level_merge", None)
+        if level_merge is not None:
+            result = self._enumerate_compiled(aig, nodes, level_merge)
+            if result is not None:
+                return result
         k = self.k
         limit = self.cuts_per_node
         width = limit + 1  # stored cuts per node: <= limit merged + trivial
-        backend = get_backend()
         view = levelized(aig)
         store: Dict[int, _CutLists] = {}
         sig_arrays: Dict[int, np.ndarray] = {}
@@ -405,6 +410,145 @@ class CutEnumerator:
                 set_attr(cut, "root", key)
                 set_attr(cut, "leaves", leaves)
                 cuts.append(cut)
+            result[key] = cuts
+        return result
+
+    def _enumerate_compiled(
+        self, aig: Aig, nodes: Optional[Sequence[int]], level_merge
+    ) -> Optional[Dict[int, List[Cut]]]:
+        """Array-store enumeration over a backend's whole-level merge kernel.
+
+        The cut store holds padded ``(cuts, k)`` leaf matrices plus size and
+        signature vectors per node instead of tuple/frozenset lists, the
+        per-level Python merge loop collapses into one ``cut_level_merge``
+        call, and leaf tuples are materialized only for the cuts that
+        survive.  Returns ``None`` when the backend reports the kernel
+        unavailable (first call of a level), sending :meth:`enumerate` down
+        the ordinary path; otherwise the result is identical, cut for cut
+        and key for key, to :meth:`enumerate_reference` — asserted by the
+        test-suite across backends.
+        """
+        k = self.k
+        limit = self.cuts_per_node
+        width = limit + 1  # stored cuts per node: <= limit merged + trivial
+        # Zero-row probe: resolves the engine (and kernel caps) before any
+        # gather work, so a degraded backend costs one cheap call per
+        # enumeration instead of a wasted first-level pack.
+        probe = level_merge(
+            np.zeros((0, width, k), np.int64),
+            np.zeros((0, width), np.int64),
+            np.zeros((0, width), np.uint64),
+            np.zeros(0, np.int64),
+            np.zeros((0, width, k), np.int64),
+            np.zeros((0, width), np.int64),
+            np.zeros((0, width), np.uint64),
+            np.zeros(0, np.int64),
+            np.zeros(0, np.uint8),
+            k,
+            limit,
+        )
+        if probe is None:
+            return None
+        view = levelized(aig)
+        #: node -> (leaves (n, k) int64, sizes (n,) int64, sigs (n,) uint64)
+        #: holding only the merged (non-trivial) cuts; the trivial cut is
+        #: synthesized where needed, keeping leaf/PI entries allocation-free.
+        empty = (
+            np.zeros((0, k), np.int64),
+            np.zeros(0, np.int64),
+            np.zeros(0, np.uint64),
+        )
+        store: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        merge_memo: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        for ids, f0_vars, _m0, f1_vars, _m1 in view._level_ops:
+            count = len(ids)
+            id_list = ids.tolist()
+            f0_list = f0_vars.tolist()
+            f1_list = f1_vars.tolist()
+            in_l0 = np.zeros((count, width, k), np.int64)
+            in_s0 = np.zeros((count, width), np.int64)
+            in_g0 = np.zeros((count, width), np.uint64)
+            in_n0 = np.zeros(count, np.int64)
+            in_l1 = np.zeros((count, width, k), np.int64)
+            in_s1 = np.zeros((count, width), np.int64)
+            in_g1 = np.zeros((count, width), np.uint64)
+            in_n1 = np.zeros(count, np.int64)
+            skip = np.zeros(count, np.uint8)
+            memo_hits: List[Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = (
+                [None] * count
+            )
+            for row in range(count):
+                f0 = f0_list[row]
+                f1 = f1_list[row]
+                hit = merge_memo.get((f0, f1))
+                if hit is not None:
+                    skip[row] = 1
+                    memo_hits[row] = hit
+                    if f0 not in store:
+                        store[f0] = empty
+                    if f1 not in store:
+                        store[f1] = empty
+                    continue
+                for fanin, in_l, in_s, in_g, in_n in (
+                    (f0, in_l0, in_s0, in_g0, in_n0),
+                    (f1, in_l1, in_s1, in_g1, in_n1),
+                ):
+                    entry = store.get(fanin)
+                    if entry is None:
+                        # First encounter: a leaf (PI/constant/boundary).
+                        entry = empty
+                        store[fanin] = entry
+                    stored = entry[1].shape[0]
+                    if stored:
+                        in_l[row, :stored] = entry[0]
+                        in_s[row, :stored] = entry[1]
+                        in_g[row, :stored] = entry[2]
+                    # The trivial cut rides last, as in the list store.
+                    in_l[row, stored, 0] = fanin
+                    in_s[row, stored] = 1
+                    in_g[row, stored] = 1 << (fanin & 63)
+                    in_n[row] = stored + 1
+            merged = level_merge(
+                in_l0, in_s0, in_g0, in_n0,
+                in_l1, in_s1, in_g1, in_n1,
+                skip, k, limit,
+            )
+            if merged is None:
+                return None
+            out_l, out_s, out_g, out_n = merged
+            count_list = out_n.tolist()
+            for row in range(count):
+                hit = memo_hits[row]
+                if hit is None:
+                    n = count_list[row]
+                    hit = (
+                        out_l[row, :n].copy(),
+                        out_s[row, :n].copy(),
+                        out_g[row, :n].copy(),
+                    )
+                    merge_memo[(f0_list[row], f1_list[row])] = hit
+                store[id_list[row]] = hit
+
+        # Materialize Cut objects in the reference implementation's insertion
+        # order; the trivial cut is appended last, exactly like the list store.
+        wanted = set(nodes) if nodes is not None else None
+        new_cut = Cut.__new__
+        set_attr = object.__setattr__
+        result: Dict[int, List[Cut]] = {}
+        for key in view.first_encounter_order(aig):
+            if wanted is not None and key not in wanted:
+                continue
+            leaf_mat, sizes, _sigs = store[key]
+            cuts = []
+            for index, size in enumerate(sizes.tolist()):
+                cut = new_cut(Cut)
+                set_attr(cut, "root", key)
+                set_attr(cut, "leaves", tuple(leaf_mat[index, :size].tolist()))
+                cuts.append(cut)
+            trivial = new_cut(Cut)
+            set_attr(trivial, "root", key)
+            set_attr(trivial, "leaves", (key,))
+            cuts.append(trivial)
             result[key] = cuts
         return result
 

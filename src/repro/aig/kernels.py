@@ -119,6 +119,7 @@ class LevelizedAig:
         "_fanin1_list",
         "_is_and_list",
         "_ref_counts",
+        "_native_scratch",
     )
 
     def __init__(self, aig: "Aig") -> None:
@@ -190,6 +191,9 @@ class LevelizedAig:
         self._fanin1_list: List[int] = []
         self._is_and_list: List[bool] = []
         self._ref_counts: List[int] = []
+        # Owned by the native backend's compiled cone walk: int64/uint64
+        # array mirrors of the fanin lists plus epoch-stamped table scratch.
+        self._native_scratch = None
         pos = aig.pos()
         self.po_vars = np.array([lit_var(d) for d in pos], dtype=np.int64)
         self.po_masks = np.array(

@@ -5,6 +5,8 @@ See :mod:`repro.backend.api` for the op vocabulary and
 ``FlowConfig.backend``, :func:`set_default_backend` / :func:`use_backend`).
 """
 
+from typing import Optional
+
 from repro.backend.api import OPS, Backend
 from repro.backend.registry import (
     ENV_VAR,
@@ -17,6 +19,22 @@ from repro.backend.registry import (
     use_backend,
 )
 
+
+def prewarm_default_backend() -> Optional[str]:
+    """Warm the default backend's compile caches, if it has any.
+
+    Worker initializers (the service pool, the process-pool evaluator) call
+    this right after pinning their backend so the first *job* never pays
+    JIT-compile or shared-library-build latency.  Backends without a
+    ``prewarm`` hook are a no-op; returns the warmed engine name, if any.
+    """
+    backend = get_backend()
+    prewarm = getattr(backend, "prewarm", None)
+    if prewarm is None:
+        return None
+    return prewarm()
+
+
 __all__ = [
     "OPS",
     "Backend",
@@ -24,6 +42,7 @@ __all__ = [
     "available_backends",
     "create_backend",
     "get_backend",
+    "prewarm_default_backend",
     "register_backend",
     "reset_default_backend",
     "set_default_backend",

@@ -5,8 +5,9 @@ Selection order for the process-wide default backend:
 1. an explicit :func:`set_default_backend` / :func:`use_backend` call
    (``FlowConfig.backend`` and ``Trainer(backend=...)`` route through these),
 2. the ``BOOLGEBRA_BACKEND`` environment variable,
-3. ``"auto"``: the accelerated backend when any of its native accelerations
-   are importable, the reference backend otherwise.
+3. ``"auto"``: the native backend when a compiled engine (numba import or a
+   cc-built kernel library) is plausible, else the accelerated backend when
+   any of its native accelerations are importable, else the reference.
 
 Backends are instantiated lazily (one cached instance per name), so merely
 importing :mod:`repro.backend` stays cheap and free of optional-dependency
@@ -51,13 +52,22 @@ def available_backends() -> List[str]:
 def create_backend(name: str) -> Backend:
     """Instantiate (or return the cached instance of) backend ``name``.
 
-    ``"auto"`` resolves to the accelerated backend when any of its native
-    accelerations are importable, else to the reference backend.
+    ``"auto"`` resolves to the native backend when a compiled engine is
+    plausible (numba importable, a cached cc kernel library, or a system C
+    compiler), else to the accelerated backend when any of its native
+    accelerations are importable, else to the reference backend.  A wrong
+    "plausible" only costs per-op fallback inside the native backend.
     """
     if name == "auto":
         from repro.backend.accelerated import AcceleratedBackend
+        from repro.backend.native import NativeBackend
 
-        name = "accelerated" if AcceleratedBackend.native_available() else "reference"
+        if NativeBackend.native_available():
+            name = "native"
+        elif AcceleratedBackend.native_available():
+            name = "accelerated"
+        else:
+            name = "reference"
     if name not in _FACTORIES:
         raise ValueError(
             f"unknown backend {name!r}; available: {', '.join(available_backends())}"
@@ -128,5 +138,12 @@ def _make_accelerated() -> Backend:
     return AcceleratedBackend()
 
 
+def _make_native() -> Backend:
+    from repro.backend.native import NativeBackend
+
+    return NativeBackend()
+
+
 register_backend("reference", _make_reference)
 register_backend("accelerated", _make_accelerated)
+register_backend("native", _make_native)

@@ -250,12 +250,20 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     }
     for name in names:
         backend = create_backend(name)
-        payload["backends"][name] = {"ops": backend.op_support()}
+        info = {"ops": backend.op_support()}
+        engine_name = getattr(backend, "engine_name", None)
+        if engine_name is not None:
+            # The native backend also reports its resolved compiled engine
+            # ("numba" / "cc"), or null when it degraded.
+            info["engine"] = engine_name()
+        payload["backends"][name] = info
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     rows = []
-    ops = sorted(create_backend(names[0]).op_support())
+    # Union over the backends: capability ops beyond the portable vocabulary
+    # (e.g. the native whole-level cut merge) still get a table row.
+    ops = sorted({op for info in payload["backends"].values() for op in info["ops"]})
     for op in ops:
         rows.append([op] + [payload["backends"][name]["ops"].get(op, "-") for name in names])
     print(

@@ -28,7 +28,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, ClassVar, Dict, List, Optional, Sequence, Union
 
 from repro.aig.aig import Aig
-from repro.backend import get_backend, set_default_backend
+from repro.backend import get_backend, prewarm_default_backend, set_default_backend
 from repro.orchestration.decision import DecisionVector
 from repro.orchestration.orchestrate import orchestrate
 from repro.orchestration.sampling import SampleRecord
@@ -119,6 +119,9 @@ def _init_worker(
         # (``use_backend`` / ``FlowConfig.backend``) do not travel with the
         # environment, so the pool passes the effective name explicitly.
         set_default_backend(backend_name)
+    # Compile/load the backend's kernels once per worker (numba JIT cache,
+    # cc shared library) so the first evaluated chunk never pays for them.
+    prewarm_default_backend()
     _WORKER_STATE["aig"] = pickle.loads(aig_bytes)
     _WORKER_STATE["params"] = params
     # Warm the per-network kernel caches once per worker: every sample copies

@@ -34,7 +34,12 @@ import time
 import traceback
 from typing import List, Optional, Tuple
 
-from repro.backend import get_backend, set_default_backend, use_backend
+from repro.backend import (
+    get_backend,
+    prewarm_default_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.service import jobs as jobs_module
 from repro.service.jobs import Job, JobSpec, execute_spec
 from repro.service.scheduler import Scheduler
@@ -61,6 +66,9 @@ def _worker_main(task_queue, result_queue, backend_name=None) -> None:
         # Process-local backend selections don't survive the process
         # boundary, so the pool ships the effective name explicitly.
         set_default_backend(backend_name)
+    # Compile/load the backend's kernels now (numba JIT cache, cc shared
+    # library) so the first *job* never pays the build latency.
+    prewarm_default_backend()
     from repro.engine.engine import Engine  # noqa: F401  (prewarm imports)
 
     while True:

@@ -1,13 +1,16 @@
-"""Byte-identity of the accelerated backend against the reference.
+"""Byte-identity of the optimized backends against the reference.
 
 The backend contract is *bit-exact equality*, not approximate agreement:
-every op of :class:`~repro.backend.accelerated.AcceleratedBackend` must
-produce the same bytes as :class:`~repro.backend.reference.ReferenceBackend`
-for the same inputs.  These tests drive the ops through their real callers —
-simulation, cut enumeration, the sweep-and-commit passes, resubstitution and
-GNN training — on hypothesis-generated networks, and additionally hit the
-size regimes (small/large divisor sets) that select different internal code
-paths inside the accelerated ops.
+every op of :class:`~repro.backend.accelerated.AcceleratedBackend` and
+:class:`~repro.backend.native.NativeBackend` must produce the same bytes as
+:class:`~repro.backend.reference.ReferenceBackend` for the same inputs.
+These tests drive the ops through their real callers — simulation, cut
+enumeration, the sweep-and-commit passes, resubstitution and GNN training —
+on hypothesis-generated networks, parametrized over every optimized backend,
+and additionally hit the size regimes (small/large divisor sets) that select
+different internal code paths inside the ops.  The native backend degrades
+per op when no compiled engine is available, so the suite is meaningful
+(if less sharp) even on installs without numba or a C compiler.
 """
 
 from __future__ import annotations
@@ -23,9 +26,13 @@ from repro.aig.cuts import CutEnumerator
 from repro.aig.random_aig import RandomAigSpec, random_aig
 from repro.aig.simulate import random_patterns, simulate_matrix
 from repro.aig.truth import cut_truth_table, table_mask
-from repro.backend import use_backend
-from repro.backend.accelerated import _SMALL_RESUB, AcceleratedBackend
+from repro.backend import create_backend, use_backend
+from repro.backend.accelerated import _SMALL_RESUB
 from repro.backend.reference import ReferenceBackend
+
+#: Every optimized backend is held to the same byte-identity bar.
+OPTIMIZED_BACKENDS = ("accelerated", "native")
+parametrize_backend = pytest.mark.parametrize("backend_name", OPTIMIZED_BACKENDS)
 from repro.synth.scripts import refactor_pass, resub_pass, rewrite_pass
 
 aig_specs = st.builds(
@@ -59,34 +66,39 @@ def _fingerprint(aig):
 # --------------------------------------------------------------------------- #
 # Simulation and cut enumeration
 # --------------------------------------------------------------------------- #
+@parametrize_backend
 @settings(max_examples=20, deadline=None)
-@given(aig_specs, st.integers(min_value=1, max_value=4))
-def test_simulation_matrix_byte_identical(spec, words):
+@given(spec=aig_specs, words=st.integers(min_value=1, max_value=4))
+def test_simulation_matrix_byte_identical(backend_name, spec, words):
     aig = random_aig(spec)
     patterns = random_patterns(aig.num_pis(), words * 64, seed=spec.seed)
     with use_backend("reference"):
         reference = simulate_matrix(aig, patterns)
-    with use_backend("accelerated"):
-        accelerated = simulate_matrix(aig, patterns)
-    assert reference.tobytes() == accelerated.tobytes()
+    with use_backend(backend_name):
+        optimized = simulate_matrix(aig, patterns)
+    assert reference.tobytes() == optimized.tobytes()
 
 
+@parametrize_backend
 @settings(max_examples=15, deadline=None)
-@given(aig_specs, st.integers(min_value=2, max_value=5))
-def test_cut_enumeration_identical_cuts_and_order(spec, k):
+@given(spec=aig_specs, k=st.integers(min_value=2, max_value=5))
+def test_cut_enumeration_identical_cuts_and_order(backend_name, spec, k):
     aig = random_aig(spec)
     enumerator = CutEnumerator(k=k, cuts_per_node=8)
     with use_backend("reference"):
         reference = enumerator.enumerate(aig)
-    with use_backend("accelerated"):
-        accelerated = enumerator.enumerate(aig)
-    # Same nodes, same cuts, same priority order.
-    assert reference == accelerated
+    with use_backend(backend_name):
+        optimized = enumerator.enumerate(aig)
+    # Same nodes, same cuts, same priority order (the native backend's
+    # whole-level merge kernel replays the exact insertion semantics).
+    assert reference == optimized
+    assert reference == enumerator.enumerate_reference(aig)
 
 
+@parametrize_backend
 @settings(max_examples=15, deadline=None)
-@given(aig_specs)
-def test_cut_table_exact_matches_truth_module(spec):
+@given(spec=aig_specs)
+def test_cut_table_exact_matches_truth_module(backend_name, spec):
     aig = random_aig(spec)
     from repro.aig.kernels import levelized
 
@@ -95,19 +107,20 @@ def test_cut_table_exact_matches_truth_module(spec):
     enumerator = CutEnumerator(k=4, cuts_per_node=8)
     cuts = enumerator.enumerate(aig)
     reference = ReferenceBackend()
-    accelerated = AcceleratedBackend()
+    optimized = create_backend(backend_name)
     for node, node_cuts in cuts.items():
         for cut in node_cuts:
             if cut.is_trivial() or cut.size < 2:
                 continue
             expected = cut_truth_table(aig, node, cut.leaves)
             assert reference.cut_table_exact(view, node, cut.leaves) == expected
-            assert accelerated.cut_table_exact(view, node, cut.leaves) == expected
+            assert optimized.cut_table_exact(view, node, cut.leaves) == expected
 
 
+@parametrize_backend
 @settings(max_examples=10, deadline=None)
-@given(aig_specs)
-def test_batched_cut_tables_identical(spec):
+@given(spec=aig_specs)
+def test_batched_cut_tables_identical(backend_name, spec):
     aig = random_aig(spec)
     from repro.aig.kernels import levelized
 
@@ -121,8 +134,8 @@ def test_batched_cut_tables_identical(spec):
         if not cut.is_trivial() and cut.size >= 2
     ]
     reference = ReferenceBackend().cut_truth_tables(aig, view, work, num_patterns=256, seed=7)
-    accelerated = AcceleratedBackend().cut_truth_tables(aig, view, work, num_patterns=256, seed=7)
-    assert reference == accelerated
+    optimized = create_backend(backend_name).cut_truth_tables(aig, view, work, num_patterns=256, seed=7)
+    assert reference == optimized
     # Complete tables are exact: they must agree with the scalar cone walk.
     for (node, leaves), table in reference.items():
         if table is not None:
@@ -132,30 +145,31 @@ def test_batched_cut_tables_identical(spec):
 # --------------------------------------------------------------------------- #
 # Sweep passes end to end
 # --------------------------------------------------------------------------- #
+@parametrize_backend
 @pytest.mark.parametrize("pass_fn", [rewrite_pass, refactor_pass, resub_pass])
 @settings(max_examples=8, deadline=None)
 @given(spec=aig_specs)
-def test_sweep_pass_identical_across_backends(pass_fn, spec):
+def test_sweep_pass_identical_across_backends(backend_name, pass_fn, spec):
     original = random_aig(spec)
     with use_backend("reference"):
         ref_aig = original.copy()
         ref_stats = pass_fn(ref_aig, strategy="sweep")
-    with use_backend("accelerated"):
-        acc_aig = original.copy()
-        acc_stats = pass_fn(acc_aig, strategy="sweep")
-    assert _fingerprint(ref_aig) == _fingerprint(acc_aig)
-    assert ref_stats.size_after == acc_stats.size_after
-    assert ref_stats.applied == acc_stats.applied
+    with use_backend(backend_name):
+        opt_aig = original.copy()
+        opt_stats = pass_fn(opt_aig, strategy="sweep")
+    assert _fingerprint(ref_aig) == _fingerprint(opt_aig)
+    assert ref_stats.size_after == opt_stats.size_after
+    assert ref_stats.applied == opt_stats.applied
 
 
 @settings(max_examples=6, deadline=None)
-@given(aig_specs)
+@given(spec=aig_specs)
 def test_sweep_report_and_journal_identical(spec):
     from repro.synth.sweep import sweep_rewrites
 
     original = random_aig(spec)
     reports = {}
-    for name in ("reference", "accelerated"):
+    for name in ("reference",) + OPTIMIZED_BACKENDS:
         aig = original.copy()
         with use_backend(name):
             report = sweep_rewrites(aig)
@@ -166,7 +180,8 @@ def test_sweep_report_and_journal_identical(spec):
             report.conflicts,
             [(c.node, c.operation, c.gain, c.leaves) for c in report.committed],
         )
-    assert reports["reference"] == reports["accelerated"]
+    for name in OPTIMIZED_BACKENDS:
+        assert reports["reference"] == reports[name]
 
 
 # --------------------------------------------------------------------------- #
@@ -188,24 +203,25 @@ def _random_resub_case(count, num_vars, seed):
     return divisors, tables, target & mask, mask
 
 
+@parametrize_backend
 @pytest.mark.parametrize("num_vars", [5, 7])  # 1-word and 2-word tables
 @pytest.mark.parametrize(
     "count", [3, _SMALL_RESUB - 1, _SMALL_RESUB, _SMALL_RESUB + 17]
 )
-def test_resub_ops_identical_across_size_regimes(num_vars, count):
+def test_resub_ops_identical_across_size_regimes(backend_name, num_vars, count):
     reference = ReferenceBackend()
-    accelerated = AcceleratedBackend()
+    optimized = create_backend(backend_name)
     for seed in range(8):
         divisors, tables, target, mask = _random_resub_case(count, num_vars, seed)
         assert reference.resub_zero_match(
             divisors, tables, target, mask
-        ) == accelerated.resub_zero_match(divisors, tables, target, mask)
+        ) == optimized.resub_zero_match(divisors, tables, target, mask)
         ranked_ref = reference.resub_rank_divisors(divisors, tables, target, mask)
-        ranked_acc = accelerated.resub_rank_divisors(divisors, tables, target, mask)
-        assert ranked_ref == ranked_acc
+        ranked_opt = optimized.resub_rank_divisors(divisors, tables, target, mask)
+        assert ranked_ref == ranked_opt
         assert reference.resub_one_match(
             ranked_ref, tables, target, mask
-        ) == accelerated.resub_one_match(ranked_acc, tables, target, mask)
+        ) == optimized.resub_one_match(ranked_opt, tables, target, mask)
 
 
 # --------------------------------------------------------------------------- #
@@ -240,10 +256,11 @@ def _train(samples, backend, method):
     return history, weights, predictions
 
 
+@parametrize_backend
 @pytest.mark.parametrize("method", ["train", "fit"])
-def test_training_byte_identical_across_backends(training_samples, method):
+def test_training_byte_identical_across_backends(training_samples, backend_name, method):
     ref_history, ref_weights, ref_pred = _train(training_samples, "reference", method)
-    acc_history, acc_weights, acc_pred = _train(training_samples, "accelerated", method)
+    acc_history, acc_weights, acc_pred = _train(training_samples, backend_name, method)
     assert ref_history.train_loss == acc_history.train_loss
     assert ref_history.test_loss == acc_history.test_loss
     assert ref_weights == acc_weights

@@ -23,6 +23,7 @@ from repro.backend import (
     use_backend,
 )
 from repro.backend.accelerated import AcceleratedBackend
+from repro.backend.native import NativeBackend
 from repro.backend.reference import ReferenceBackend
 
 
@@ -39,6 +40,7 @@ def test_available_backends_reference_first():
     names = available_backends()
     assert names[0] == "reference"
     assert "accelerated" in names
+    assert "native" in names
 
 
 def test_create_backend_caches_instances():
@@ -65,9 +67,21 @@ def test_accelerated_constructible_without_native_deps():
 
 
 def test_auto_resolution_matches_native_availability():
-    expected = "accelerated" if AcceleratedBackend.native_available() else "reference"
+    if NativeBackend.native_available():
+        expected = "native"
+    elif AcceleratedBackend.native_available():
+        expected = "accelerated"
+    else:
+        expected = "reference"
     assert create_backend("auto").name == expected
     assert get_backend().name == expected
+
+
+def test_native_constructible_without_engines():
+    # Like the accelerated backend, construction never raises; every op is
+    # reported (with a fallback label when no compiled engine exists).
+    backend = NativeBackend()
+    assert set(backend.op_support()) >= set(OPS)
 
 
 def test_env_var_selects_backend(monkeypatch):
@@ -178,7 +192,9 @@ def test_cli_backends_json(capsys):
     assert payload["env_var"] == ENV_VAR
     assert set(payload["backends"]) == set(available_backends())
     for info in payload["backends"].values():
-        assert set(info["ops"]) == set(OPS)
+        # The native backend reports extra capabilities (whole-level cut
+        # merge) beyond the portable op vocabulary.
+        assert set(info["ops"]) >= set(OPS)
 
 
 def test_cli_backends_table(capsys):
