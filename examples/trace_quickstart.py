@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Quickstart: tracing one synthesis job end to end with ``repro.obs``.
+
+One traced job yields **one coherent trace tree** spanning every layer:
+
+1. enable the process-global tracer (``boolgebra trace`` does exactly this)
+   plus the opt-in ``cProfile`` span profiler,
+2. submit an optimize job to an in-process :class:`repro.service.SynthesisService`
+   and read its trace back through the client API (the same payload
+   ``GET /v1/trace/{job_id}`` serves over HTTP),
+3. assert the tree is coherent: a single trace id, the client / scheduler /
+   worker / pipeline / backend spans all present and parented onto each other,
+4. export the trace as Chrome-trace JSON (loadable in ``chrome://tracing`` or
+   Perfetto) and validate it round-trips,
+5. show the engine series the same job recorded in the process-wide metrics
+   registry, then print the first levels of the span tree.
+
+Run with::
+
+    python examples/trace_quickstart.py
+
+The CI ``obs-smoke`` step runs exactly this script: it is both the tutorial
+and the end-to-end health check of the observability layer.
+"""
+
+import json
+
+from repro.obs import PROFILER, REGISTRY, TRACER, chrome_trace, text_tree
+from repro.service import InProcessClient, SynthesisService
+
+SPEC = {"kind": "optimize", "design": "b08", "options": {"script": "rw; b"}}
+TREE_LINES = 30
+
+#: Span names every traced job must produce, one per layer of the stack.
+REQUIRED_SPANS = (
+    "client.submit",
+    "scheduler.queue_wait",
+    "worker.execute",
+    "pipeline.run",
+)
+
+
+def main() -> None:
+    TRACER.enable()
+    PROFILER.enabled = True  # attach cProfile top-functions to pass spans
+
+    service = SynthesisService(num_workers=1, mode="inline")
+    with InProcessClient(service, own_service=True) as client:
+        snapshot = client.submit(SPEC)
+        status = client.wait(snapshot["job_id"], timeout=300.0)
+        assert status["state"] == "done", status
+        trace = client.trace(snapshot["job_id"])
+
+    trace_id, spans = trace["trace_id"], trace["spans"]
+    assert trace_id and spans, "a traced job must record spans"
+    assert {span["trace_id"] for span in spans} == {trace_id}, "one job, one trace"
+    names = {span["name"] for span in spans}
+    for required in REQUIRED_SPANS:
+        assert required in names, f"missing {required!r} span"
+    assert any(name.startswith("pass.") for name in names), "no pipeline-pass spans"
+    assert any(name.startswith("backend.") for name in names), "no backend-op spans"
+    # Coherence: every non-root span's parent is itself a recorded span.
+    span_ids = {span["span_id"] for span in spans}
+    orphans = [
+        span["name"]
+        for span in spans
+        if span["parent_id"] is not None and span["parent_id"] not in span_ids
+    ]
+    assert not orphans, f"orphaned spans: {orphans}"
+    print(f"one job -> one trace {trace_id} ({len(spans)} spans, all parented)")
+
+    # Chrome-trace export: valid JSON, loadable in chrome://tracing / Perfetto.
+    payload = chrome_trace(spans, trace_id)
+    encoded = json.dumps(payload)
+    decoded = json.loads(encoded)
+    assert len(decoded["traceEvents"]) == len(spans)
+    assert decoded["otherData"]["trace_id"] == trace_id
+    print(f"chrome trace: {len(decoded['traceEvents'])} events, {len(encoded)} bytes of JSON")
+
+    # The profiler rode along: the hottest pass spans carry a cProfile digest.
+    profiled = sum(1 for span in spans if "profile" in span["attrs"])
+    assert profiled > 0, "--profile must attach cProfile data to pass spans"
+    print(f"profiler attached cProfile digests to {profiled} spans")
+
+    # The same job fed the process-wide metrics registry (what
+    # /v1/metrics?format=prometheus renders as *_bucket series).
+    runtime = REGISTRY.snapshot()["pass_runtime_seconds"]["series"]
+    by_pass = {row["labels"]["pass"]: row["count"] for row in runtime}
+    assert by_pass, "pipeline passes must observe pass_runtime_seconds"
+    print(
+        "pass_runtime_seconds observations: "
+        + ", ".join(f"{name}={count}" for name, count in sorted(by_pass.items()))
+    )
+
+    print()
+    lines = text_tree(spans).splitlines()
+    print("\n".join(lines[:TREE_LINES]))
+    if len(lines) > TREE_LINES:
+        print(f"... ({len(lines) - TREE_LINES} more spans)")
+
+    TRACER.reset()
+    PROFILER.enabled = False
+
+
+if __name__ == "__main__":
+    main()

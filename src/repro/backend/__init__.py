@@ -32,7 +32,15 @@ def prewarm_default_backend() -> Optional[str]:
     prewarm = getattr(backend, "prewarm", None)
     if prewarm is None:
         return None
-    return prewarm()
+    engine = prewarm()
+    # Compile-cache observability: one series point per warmed (backend,
+    # engine) pair — a cold JIT/cc build and a cache hit both count a warm.
+    from repro.obs.metrics import REGISTRY
+
+    REGISTRY.counter("backend_prewarms").labels(
+        backend=backend.name, engine=engine or "none"
+    ).inc()
+    return engine
 
 
 __all__ = [

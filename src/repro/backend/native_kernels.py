@@ -36,6 +36,13 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import REGISTRY
+
+#: Compile-cache outcomes of the cc engine: a warm ``.so`` reused vs. an
+#: actual compiler invocation — the fleet-wide "paid the compile once"
+#: invariant made visible on /v1/metrics.
+_COMPILE_CACHE = REGISTRY.counter("backend_compile_cache")
+
 #: Environment variable overriding the on-disk compile-cache directory used
 #: by both engines (numba JIT cache and the cc-built shared library).
 ENV_CACHE = "BOOLGEBRA_NATIVE_CACHE"
@@ -471,12 +478,14 @@ def build_library() -> str:
     """
     target = library_path()
     if os.path.exists(target):
+        _COMPILE_CACHE.labels(engine="cc", event="hit").inc()
         return target
     compiler = find_compiler()
     if compiler is None:
         raise RuntimeError("no C compiler (cc/gcc/clang) on PATH")
     with _BUILD_LOCK:
         if os.path.exists(target):
+            _COMPILE_CACHE.labels(engine="cc", event="hit").inc()
             return target
         directory = os.path.dirname(target)
         os.makedirs(directory, exist_ok=True)
@@ -491,6 +500,7 @@ def build_library() -> str:
                 capture_output=True,
             )
             os.replace(scratch, target)
+            _COMPILE_CACHE.labels(engine="cc", event="build").inc()
         finally:
             for leftover in (source, scratch):
                 try:

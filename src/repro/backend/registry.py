@@ -21,7 +21,9 @@ import threading
 from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional
 
-from repro.backend.api import Backend
+from repro.backend.api import OPS, Backend
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 
 #: Name of the environment variable consulted for the default backend.
 ENV_VAR = "BOOLGEBRA_BACKEND"
@@ -80,14 +82,92 @@ def create_backend(name: str) -> Backend:
     return instance
 
 
+class _TracedBackend:
+    """Span-and-counter proxy around a backend, installed only while tracing.
+
+    Every op in :data:`~repro.backend.api.OPS` is wrapped once at
+    construction: a call bumps the process-wide ``backend_op_calls`` counter
+    (and ``backend_op_fallbacks`` when the backend serves the op through a
+    degraded path), then runs under a ``backend.<op>`` span carrying the
+    resolved backend, engine and per-op implementation as attributes.
+    Everything else delegates to the wrapped instance, so the proxy is
+    drop-in wherever a :class:`Backend` is expected.  :func:`get_backend`
+    only returns the proxy while ``TRACER.enabled`` is set — the disabled
+    path pays a single attribute check.
+    """
+
+    def __init__(self, inner: Backend) -> None:
+        self._inner = inner
+        self.name = inner.name
+        try:
+            support = dict(inner.op_support())
+        except Exception:  # pragma: no cover - defensive
+            support = {}
+        engine = getattr(inner, "engine_name", None)
+        self._engine = engine() if callable(engine) else None
+        calls = REGISTRY.counter("backend_op_calls")
+        fallbacks = REGISTRY.counter("backend_op_fallbacks")
+        for op in OPS:
+            target = getattr(inner, op, None)
+            if target is None:  # pragma: no cover - incomplete backend
+                continue
+            setattr(self, op, self._wrap(op, target, support.get(op, ""), calls, fallbacks))
+
+    def _wrap(self, op, target, impl, calls, fallbacks):
+        call_counter = calls.labels(backend=self.name, op=op)
+        fallback_counter = (
+            fallbacks.labels(backend=self.name, op=op)
+            if impl.startswith("fallback:")
+            else None
+        )
+        attrs = {"backend": self.name, "op": op}
+        if impl:
+            attrs["impl"] = impl
+        if self._engine:
+            attrs["engine"] = self._engine
+        span_name = f"backend.{op}"
+
+        def traced(*args, **kwargs):
+            call_counter.inc()
+            if fallback_counter is not None:
+                fallback_counter.inc()
+            with TRACER.span(span_name, attrs=attrs):
+                return target(*args, **kwargs)
+
+        return traced
+
+    def op_support(self) -> Dict[str, str]:
+        return self._inner.op_support()
+
+    def __getattr__(self, item):
+        return getattr(self._inner, item)
+
+
+#: Cached proxies, one per wrapped backend instance (keyed by identity).
+_TRACED: Dict[int, _TracedBackend] = {}
+
+
+def _traced(backend: Backend) -> _TracedBackend:
+    if isinstance(backend, _TracedBackend):
+        return backend
+    proxy = _TRACED.get(id(backend))
+    if proxy is None:
+        with _LOCK:
+            proxy = _TRACED.get(id(backend))
+            if proxy is None:
+                proxy = _TracedBackend(backend)
+                _TRACED[id(backend)] = proxy
+    return proxy
+
+
 def get_backend() -> Backend:
     """The process-wide default backend (see module docstring for the order)."""
     if _DEFAULT is not None:
-        return _DEFAULT
+        return _traced(_DEFAULT) if TRACER.enabled else _DEFAULT
     global _RESOLVED
     if _RESOLVED is None:
         _RESOLVED = create_backend(os.environ.get(ENV_VAR) or "auto")
-    return _RESOLVED
+    return _traced(_RESOLVED) if TRACER.enabled else _RESOLVED
 
 
 def set_default_backend(name: Optional[str]) -> Backend:

@@ -48,6 +48,11 @@ everyday workflows of the library without writing Python:
     Drive a service or router URL with synthetic, Zipf-distributed
     duplicate-heavy load and print the throughput/latency report
     (see :mod:`repro.service.loadgen`).
+``trace``
+    Run one traced pipeline locally — or submit one traced job to a running
+    service/router URL — and print the span tree (or export Chrome-trace
+    JSON via ``--out``).  See :mod:`repro.obs` and the README's
+    Observability section.
 
 ``stats`` and ``benchmarks`` accept ``--json`` for machine-readable output,
 so service tooling can consume them without screen-scraping the tables.
@@ -368,10 +373,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     sys.stdout.flush()
     server.serve_forever()
     if args.report:
+        from repro.service.metrics import format_series_report
+
+        snapshot = service.metrics_snapshot()
         gauges = service.scheduler.gauges()
         gauges.update(service.pool.gauges())
         print()
         print(service.metrics.format_report(gauges))
+        print()
+        print(format_series_report(snapshot.get("series", {})))
     return 0
 
 
@@ -505,8 +515,13 @@ def _cmd_route(args: argparse.Namespace) -> int:
     sys.stdout.flush()
     server.serve_forever()
     if args.report:
+        from repro.service.metrics import format_series_report
+
         print()
         print(json.dumps(router.router_snapshot(), indent=2, sort_keys=True))
+        fleet_series = router.metrics().get("fleet", {}).get("series", {})
+        print()
+        print(format_series_report(fleet_series, title="Fleet series (all shards)"))
     return 0
 
 
@@ -533,6 +548,76 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     else:
         print(format_report(report))
     return 0 if report["failed"] == 0 else 1
+
+
+def _trace_local(args: argparse.Namespace):
+    """Run one traced pipeline in process; return ``(trace_id, spans)``."""
+    from repro.obs import TRACER
+
+    engine = Engine.load(args.design)
+    pipeline = Pipeline.parse(args.script)
+    with TRACER.span("cli.trace", attrs={"design": engine.name, "script": args.script}) as span:
+        engine.run(pipeline)
+    trace_id = span.trace_id
+    return trace_id, TRACER.spans_for(trace_id)
+
+
+def _trace_remote(args: argparse.Namespace):
+    """Submit one traced job to ``--url``; return ``(trace_id, spans)``.
+
+    The client-side ``client.submit`` span stays in the local tracer while
+    the server buffers its own spans per trace; both halves are merged here,
+    deduplicated by span id, into the one tree the trace id names.
+    """
+    from repro.obs import TRACER
+    from repro.service import HttpServiceClient, JobSpec
+
+    spec = JobSpec.from_dict(_build_job_spec(args))
+    with HttpServiceClient(args.url) as client:
+        submitted = client.submit(spec)
+        job_id = submitted["job_id"]
+        client.wait(job_id, timeout=args.result_timeout)
+        remote = client.trace(job_id)
+    trace_id = remote.get("trace_id")
+    spans = list(remote.get("spans") or [])
+    if trace_id is not None:
+        seen = {span.get("span_id") for span in spans}
+        spans.extend(
+            span
+            for span in TRACER.spans_for(trace_id)
+            if span.get("span_id") not in seen
+        )
+    return trace_id, spans
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import PROFILER, TRACER, chrome_trace, text_tree
+
+    if args.profile:
+        PROFILER.enabled = True
+    TRACER.enable()
+    try:
+        if args.url:
+            trace_id, spans = _trace_remote(args)
+        else:
+            trace_id, spans = _trace_local(args)
+    finally:
+        TRACER.reset()
+        if args.profile:
+            PROFILER.enabled = False
+    if trace_id is None or not spans:
+        print("error: no spans were recorded for this job", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="ascii") as handle:
+            json.dump(chrome_trace(spans, trace_id), handle)
+        print(f"wrote {args.out} ({len(spans)} spans, trace {trace_id})")
+    if args.json:
+        print(json.dumps({"trace_id": trace_id, "spans": spans}, sort_keys=True))
+    elif not args.out:
+        print(f"trace {trace_id} ({len(spans)} spans)")
+        print(text_tree(spans))
+    return 0
 
 
 # --------------------------------------------------------------------------- #
@@ -765,6 +850,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the machine-readable report"
     )
     loadgen.set_defaults(handler=_cmd_loadgen)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run one traced pipeline (or traced remote job) and export its span tree",
+    )
+    trace.add_argument("design", help="netlist path or benchmark name")
+    trace.add_argument(
+        "--script",
+        "-s",
+        default="rw; rs; rf",
+        help="pass script to trace (local runs and optimize jobs)",
+    )
+    trace.add_argument(
+        "--kind",
+        choices=["optimize", "sample", "orchestrate", "flow"],
+        default="optimize",
+        help="with --url: job kind to submit",
+    )
+    trace.add_argument(
+        "--option",
+        "-O",
+        action="append",
+        help="kind-specific option as key=value (value parsed as JSON when possible); "
+        "repeatable",
+    )
+    trace.add_argument("--priority", type=int, default=0)
+    trace.add_argument("--timeout", type=float, help="per-job timeout in seconds")
+    trace.add_argument(
+        "--url",
+        help="submit the job to this service/router URL and collect the distributed "
+        "trace (omitted: run the pipeline in process)",
+    )
+    trace.add_argument(
+        "--result-timeout", type=float, default=600.0, help="seconds to wait for the job"
+    )
+    trace.add_argument("--out", "-o", help="write Chrome-trace JSON here (chrome://tracing)")
+    trace.add_argument(
+        "--json", action="store_true", help="print the raw span list as JSON"
+    )
+    trace.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach per-span cProfile summaries (local runs; see BOOLGEBRA_PROFILE)",
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or wipe the learning-pipeline artifact store"

@@ -29,6 +29,7 @@ from typing import Any, ClassVar, Dict, List, Optional, Sequence, Union
 
 from repro.aig.aig import Aig
 from repro.backend import get_backend, prewarm_default_backend, set_default_backend
+from repro.obs.trace import TRACER
 from repro.orchestration.decision import DecisionVector
 from repro.orchestration.orchestrate import orchestrate
 from repro.orchestration.sampling import SampleRecord
@@ -111,9 +112,13 @@ def _init_worker(
     aig_bytes: bytes,
     params: Optional[OperationParams],
     backend_name: Optional[str] = None,
+    traceparent: Optional[str] = None,
 ) -> None:
     from repro.aig.kernels import cached_topological_order
 
+    # Adopt the parent's trace context for the lifetime of this worker, so
+    # backend-op spans recorded here land in the caller's trace once shipped.
+    TRACER.adopt(traceparent)
     if backend_name is not None:
         # Propagate the parent's compute backend: process-local selections
         # (``use_backend`` / ``FlowConfig.backend``) do not travel with the
@@ -201,7 +206,12 @@ class ProcessPoolEvaluator(Evaluator):
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(pickle.dumps(aig), params, get_backend().name),
+                initargs=(
+                    pickle.dumps(aig),
+                    params,
+                    get_backend().name,
+                    TRACER.current_traceparent() if TRACER.enabled else None,
+                ),
             ) as executor:
                 # executor.map preserves submission order: the concatenation
                 # below is index-aligned with ``decision_vectors``.

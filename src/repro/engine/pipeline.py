@@ -21,9 +21,15 @@ from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.aig.aig import Aig
 from repro.engine.registry import Pass, PassError, get_pass
+from repro.obs.metrics import REGISTRY
+from repro.obs.profile import PROFILER
+from repro.obs.trace import TRACER
 from repro.synth.scripts import PassStats
 
 _SEPARATORS = re.compile(r"[;,\n]+")
+
+#: Per-pass runtime histogram (process-wide; served via /v1/metrics).
+_PASS_RUNTIME = REGISTRY.histogram("pass_runtime_seconds")
 
 
 @dataclass
@@ -147,7 +153,25 @@ class Pipeline:
         size_before = aig.size
         depth_before = aig.depth()
         start = time.perf_counter()
-        stats = [p.run(aig) for p in self.passes]
+        if TRACER.enabled:
+            stats = []
+            with TRACER.span(
+                "pipeline.run", attrs={"design": aig.name, "script": self.script()}
+            ):
+                for p in self.passes:
+                    with TRACER.span(f"pass.{p.name}", attrs={"design": aig.name}) as span:
+                        with PROFILER.profile(span):
+                            pass_stats = p.run(aig)
+                        span.set("size_before", pass_stats.size_before)
+                        span.set("size_after", pass_stats.size_after)
+                        span.set("applied", pass_stats.applied)
+                    stats.append(pass_stats)
+        else:
+            stats = [p.run(aig) for p in self.passes]
+        for pass_stats in stats:
+            _PASS_RUNTIME.labels(**{"pass": pass_stats.name}).observe(
+                pass_stats.runtime_seconds
+            )
         report = PipelineReport(
             design=aig.name,
             size_before=size_before,

@@ -1,0 +1,54 @@
+"""Unified observability for the boolgebra stack — stdlib only.
+
+Three pillars, one package:
+
+* :mod:`repro.obs.trace` — span tracing with W3C ``traceparent``
+  propagation across threads, worker processes and HTTP hops.  The
+  process-global :data:`~repro.obs.trace.TRACER` is disabled by default
+  and every instrumentation site is guarded by one attribute check
+  (``TRACER.enabled``), so the cost of a disabled tracer is a branch.
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  (counters, gauges, fixed-bucket histograms) that the engine, backends,
+  artifact store and service all register series into; snapshots are
+  plain JSON and merge across processes (worker pools ship theirs back
+  with results).
+* :mod:`repro.obs.logs` / :mod:`repro.obs.profile` — a JSON-lines
+  logger that stamps trace/span ids onto every record, and an opt-in
+  per-span ``cProfile`` sampler (``BOOLGEBRA_PROFILE=1`` or
+  ``--profile``).
+
+Traces export as Chrome-trace/Perfetto JSON and as an indented text tree
+(:mod:`repro.obs.export`); metrics serve through the service's
+``/v1/metrics?format=prometheus`` endpoint with per-shard labels.
+"""
+
+from repro.obs.export import chrome_trace, text_tree
+from repro.obs.logs import LOGGER, JsonLogger
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, REGISTRY, MetricsRegistry
+from repro.obs.profile import PROFILER, SpanProfiler
+from repro.obs.trace import (
+    TRACEPARENT_HEADER,
+    TRACER,
+    Span,
+    Tracer,
+    format_traceparent,
+    parse_traceparent,
+)
+
+__all__ = [
+    "TRACEPARENT_HEADER",
+    "TRACER",
+    "Span",
+    "Tracer",
+    "format_traceparent",
+    "parse_traceparent",
+    "DEFAULT_TIME_BUCKETS",
+    "REGISTRY",
+    "MetricsRegistry",
+    "LOGGER",
+    "JsonLogger",
+    "PROFILER",
+    "SpanProfiler",
+    "chrome_trace",
+    "text_tree",
+]

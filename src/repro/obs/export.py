@@ -1,0 +1,93 @@
+"""Trace exporters: Chrome-trace/Perfetto JSON and an indented text tree."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+SpanLike = Union[Dict[str, Any], Any]
+
+
+def _as_dicts(spans: Iterable[SpanLike]) -> List[Dict[str, Any]]:
+    dicts = []
+    for span in spans or ():
+        dicts.append(span if isinstance(span, dict) else span.to_dict())
+    return dicts
+
+
+def chrome_trace(spans: Iterable[SpanLike], trace_id: Optional[str] = None) -> Dict[str, Any]:
+    """Render spans as a Chrome-trace (``chrome://tracing`` / Perfetto) dict.
+
+    Complete events (``ph: "X"``) with microsecond timestamps; the worker
+    pid doubles as both ``pid`` and ``tid`` so cross-process spans land in
+    separate tracks.  Span/parent ids and attributes ride in ``args``.
+    """
+    events = []
+    for span in _as_dicts(spans):
+        start = float(span.get("start", 0.0))
+        end = float(span.get("end", start))
+        args = dict(span.get("attrs") or {})
+        args["trace_id"] = span.get("trace_id")
+        args["span_id"] = span.get("span_id")
+        if span.get("parent_id"):
+            args["parent_id"] = span["parent_id"]
+        events.append(
+            {
+                "name": span.get("name", "?"),
+                "cat": "boolgebra",
+                "ph": "X",
+                "ts": start * 1e6,
+                "dur": max(0.0, end - start) * 1e6,
+                "pid": int(span.get("pid", 0)),
+                "tid": int(span.get("pid", 0)),
+                "args": args,
+            }
+        )
+    payload: Dict[str, Any] = {
+        "traceEvents": sorted(events, key=lambda event: event["ts"]),
+        "displayTimeUnit": "ms",
+    }
+    if trace_id:
+        payload["otherData"] = {"trace_id": trace_id}
+    return payload
+
+
+def text_tree(spans: Iterable[SpanLike]) -> str:
+    """An indented tree of the spans, one line each, for terminals.
+
+    Orphans (spans whose parent was dropped or lives in an unfetched
+    process) are promoted to roots rather than hidden.
+    """
+    dicts = _as_dicts(spans)
+    if not dicts:
+        return "(no spans)"
+    by_id = {span["span_id"]: span for span in dicts if span.get("span_id")}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    roots: List[Dict[str, Any]] = []
+    for span in dicts:
+        parent = span.get("parent_id")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    lines: List[str] = []
+
+    def render(span: Dict[str, Any], depth: int) -> None:
+        start = float(span.get("start", 0.0))
+        end = float(span.get("end", start))
+        duration_ms = max(0.0, end - start) * 1e3
+        attrs = span.get("attrs") or {}
+        detail = " ".join(
+            f"{key}={value}" for key, value in sorted(attrs.items()) if key != "profile"
+        )
+        line = f"{'  ' * depth}{span.get('name', '?')}  {duration_ms:.1f}ms"
+        if detail:
+            line += f"  [{detail}]"
+        lines.append(line)
+        for child in sorted(
+            children.get(span.get("span_id"), []), key=lambda s: s.get("start", 0.0)
+        ):
+            render(child, depth + 1)
+
+    for root in sorted(roots, key=lambda s: s.get("start", 0.0)):
+        render(root, 0)
+    return "\n".join(lines)

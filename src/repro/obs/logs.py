@@ -1,0 +1,64 @@
+"""Structured JSON-lines logging with trace/span ids attached.
+
+Disabled by default (one attribute check per call site); enable with
+``LOGGER.enable()`` or ``BOOLGEBRA_LOG_JSON=1``.  Every record is one JSON
+object per line with a wall-clock timestamp, the event name, the caller's
+fields, and — when a trace is active on the calling thread — the current
+``trace_id``/``span_id``, so logs join against exported traces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, IO, Optional
+
+from repro.obs.trace import TRACER
+
+
+class JsonLogger:
+    """A line-per-record JSON logger; safe to call from any thread."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._stream: Optional[IO[str]] = None
+        self._lock = threading.Lock()
+
+    def enable(self, stream: Optional[IO[str]] = None) -> None:
+        self._stream = stream
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+        self._stream = None
+
+    def log(self, event: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        record = {"ts": time.time(), "event": event}
+        context = TRACER.current()
+        if context is not None:
+            record["trace_id"] = context.trace_id
+            record["span_id"] = context.span_id
+        record.update(fields)
+        try:
+            line = json.dumps(record, sort_keys=True, default=str)
+        except (TypeError, ValueError):  # pragma: no cover - defensive
+            line = json.dumps({"ts": record["ts"], "event": event, "error": "unserializable"})
+        stream = self._stream or sys.stderr
+        with self._lock:
+            stream.write(line + "\n")
+            try:
+                stream.flush()
+            except (OSError, ValueError):  # pragma: no cover - closed stream
+                pass
+
+
+#: The process-global logger; instrumentation calls ``LOGGER.log(...)``.
+LOGGER = JsonLogger()
+
+if os.environ.get("BOOLGEBRA_LOG_JSON", "") == "1":  # pragma: no cover - env opt-in
+    LOGGER.enable()

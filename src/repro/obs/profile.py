@@ -1,0 +1,76 @@
+"""Opt-in per-span profiling: attach cProfile summaries to hot spans.
+
+Off by default; turn on with ``BOOLGEBRA_PROFILE=1`` or ``--profile`` (the
+CLI calls :meth:`SpanProfiler.enable`).  When enabled, wrapping a span in
+``PROFILER.profile(span)`` runs the block under :mod:`cProfile` and stores
+the top functions by cumulative time in the span's ``profile`` attribute,
+so the trace tree shows *why* its hottest spans are hot.  Profiling never
+nests (a thread-local guard skips inner spans) and a disabled profiler
+costs one attribute check.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Any, Iterator, List
+
+from repro.obs.trace import NULL_SPAN
+
+
+class SpanProfiler:
+    """Per-span cProfile wrapper with a no-nesting thread-local guard."""
+
+    def __init__(self, top: int = 5) -> None:
+        self.enabled = os.environ.get("BOOLGEBRA_PROFILE", "") == "1"
+        self.top = top
+        self._local = threading.local()
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    @contextlib.contextmanager
+    def profile(self, span: Any) -> Iterator[None]:
+        if (
+            not self.enabled
+            or span is NULL_SPAN
+            or getattr(self._local, "active", False)
+        ):
+            yield
+            return
+        import cProfile
+
+        self._local.active = True
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            yield
+        finally:
+            profiler.disable()
+            self._local.active = False
+            try:
+                span.set("profile", self._summary(profiler))
+            except Exception:  # pragma: no cover - profiling must never break work
+                pass
+
+    def _summary(self, profiler: "Any") -> List[str]:
+        """Top-N functions by cumulative time, as compact printable strings."""
+        import pstats
+
+        stats = pstats.Stats(profiler)
+        rows = []
+        for (filename, lineno, function), (cc, nc, tt, ct, _callers) in stats.stats.items():
+            rows.append((ct, tt, nc, f"{os.path.basename(filename)}:{lineno}:{function}"))
+        rows.sort(reverse=True)
+        return [
+            f"cum={ct:.4f}s tot={tt:.4f}s calls={nc} {where}"
+            for ct, tt, nc, where in rows[: self.top]
+        ]
+
+
+#: The process-global profiler; pair with spans via ``PROFILER.profile(span)``.
+PROFILER = SpanProfiler()

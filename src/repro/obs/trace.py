@@ -1,0 +1,385 @@
+"""Span tracing with W3C ``traceparent`` propagation — stdlib only.
+
+One process-global :data:`TRACER` holds everything: the current span is a
+:mod:`contextvars` variable (correct under both threads and asyncio), and
+finished spans land in a bounded per-trace buffer that the service layer
+serves through ``GET /v1/trace/{job_id}``.
+
+The tracer is **disabled by default** and every hot instrumentation site
+guards on the single ``TRACER.enabled`` attribute; a disabled tracer costs
+one attribute load + branch, which the gated ``obs_overhead`` benchmark
+keeps under 2% of ``pass_sweep``.  Tracing turns on in three ways:
+
+* explicitly — ``TRACER.enable()`` (the ``boolgebra trace`` CLI does this);
+* per incoming request — :meth:`Tracer.activate` parses a ``traceparent``
+  header and enables the tracer for the duration of the block, so a traced
+  job traces through an otherwise-untraced server;
+* per worker process — :meth:`Tracer.adopt` installs a remote parent as
+  the ambient context (pool initializers call it with the parent's id).
+
+Cross-hop context travels as the W3C header ``00-<trace>-<span>-01``
+(32-hex trace id, 16-hex span id); :func:`format_traceparent` /
+:func:`parse_traceparent` are deliberately strict about the shape and
+lenient about everything else.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: HTTP header carrying the trace context (lower-case; http.client sends as-is).
+TRACEPARENT_HEADER = "traceparent"
+
+_VERSION = "00"
+_FLAGS = "01"  # sampled
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-digit (128-bit) trace id."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-digit (64-bit) span id."""
+    return os.urandom(8).hex()
+
+
+def format_traceparent(trace_id: str, span_id: str) -> str:
+    """Render a W3C ``traceparent`` header value."""
+    return f"{_VERSION}-{trace_id}-{span_id}-{_FLAGS}"
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[Tuple[str, str]]:
+    """``(trace_id, span_id)`` of a well-formed header, else ``None``.
+
+    Malformed values never raise — an unparseable header simply means the
+    request is untraced, exactly like a missing one.
+    """
+    if not header or not isinstance(header, str):
+        return None
+    parts = header.strip().lower().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, _flags = parts
+    if version != _VERSION or len(trace_id) != 32 or len(span_id) != 16:
+        return None
+    try:
+        int(trace_id, 16)
+        int(span_id, 16)
+    except ValueError:
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return trace_id, span_id
+
+
+class _RemoteParent:
+    """The context installed by :meth:`Tracer.activate` — ids only, no span."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+
+class Span:
+    """One timed operation.  Context manager; record via ``with TRACER.span(...)``."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "attrs",
+        "pid",
+        "_tracer",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start: float,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.pid = os.getpid()
+        self._tracer: Optional["Tracer"] = None
+        self._token = None
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute (the no-op twin on :data:`NULL_SPAN` is free)."""
+        self.attrs[key] = value
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, (self.end if self.end is not None else self.start) - self.start)
+
+    def traceparent(self) -> str:
+        """Header value that makes this span the parent of downstream work."""
+        return format_traceparent(self.trace_id, self.span_id)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end if self.end is not None else self.start,
+            "pid": self.pid,
+            "attrs": dict(self.attrs),
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "Span":
+        span = Span(
+            name=str(payload.get("name", "?")),
+            trace_id=str(payload.get("trace_id", "")),
+            span_id=str(payload.get("span_id", "")),
+            parent_id=payload.get("parent_id"),
+            start=float(payload.get("start", 0.0)),
+            attrs=payload.get("attrs") or {},
+        )
+        span.end = float(payload.get("end", span.start))
+        span.pid = int(payload.get("pid", 0))
+        return span
+
+    # Context-manager protocol ------------------------------------------- #
+    def __enter__(self) -> "Span":
+        if self._tracer is not None:
+            self._token = self._tracer._stack.set(self)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.end = time.time()
+        if exc_info[0] is not None:
+            self.attrs.setdefault("error", exc_info[0].__name__)
+        tracer = self._tracer
+        if tracer is not None:
+            if self._token is not None:
+                tracer._stack.reset(self._token)
+                self._token = None
+            tracer._record(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, trace={self.trace_id[:8]}, {self.duration * 1e3:.2f}ms)"
+
+
+class _NullSpan:
+    """Returned by ``TRACER.span`` while disabled: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def traceparent(self) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Contextvar-scoped span tracer with a bounded per-trace buffer.
+
+    ``enabled`` is a plain attribute on purpose: instrumentation sites guard
+    with ``if TRACER.enabled:`` and pay nothing else while tracing is off.
+    The effective value is ``explicit enable OR any live activation`` and is
+    recomputed only on those (cold) transitions.
+    """
+
+    def __init__(self, max_traces: int = 64, max_spans_per_trace: int = 4096) -> None:
+        self.enabled: bool = False
+        self.max_traces = max_traces
+        self.max_spans_per_trace = max_spans_per_trace
+        self.dropped = 0
+        self._explicit = False
+        self._activations = 0
+        self._lock = threading.Lock()
+        self._buffers: "OrderedDict[str, List[Span]]" = OrderedDict()
+        self._stack: "contextvars.ContextVar[Optional[Any]]" = contextvars.ContextVar(
+            "boolgebra_current_span", default=None
+        )
+
+    # Enable / disable ---------------------------------------------------- #
+    def _recompute_locked(self) -> None:
+        self.enabled = self._explicit or self._activations > 0
+
+    def enable(self) -> None:
+        with self._lock:
+            self._explicit = True
+            self._recompute_locked()
+
+    def disable(self) -> None:
+        with self._lock:
+            self._explicit = False
+            self._recompute_locked()
+
+    def reset(self) -> None:
+        """Disable, drop every buffered trace and clear the ambient context."""
+        with self._lock:
+            self._explicit = False
+            self._activations = 0
+            self._recompute_locked()
+            self._buffers.clear()
+            self.dropped = 0
+        self._stack.set(None)
+
+    # Context ------------------------------------------------------------- #
+    def current(self) -> Optional[Any]:
+        """The active span (or remote parent) of this thread/task, if any."""
+        return self._stack.get()
+
+    def current_traceparent(self) -> Optional[str]:
+        context = self._stack.get()
+        if context is None:
+            return None
+        return format_traceparent(context.trace_id, context.span_id)
+
+    @contextlib.contextmanager
+    def activate(self, traceparent: Optional[str]) -> Iterator[Optional[_RemoteParent]]:
+        """Adopt a remote parent for the duration of the block.
+
+        Enables the tracer while active, so a traced request traces through
+        an otherwise-untraced process.  An absent or malformed header yields
+        ``None`` and changes nothing — callers wrap unconditionally.
+        """
+        parsed = parse_traceparent(traceparent)
+        if parsed is None:
+            yield None
+            return
+        remote = _RemoteParent(*parsed)
+        token = self._stack.set(remote)
+        with self._lock:
+            self._activations += 1
+            self._recompute_locked()
+        try:
+            yield remote
+        finally:
+            self._stack.reset(token)
+            with self._lock:
+                self._activations -= 1
+                self._recompute_locked()
+
+    def adopt(self, traceparent: Optional[str]) -> bool:
+        """Permanently install a remote parent (process-pool initializers)."""
+        parsed = parse_traceparent(traceparent)
+        if parsed is None:
+            return False
+        self._stack.set(_RemoteParent(*parsed))
+        self.enable()
+        return True
+
+    # Span creation ------------------------------------------------------- #
+    def span(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        """A context-manager span; the free :data:`NULL_SPAN` while disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        parent = self._stack.get()
+        if parent is None:
+            trace_id, parent_id = new_trace_id(), None
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        span = Span(name, trace_id, new_span_id(), parent_id, time.time(), attrs)
+        span._tracer = self
+        return span
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        attrs: Optional[Dict[str, Any]] = None,
+        traceparent: Optional[str] = None,
+    ) -> Optional[Span]:
+        """Record a retroactive span (e.g. queue wait, measured after the fact).
+
+        Parents at ``traceparent`` when given, else at the current context;
+        returns ``None`` (recording nothing) when neither yields a trace.
+        """
+        parsed = parse_traceparent(traceparent) if traceparent else None
+        if parsed is not None:
+            trace_id, parent_id = parsed
+        else:
+            context = self._stack.get() if self.enabled else None
+            if context is None:
+                return None
+            trace_id, parent_id = context.trace_id, context.span_id
+        span = Span(name, trace_id, new_span_id(), parent_id, start, attrs)
+        span.end = end
+        self._record(span)
+        return span
+
+    # Buffering ----------------------------------------------------------- #
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            buffer = self._buffers.get(span.trace_id)
+            if buffer is None:
+                while len(self._buffers) >= self.max_traces:
+                    self._buffers.popitem(last=False)
+                buffer = self._buffers[span.trace_id] = []
+            if len(buffer) >= self.max_spans_per_trace:
+                self.dropped += 1
+                return
+            buffer.append(span)
+
+    def ingest(self, span_dicts: Iterable[Dict[str, Any]]) -> int:
+        """Absorb spans shipped from another process (worker results)."""
+        count = 0
+        for payload in span_dicts or ():
+            try:
+                span = Span.from_dict(payload)
+            except (AttributeError, TypeError, ValueError):
+                continue
+            if not span.trace_id:
+                continue
+            self._record(span)
+            count += 1
+        return count
+
+    def spans_for(self, trace_id: Optional[str]) -> List[Dict[str, Any]]:
+        """Buffered spans of one trace, as JSON-ready dicts (copy)."""
+        if not trace_id:
+            return []
+        with self._lock:
+            buffer = self._buffers.get(trace_id, ())
+            return [span.to_dict() for span in buffer]
+
+    def drain(self, trace_id: Optional[str]) -> List[Dict[str, Any]]:
+        """Pop one trace's spans out of the buffer (worker → parent shipping)."""
+        if not trace_id:
+            return []
+        with self._lock:
+            buffer = self._buffers.pop(trace_id, ())
+            return [span.to_dict() for span in buffer]
+
+
+#: The process-global tracer every instrumentation site guards on.
+TRACER = Tracer()

@@ -33,6 +33,7 @@ import json
 from typing import Dict, Optional, Tuple, Union
 from urllib.parse import urlsplit
 
+from repro.obs.trace import TRACEPARENT_HEADER, TRACER
 from repro.service.client import TransportError, raise_for_error
 from repro.service.api import versioned
 from repro.service.jobs import JobSpec
@@ -86,11 +87,17 @@ class AsyncServiceClient:
         """One HTTP round trip; returns ``(status, parsed JSON body)``."""
         self.transport_stats["requests"] += 1
         body = b"" if payload is None else json.dumps(payload).encode("ascii")
+        trace_header = ""
+        if TRACER.enabled:
+            traceparent = TRACER.current_traceparent()
+            if traceparent is not None:
+                trace_header = f"{TRACEPARENT_HEADER}: {traceparent}\r\n"
         request = (
             f"{method} {self._path_prefix}{path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             "Connection: close\r\n"
             "Content-Type: application/json\r\n"
+            f"{trace_header}"
             f"Content-Length: {len(body)}\r\n"
             "\r\n"
         ).encode("ascii") + body
@@ -190,10 +197,17 @@ class AsyncServiceClient:
     async def submit(self, spec: Union[Dict, JobSpec]) -> Dict:
         """Submit a job; return its status snapshot (with ``job_id``)."""
         payload = spec.to_dict() if isinstance(spec, JobSpec) else spec
-        return await self._checked("POST", versioned("/submit"), payload)
+        if not TRACER.enabled:
+            return await self._checked("POST", versioned("/submit"), payload)
+        with TRACER.span("client.submit", attrs={"url": self.base_url}):
+            return await self._checked("POST", versioned("/submit"), payload)
 
     async def status(self, job_id: str) -> Dict:
         return await self._checked("GET", versioned(f"/status/{job_id}"), hedge=True)
+
+    async def trace(self, job_id: str) -> Dict:
+        """The server-side spans of the trace that submitted ``job_id``."""
+        return await self._checked("GET", versioned(f"/trace/{job_id}"))
 
     async def wait(self, job_id: str, timeout: Optional[float] = None) -> Dict:
         """Long-poll until the job is terminal; return its final snapshot."""

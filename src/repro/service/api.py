@@ -113,6 +113,10 @@ class ServiceClient(Protocol):
         Block until done and return the canonical result payload; raises
         :class:`~repro.service.client.JobFailedError` for failed/cancelled
         jobs and :class:`TimeoutError` on expiry.
+    ``trace(job_id) -> {"job_id", "trace_id", "spans"}``
+        The spans buffered server-side for the trace that submitted the job
+        (``GET /v1/trace/{job_id}``); an untraced job yields a ``None``
+        trace id and an empty span list.
     ``metrics() -> snapshot``
         The service (or fleet) metrics snapshot.
     ``healthz() -> bool``
@@ -129,6 +133,8 @@ class ServiceClient(Protocol):
     def wait(self, job_id: str, timeout: Optional[float] = None) -> Dict: ...
 
     def result(self, job_id: str, timeout: Optional[float] = 120.0) -> Dict: ...
+
+    def trace(self, job_id: str) -> Dict: ...
 
     def metrics(self) -> Dict: ...
 

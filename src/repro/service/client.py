@@ -2,8 +2,9 @@
 in-process.
 
 Both implement the one :class:`~repro.service.api.ServiceClient` protocol —
-``submit`` / ``status`` / ``wait`` / ``result`` / ``metrics`` / ``healthz``
-plus context-manager lifecycle — so call sites (CLI, examples, tests, the
+``submit`` / ``status`` / ``wait`` / ``result`` / ``trace`` / ``metrics`` /
+``healthz`` plus context-manager lifecycle — so call sites (CLI, examples,
+tests, the
 cluster router) can swap transports freely.  The ``asyncio`` transport lives
 in :mod:`repro.service.aio`.
 
@@ -29,6 +30,7 @@ import urllib.error
 import urllib.request
 from typing import Dict, Optional, Union
 
+from repro.obs.trace import TRACEPARENT_HEADER, TRACER
 from repro.service.api import error_fields, error_payload, versioned
 from repro.service.jobs import JobSpec
 from repro.service.scheduler import QueueFull, UnknownJob
@@ -112,11 +114,16 @@ class HttpServiceClient:
 
     # Transport ---------------------------------------------------------- #
     def _request(self, method: str, path: str, payload: Optional[Dict] = None):
+        headers = {"Content-Type": "application/json"}
+        if TRACER.enabled:
+            traceparent = TRACER.current_traceparent()
+            if traceparent is not None:
+                headers[TRACEPARENT_HEADER] = traceparent
         request = urllib.request.Request(
             self.base_url + path,
             method=method,
             data=None if payload is None else json.dumps(payload).encode("ascii"),
-            headers={"Content-Type": "application/json"},
+            headers=headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.request_timeout) as response:
@@ -137,10 +144,19 @@ class HttpServiceClient:
     # API ---------------------------------------------------------------- #
     def submit(self, spec: Union[Dict, JobSpec]) -> Dict:
         """Submit a job; return its status snapshot (with ``job_id``)."""
-        return self._checked("POST", versioned("/submit"), _as_spec_dict(spec))
+        if not TRACER.enabled:
+            return self._checked("POST", versioned("/submit"), _as_spec_dict(spec))
+        # The span goes onto the context stack, so _request injects it as
+        # the traceparent header — the whole cross-hop propagation in one line.
+        with TRACER.span("client.submit", attrs={"url": self.base_url}):
+            return self._checked("POST", versioned("/submit"), _as_spec_dict(spec))
 
     def status(self, job_id: str) -> Dict:
         return self._checked("GET", versioned(f"/status/{job_id}"))
+
+    def trace(self, job_id: str) -> Dict:
+        """The server-side spans of the trace that submitted ``job_id``."""
+        return self._checked("GET", versioned(f"/trace/{job_id}"))
 
     def wait(self, job_id: str, timeout: Optional[float] = None) -> Dict:
         """Long-poll ``/v1/status`` until the job is terminal; return its snapshot."""
@@ -231,6 +247,9 @@ class InProcessClient:
         try:
             if not isinstance(spec, JobSpec):
                 spec = JobSpec.from_dict(spec)
+            if TRACER.enabled:
+                with TRACER.span("client.submit", attrs={"url": "in-process"}):
+                    return self.service.submit(spec).snapshot()
             return self.service.submit(spec).snapshot()
         except QueueFull as error:
             raise BackpressureError(
@@ -243,6 +262,14 @@ class InProcessClient:
     def status(self, job_id: str) -> Dict:
         try:
             return self.service.status(job_id)
+        except UnknownJob as error:
+            raise ServiceError(
+                404, error_payload("not_found", str(error), job_id)
+            ) from None
+
+    def trace(self, job_id: str) -> Dict:
+        try:
+            return self.service.trace(job_id)
         except UnknownJob as error:
             raise ServiceError(
                 404, error_payload("not_found", str(error), job_id)

@@ -46,6 +46,8 @@ import threading
 import time
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACEPARENT_HEADER, TRACER
 from repro.service.api import error_payload, versioned
 from repro.service.client import (
     HttpServiceClient,
@@ -99,7 +101,7 @@ class Router:
     ``shards`` maps shard names to base URLs (a plain iterable of URLs gets
     ``shard-0`` … ``shard-N-1`` names).  The router is itself a
     ``ServiceClient``: ``submit`` / ``status`` / ``wait`` / ``result`` /
-    ``metrics`` / ``healthz`` plus context-manager lifecycle.
+    ``trace`` / ``metrics`` / ``healthz`` plus context-manager lifecycle.
     """
 
     def __init__(
@@ -258,18 +260,22 @@ class Router:
             raise ServiceError(400, error_payload("bad_request", str(error))) from None
         spec_dict = spec.to_dict()
         last_error: Optional[ServiceError] = None
-        for shard in self._preference(key):
-            try:
-                snapshot = shard.client.submit(spec_dict)
-            except TransportError as error:
-                self._mark_down(shard)
-                last_error = error
-                with self._lock:
-                    self._counters["retries"] += 1
-                continue
-            self._record_route(snapshot["job_id"], shard, spec_dict, key)
-            snapshot["shard"] = shard.name
-            return snapshot
+        # NULL_SPAN while untraced; a real span parents the shard hop (the
+        # shard client injects the span's traceparent into its request).
+        with TRACER.span("router.submit", attrs={"kind": spec.kind}) as span:
+            for shard in self._preference(key):
+                try:
+                    snapshot = shard.client.submit(spec_dict)
+                except TransportError as error:
+                    self._mark_down(shard)
+                    last_error = error
+                    with self._lock:
+                        self._counters["retries"] += 1
+                    continue
+                self._record_route(snapshot["job_id"], shard, spec_dict, key)
+                snapshot["shard"] = shard.name
+                span.set("shard", shard.name)
+                return snapshot
         raise last_error or TransportError("no healthy shards")
 
     def _resubmit(self, job_id: str, route: _Route) -> _Shard:
@@ -278,21 +284,25 @@ class Router:
         Deterministic job ids + pure execution make this transparent: the new
         shard computes the same ``job_id`` and a byte-identical payload.
         """
-        for shard in self._preference(route.key):
-            if shard.name == route.shard:
-                continue
-            try:
-                shard.client.submit(route.spec_dict)
-            except TransportError:
-                self._mark_down(shard)
-                continue
-            with self._lock:
-                route.shard = shard.name
-                self._counters["failovers"] += 1
-                shard.jobs_routed += 1
-                shard.failovers_absorbed += 1
-            return shard
-        raise TransportError(f"no healthy shard left for job {job_id}")
+        with TRACER.span(
+            "router.failover", attrs={"job_id": job_id, "from": route.shard}
+        ) as span:
+            for shard in self._preference(route.key):
+                if shard.name == route.shard:
+                    continue
+                try:
+                    shard.client.submit(route.spec_dict)
+                except TransportError:
+                    self._mark_down(shard)
+                    continue
+                with self._lock:
+                    route.shard = shard.name
+                    self._counters["failovers"] += 1
+                    shard.jobs_routed += 1
+                    shard.failovers_absorbed += 1
+                span.set("to", shard.name)
+                return shard
+            raise TransportError(f"no healthy shard left for job {job_id}")
 
     def _with_route(self, job_id: str, call):
         """Run ``call(client)`` against the job's shard, failing over as needed."""
@@ -318,6 +328,24 @@ class Router:
 
     def status(self, job_id: str) -> Dict:
         return self._with_route(job_id, lambda client: client.status(job_id))
+
+    def trace(self, job_id: str) -> Dict:
+        """One coherent trace: the shard's spans plus the router's own.
+
+        The shard serves the spans it buffered for the job's trace; the
+        router appends its ``router.submit`` / ``router.failover`` spans for
+        the same trace id, deduplicated by span id.
+        """
+        payload = self._with_route(job_id, lambda client: client.trace(job_id))
+        trace_id = payload.get("trace_id")
+        spans = list(payload.get("spans") or [])
+        if trace_id:
+            seen = {span.get("span_id") for span in spans}
+            for span in TRACER.spans_for(trace_id):
+                if span.get("span_id") not in seen:
+                    spans.append(span)
+        payload["spans"] = spans
+        return payload
 
     def wait(self, job_id: str, timeout: Optional[float] = None) -> Dict:
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -416,10 +444,18 @@ class Router:
             + fleet_counters.get("store_hits", 0)
             + fleet_counters.get("memory_hits", 0)
         )
+        fleet_series = MetricsRegistry.merge_snapshots(
+            [
+                snapshot.get("series", {})
+                for snapshot in snapshots.values()
+                if snapshot is not None
+            ]
+        )
         return {
             "fleet": {
                 "counters": fleet_counters,
                 "gauges": fleet_gauges,
+                "series": fleet_series,
                 "coalesce_rate": (fleet_counters.get("coalesced", 0) / submitted)
                 if submitted
                 else 0.0,
@@ -459,15 +495,22 @@ class _RouterRequestHandler(JsonRequestHandler):
         except ValueError as error:
             self._send_error(400, "bad_request", str(error))
             return
-        try:
-            snapshot = self.router.submit(payload)
-        except ServiceError as error:
-            headers = {"Retry-After": "1"} if error.status == 429 else None
-            self._send_json(error.status, error.payload, headers)
-            return
-        self._send_json(202, snapshot)
+        # Adopt the caller's trace for this hop so router.submit (and the
+        # onward shard request) join the client's tree; a no-op untraced.
+        with TRACER.activate(self.headers.get(TRACEPARENT_HEADER)):
+            try:
+                snapshot = self.router.submit(payload)
+            except ServiceError as error:
+                headers = {"Retry-After": "1"} if error.status == 429 else None
+                self._send_json(error.status, error.payload, headers)
+                return
+            self._send_json(202, snapshot)
 
     def handle_get(self, parts: List[str], query: Dict) -> None:
+        with TRACER.activate(self.headers.get(TRACEPARENT_HEADER)):
+            self._handle_get_traced(parts, query)
+
+    def _handle_get_traced(self, parts: List[str], query: Dict) -> None:
         try:
             if parts == ["healthz"]:
                 healthy = self.router.healthz()
@@ -503,6 +546,8 @@ class _RouterRequestHandler(JsonRequestHandler):
                     parts[1], self.parse_wait(query)
                 )
                 self._send_json(status, body)
+            elif len(parts) == 2 and parts[0] == "trace":
+                self._send_json(200, self.router.trace(parts[1]))
             else:
                 self._send_error(
                     404, "not_found", f"unknown endpoint {'/'.join(parts)!r}"

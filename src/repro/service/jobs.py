@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.aig.aig import Aig
+from repro.obs.trace import parse_traceparent
 from repro.store.fingerprint import aig_fingerprint, combine_keys, config_fingerprint
 
 # Job lifecycle states.
@@ -333,6 +334,10 @@ class Job:
         self.failure_kind: Optional[str] = None
         self.exit_code: Optional[int] = None
         self.timeout_limit: Optional[float] = None
+        #: ``traceparent`` header of the submission that created the job (if
+        #: the client was tracing); worker dispatch and the queue-wait span
+        #: parent at it, and ``GET /v1/trace/{job_id}`` resolves through it.
+        self.traceparent: Optional[str] = None
         self.created_at = time.time()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -390,10 +395,16 @@ class Job:
             return None
         return self.finished_at - self.started_at
 
+    def trace_id(self) -> Optional[str]:
+        """Trace id of the submitting client's trace, if the job carries one."""
+        parsed = parse_traceparent(self.traceparent)
+        return parsed[0] if parsed else None
+
     def snapshot(self) -> Dict:
         """JSON-serializable status of the job (the ``/status`` payload)."""
         return {
             "job_id": self.job_id,
+            "trace_id": self.trace_id(),
             "kind": self.spec.kind,
             "design": self.spec.design,
             "state": self.state,

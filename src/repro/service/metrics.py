@@ -2,17 +2,25 @@
 
 One :class:`ServiceMetrics` instance is shared by the scheduler, the worker
 pool and the HTTP front end.  Counters are monotonic (submissions, rejections,
-coalesce hits, store hits, completions, failures); latencies are recorded into
+coalesce hits, store hits, completions, failures) and live in a private
+:class:`~repro.obs.metrics.MetricsRegistry`, so two services in one process
+never mix series while still speaking the same snapshot/merge format as the
+process-wide engine/backend/store registry.  Latencies are recorded into
 bounded ring buffers (queue wait, execution, end-to-end) from which
-:meth:`ServiceMetrics.snapshot` computes p50/p90/p99 on demand.  The snapshot
-is what ``/metrics`` serves and what ``boolgebra serve --report`` prints.
+:meth:`ServiceMetrics.snapshot` computes p50/p90/p99 on demand, plus lifetime
+fixed-bucket histograms so the Prometheus exposition carries real ``_bucket``
+series.  The snapshot is what ``/v1/metrics`` serves and what
+``boolgebra serve --report`` prints.
 """
 
 from __future__ import annotations
 
+import bisect
 import threading
 from collections import deque
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
 
 #: Counter names, with their roles; unknown names are rejected so typos in
 #: call sites fail loudly instead of silently creating a new series.
@@ -40,39 +48,70 @@ def _percentile(sorted_values: list, fraction: float) -> float:
 
 
 class LatencySeries:
-    """A bounded ring buffer of latency observations with quantile summaries."""
+    """A bounded ring of latency observations plus a lifetime histogram.
 
-    def __init__(self, maxlen: int = 2048) -> None:
+    The ring buffer backs the windowed mean/percentiles (recent behaviour);
+    the fixed-bucket counts and ``sum`` are lifetime accumulators (never
+    windowed), which is what Prometheus histogram semantics require of
+    ``_bucket`` / ``_sum`` / ``_count``.
+    """
+
+    def __init__(
+        self,
+        maxlen: int = 2048,
+        buckets: Tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
         self._values: deque = deque(maxlen=maxlen)
         self.count = 0
+        self.sum = 0.0
+        self.buckets = tuple(buckets)
+        self._bucket_counts = [0] * len(self.buckets)
 
     def observe(self, seconds: float) -> None:
-        self._values.append(float(seconds))
+        value = float(seconds)
+        self._values.append(value)
         self.count += 1
+        self.sum += value
+        index = bisect.bisect_left(self.buckets, value)
+        if index >= len(self.buckets):
+            index = len(self.buckets) - 1
+        self._bucket_counts[index] += 1
 
-    def summary(self) -> Dict[str, float]:
-        """Lifetime ``count`` plus mean/percentiles over the retained window.
+    def summary(self) -> Dict[str, object]:
+        """Lifetime ``count``/``sum``/``buckets`` plus windowed mean/percentiles.
 
         ``window`` is the number of recent observations backing ``mean`` and
         the percentiles (at most the ring-buffer size); ``count`` keeps
-        counting past it.
+        counting past it.  ``buckets`` is a list of ``[upper_bound,
+        cumulative_count]`` pairs with ``le`` semantics — each entry counts
+        every observation ``<=`` its bound, so counts are monotonically
+        non-decreasing and the final ``+Inf`` bucket equals ``count``.
         """
+        cumulative: List[List[float]] = []
+        running = 0
+        for upper, bucket_count in zip(self.buckets, self._bucket_counts):
+            running += bucket_count
+            cumulative.append([upper, running])
         values = sorted(self._values)
         if not values:
             return {
                 "count": 0,
                 "window": 0,
+                "sum": 0.0,
                 "mean": 0.0,
                 **{name: 0.0 for name in _QUANTILES},
+                "buckets": cumulative,
             }
         return {
             "count": self.count,
             "window": len(values),
+            "sum": self.sum,
             "mean": sum(values) / len(values),
             **{
                 name: _percentile(values, fraction)
                 for name, fraction in _QUANTILES.items()
             },
+            "buckets": cumulative,
         }
 
 
@@ -83,11 +122,18 @@ class ServiceMetrics:
     take a consistent :meth:`snapshot`.  Gauges (queue depth, running jobs,
     worker count) are owned by the scheduler / pool and passed into the
     snapshot, since they are views of live state rather than events.
+
+    The counters are families in a **private**
+    :class:`~repro.obs.metrics.MetricsRegistry` (``self.registry``) rather
+    than the process-wide ``repro.obs.metrics.REGISTRY``: engine, backend and
+    store series are process-wide by nature, but service counters belong to
+    one service instance, and tests run several per process.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {name: 0 for name in COUNTERS}
+        self.registry = MetricsRegistry()
+        self._counters = {name: self.registry.counter(name).labels() for name in COUNTERS}
         self._latencies: Dict[str, LatencySeries] = {
             "queue_seconds": LatencySeries(),
             "run_seconds": LatencySeries(),
@@ -96,10 +142,10 @@ class ServiceMetrics:
 
     def increment(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to the counter ``name`` (must be a known counter)."""
-        if name not in self._counters:
+        child = self._counters.get(name)
+        if child is None:
             raise ValueError(f"unknown counter {name!r} (expected one of {COUNTERS})")
-        with self._lock:
-            self._counters[name] += amount
+        child.inc(amount)
 
     def observe(
         self,
@@ -117,8 +163,7 @@ class ServiceMetrics:
                 self._latencies["total_seconds"].observe(total_seconds)
 
     def counter(self, name: str) -> int:
-        with self._lock:
-            return self._counters[name]
+        return int(self._counters[name].value)
 
     def snapshot(self, gauges: Optional[Dict[str, int]] = None) -> Dict:
         """One consistent JSON-serializable view of every series.
@@ -130,7 +175,7 @@ class ServiceMetrics:
         README's Serving section.
         """
         with self._lock:
-            counters = dict(self._counters)
+            counters = {name: int(child.value) for name, child in self._counters.items()}
             latencies = {
                 name: series.summary() for name, series in self._latencies.items()
             }
@@ -174,6 +219,34 @@ class ServiceMetrics:
         return "\n\n".join(tables)
 
 
+def format_series_report(series: Dict, title: str = "Engine/backend/store series") -> str:
+    """Plain-text table of a registry snapshot (``{name: {type, series}}``).
+
+    Used by ``boolgebra serve --report`` and ``boolgebra route`` to print the
+    engine/backend/store series next to the service counters.  Histogram rows
+    compress to ``count`` and mean; counter/gauge rows print the value.
+    """
+    from repro.flow.reporting import format_table
+
+    rows = []
+    for name in sorted(series or {}):
+        family = series[name]
+        if not isinstance(family, dict):
+            continue
+        for row in family.get("series", []):
+            labels = ",".join(
+                f"{key}={value}" for key, value in sorted(row.get("labels", {}).items())
+            )
+            if "value" in row:
+                rendered = f"{row['value']:g}"
+            else:
+                count = row.get("count", 0)
+                mean = (row.get("sum", 0.0) / count) if count else 0.0
+                rendered = f"count={count} mean={mean:.4f}s"
+            rows.append([name, family.get("type", ""), labels or "-", rendered])
+    return format_table(["series", "type", "labels", "value"], rows, title=title)
+
+
 # --------------------------------------------------------------------------- #
 # Prometheus text format (the ``/v1/metrics?format=prometheus`` variant)
 # --------------------------------------------------------------------------- #
@@ -194,6 +267,96 @@ def _label_string(labels: Optional[Dict[str, str]]) -> str:
     return "{" + rendered + "}"
 
 
+def _bucket_le(upper: float) -> str:
+    return "+Inf" if upper == float("inf") else f"{upper:g}"
+
+
+def _histogram_rows(
+    metric: str,
+    buckets: Iterable,
+    total_sum: float,
+    total_count: float,
+    labels: Optional[Dict[str, str]],
+) -> list:
+    """The ``_bucket`` / ``_sum`` / ``_count`` samples of one histogram series.
+
+    ``buckets`` must already be cumulative ``(upper, count)`` pairs — the
+    Prometheus ``le`` convention — so counts grow monotonically down the list
+    and the ``+Inf`` bucket equals ``_count``.
+    """
+    base = _label_string(labels)
+    rows = []
+    for upper, count in buckets:
+        bucket_labels = dict(labels or {})
+        bucket_labels["le"] = _bucket_le(float(upper))
+        rows.append(
+            (f"{metric}_bucket", "histogram", _label_string(bucket_labels), float(count))
+        )
+    rows.append((f"{metric}_sum", "histogram", base, float(total_sum)))
+    rows.append((f"{metric}_count", "histogram", base, float(total_count)))
+    return rows
+
+
+def _cumulate(buckets: Iterable) -> list:
+    """Turn raw per-bucket ``[upper, count]`` pairs into cumulative ones."""
+    cumulative = []
+    running = 0.0
+    for upper, count in buckets:
+        running += count
+        cumulative.append((upper, running))
+    return cumulative
+
+
+def registry_samples(series: Dict, labels: Optional[Dict[str, str]] = None) -> list:
+    """Flatten a registry snapshot (``{name: {type, series}}``) into sample rows.
+
+    This is the Prometheus view of :meth:`repro.obs.metrics.MetricsRegistry.
+    snapshot` — the engine/backend/store series the server exposes under the
+    snapshot's ``series`` key.  Per-series labels merge with the section
+    ``labels`` (the router's ``{"shard": name}``), so one fleet scrape keeps
+    engine series apart per shard.  Registry snapshots store raw per-bucket
+    counts; they are cumulated here into the ``le`` convention.
+    """
+    rows = []
+    for name in sorted(series or {}):
+        family = series[name]
+        if not isinstance(family, dict):
+            continue
+        kind = family.get("type", "counter")
+        for row in family.get("series", []):
+            merged = dict(labels or {})
+            merged.update(row.get("labels", {}))
+            if kind == "histogram":
+                rows.extend(
+                    _histogram_rows(
+                        f"{PROMETHEUS_PREFIX}_{name}",
+                        _cumulate(row.get("buckets", [])),
+                        row.get("sum", 0.0),
+                        row.get("count", 0),
+                        merged,
+                    )
+                )
+            elif kind == "counter":
+                rows.append(
+                    (
+                        f"{PROMETHEUS_PREFIX}_{name}_total",
+                        "counter",
+                        _label_string(merged),
+                        float(row.get("value", 0.0)),
+                    )
+                )
+            else:
+                rows.append(
+                    (
+                        f"{PROMETHEUS_PREFIX}_{name}",
+                        "gauge",
+                        _label_string(merged),
+                        float(row.get("value", 0.0)),
+                    )
+                )
+    return rows
+
+
 def prometheus_samples(
     snapshot: Dict, labels: Optional[Dict[str, str]] = None
 ) -> list:
@@ -201,9 +364,13 @@ def prometheus_samples(
 
     Counters export as ``<prefix>_<name>_total`` (type ``counter``); gauges
     and the derived rates as gauges; every latency series as a Prometheus
-    summary (``{quantile="..."}``  samples plus a ``_count``).  ``labels`` are
-    attached to every sample — the cluster router passes ``{"shard": name}``
-    so one scrape distinguishes the fleet members.
+    histogram (cumulative ``_bucket`` samples with ``le`` labels plus
+    ``_sum`` / ``_count``), with the windowed ``{quantile="..."}`` samples
+    kept alongside for dashboards that read the old summary form.  A
+    ``series`` key (a registry snapshot of engine/backend/store families) is
+    flattened via :func:`registry_samples`.  ``labels`` are attached to every
+    sample — the cluster router passes ``{"shard": name}`` so one scrape
+    distinguishes the fleet members.
     """
     base = _label_string(labels)
     rows = []
@@ -221,23 +388,43 @@ def prometheus_samples(
             quantile_labels = dict(labels or {})
             quantile_labels["quantile"] = f"{fraction:g}"
             rows.append(
-                (metric, "summary", _label_string(quantile_labels), float(summary[name]))
+                (metric, "histogram", _label_string(quantile_labels), float(summary[name]))
             )
-        rows.append((f"{metric}_count", "summary", base, float(summary["count"])))
+        rows.extend(
+            _histogram_rows(
+                metric,
+                summary.get("buckets", []),
+                summary.get("sum", 0.0),
+                summary["count"],
+                labels,
+            )
+        )
+    rows.extend(registry_samples(snapshot.get("series", {}), labels))
     return rows
+
+
+_FAMILY_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _family_of(name: str) -> str:
+    for suffix in _FAMILY_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
 
 
 def render_prometheus(sections: Iterable) -> str:
     """Render ``(labels, snapshot)`` sections as one Prometheus text exposition.
 
     ``# TYPE`` headers are emitted once per metric family even when several
-    sections (one per shard) export the same families.
+    sections (one per shard) export the same families; histogram sample
+    suffixes (``_bucket`` / ``_sum`` / ``_count``) roll up to their family.
     """
     lines = []
     seen_types = set()
     for labels, snapshot in sections:
         for name, metric_type, label_str, value in prometheus_samples(snapshot, labels):
-            family = name[: -len("_count")] if name.endswith("_count") else name
+            family = _family_of(name)
             if family not in seen_types:
                 seen_types.add(family)
                 lines.append(f"# TYPE {family} {metric_type}")

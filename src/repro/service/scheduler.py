@@ -35,10 +35,13 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.aig.aig import Aig
+from repro.obs.logs import LOGGER
+from repro.obs.trace import TRACER
 from repro.service.jobs import CANCELLED, QUEUED, Job, JobSpec
 from repro.service.metrics import ServiceMetrics
 from repro.store.artifacts import ArtifactStore
@@ -116,7 +119,12 @@ class CoalescingQueue:
         """Artifact-store key of a completed result for ``coalesce_key``."""
         return combine_keys("service-result/v1", coalesce_key)
 
-    def submit(self, spec: JobSpec, aig: Optional[Aig] = None) -> Tuple[Job, bool]:
+    def submit(
+        self,
+        spec: JobSpec,
+        aig: Optional[Aig] = None,
+        traceparent: Optional[str] = None,
+    ) -> Tuple[Job, bool]:
         """Submit ``spec``; return ``(job, created)``.
 
         ``created`` is True only when a new execution was enqueued; False
@@ -124,7 +132,9 @@ class CoalescingQueue:
         in-flight duplicate), by an already-completed job, or by a warm
         artifact-store entry.  Raises :class:`QueueFull` under backpressure —
         deliberately *after* the dedup checks, so duplicates of in-flight
-        work are never rejected (they add no load).
+        work are never rejected (they add no load).  ``traceparent`` carries
+        the submitting client's trace context onto the job; the first
+        traceparent a job sees wins (coalesced duplicates attach to it).
         """
         # Fingerprinting loads/hashes the design; keep it outside the lock.
         key = spec.coalesce_key(aig)
@@ -136,30 +146,48 @@ class CoalescingQueue:
                 existing = self._jobs.get(key)
                 if existing is not None and existing.state not in ("failed", CANCELLED):
                     existing.submit_count += 1
+                    if existing.traceparent is None:
+                        existing.traceparent = traceparent
                     self.metrics.increment(
                         "memory_hits" if existing.terminal else "coalesced"
+                    )
+                    LOGGER.log(
+                        "scheduler.submit",
+                        job_id=existing.job_id,
+                        outcome="memory_hit" if existing.terminal else "coalesced",
                     )
                     return existing, False
                 if store_checked or self.store is None:
                     if store_payload is not None:
                         job = Job(spec, key)
                         job.source = "store"
+                        job.traceparent = traceparent
                         job.mark_running()
                         job.finish(store_payload)
                         self._jobs[key] = job
                         self._by_id[job.job_id] = job
                         self._note_terminal_locked(job)
                         self.metrics.increment("store_hits")
+                        LOGGER.log(
+                            "scheduler.submit", job_id=job.job_id, outcome="store_hit"
+                        )
                         return job, False
                     if self._pending >= self.max_depth:
                         self.metrics.increment("rejected")
+                        LOGGER.log(
+                            "scheduler.submit", kind=spec.kind, outcome="rejected"
+                        )
                         raise QueueFull(self._pending, self.max_depth)
                     job = Job(spec, key)
+                    job.traceparent = traceparent
                     self._jobs[key] = job
                     self._by_id[job.job_id] = job
                     heapq.heappush(self._heap, (-spec.priority, next(self._seq), job))
                     self._pending += 1
                     self.metrics.increment("accepted")
+                    LOGGER.log(
+                        "scheduler.submit", job_id=job.job_id, outcome="accepted"
+                    )
                     self._not_empty.notify()
                     return job, True
                 # A second submitted counter tick on the re-entry would double
@@ -189,6 +217,19 @@ class CoalescingQueue:
                     self._pending -= 1
                     self._running += 1
                     job.mark_running()
+                    if job.traceparent is not None:
+                        # Queue wait is only known retroactively: the span is
+                        # recorded at dispatch, covering created -> started.
+                        TRACER.record(
+                            "scheduler.queue_wait",
+                            start=job.created_at,
+                            end=job.started_at,
+                            attrs={
+                                "job_id": job.job_id,
+                                "priority": job.spec.priority,
+                            },
+                            traceparent=job.traceparent,
+                        )
                     return job
                 if self._closed:
                     return None
@@ -226,6 +267,7 @@ class CoalescingQueue:
             job.finish(payload)
             self._running -= 1
             self._note_terminal_locked(job)
+        LOGGER.log("job.completed", job_id=job.job_id)
         self.metrics.increment("completed")
         self._observe(job)
         if self.store is not None:
@@ -246,6 +288,20 @@ class CoalescingQueue:
         on the job so clients see structured diagnostics, not just a string.
         """
         failure_kind = "timeout" if timeout else ("crash" if crash else "error")
+        if job.traceparent is not None:
+            # Recorded *before* the terminal transition: a waiter released by
+            # job.fail() may read the trace immediately, and must find this.
+            TRACER.record(
+                "job.failed",
+                start=job.started_at or job.created_at,
+                end=time.time(),
+                attrs={
+                    "job_id": job.job_id,
+                    "failure_kind": failure_kind,
+                    "error": error,
+                },
+                traceparent=job.traceparent,
+            )
         with self._lock:
             job.fail(
                 error,
@@ -255,6 +311,12 @@ class CoalescingQueue:
             )
             self._running -= 1
             self._note_terminal_locked(job)
+        LOGGER.log(
+            "job.failed",
+            job_id=job.job_id,
+            failure_kind=failure_kind,
+            error=error,
+        )
         self.metrics.increment("failed")
         if timeout:
             self.metrics.increment("timeouts")

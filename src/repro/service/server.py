@@ -29,6 +29,9 @@ plus a ``Deprecation: true`` header.  Failures are structured
     snapshot (crash exit code, timeout limit) next to the error envelope.
 ``GET /v1/metrics[?format=prometheus]``
     ``200`` with the JSON metrics snapshot, or the Prometheus text format.
+``GET /v1/trace/{job_id}``
+    ``200`` with ``{"job_id", "trace_id", "spans"}`` — the spans buffered
+    for the trace that submitted the job (empty for untraced jobs).
 ``GET /v1/healthz``
     ``200 {"status": "ok"}`` while the service accepts work.
 
@@ -45,6 +48,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import TRACEPARENT_HEADER, TRACER
 from repro.service.api import API_VERSION, DEPRECATION_HEADER, error_payload
 from repro.service.jobs import DONE, FAILED, Job, JobSpec
 from repro.service.metrics import ServiceMetrics
@@ -120,16 +125,36 @@ class SynthesisService:
         self.stop()
 
     # Client-facing API -------------------------------------------------- #
-    def submit(self, spec: Union[Dict, JobSpec]) -> Job:
+    def submit(
+        self, spec: Union[Dict, JobSpec], traceparent: Optional[str] = None
+    ) -> Job:
         """Submit a spec (or its dict form); return the (possibly shared) job.
 
         Raises :class:`ValueError` for malformed specs and
         :class:`~repro.service.scheduler.QueueFull` under backpressure.
+        ``traceparent`` (defaulting to the caller's current trace context)
+        links the job into the submitting client's trace.
         """
         if not isinstance(spec, JobSpec):
             spec = JobSpec.from_dict(spec)
-        job, _ = self.scheduler.submit(spec)
+        if traceparent is None and TRACER.enabled:
+            traceparent = TRACER.current_traceparent()
+        job, _ = self.scheduler.submit(spec, traceparent=traceparent)
         return job
+
+    def trace(self, job_id: str) -> Dict:
+        """Buffered spans of the trace that submitted ``job_id``.
+
+        Returns ``{"job_id", "trace_id", "spans"}``; an untraced job yields
+        a ``None`` trace id and no spans.  Raises :class:`UnknownJob`.
+        """
+        job = self.scheduler.get(job_id)
+        trace_id = job.trace_id()
+        return {
+            "job_id": job.job_id,
+            "trace_id": trace_id,
+            "spans": TRACER.spans_for(trace_id),
+        }
 
     def status(self, job_id: str) -> Dict:
         """The job's status snapshot (raises :class:`UnknownJob`)."""
@@ -183,6 +208,11 @@ class SynthesisService:
             gauges["store_result_misses"] = self.store.stats.misses.get("results", 0)
         snapshot = self.metrics.snapshot(gauges)
         snapshot["backend"] = self.pool.backend_name()
+        # Engine/backend/store series: this process's registry merged with
+        # the cumulative dumps the worker processes ship back with results.
+        snapshot["series"] = MetricsRegistry.merge_snapshots(
+            [REGISTRY.snapshot()] + self.pool.worker_series()
+        )
         return snapshot
 
 
@@ -320,22 +350,34 @@ class _ServiceRequestHandler(JsonRequestHandler):
         if parts != ["submit"]:
             self._send_error(404, "not_found", f"unknown endpoint {'/'.join(parts)!r}")
             return
-        try:
-            spec = JobSpec.from_dict(self._read_json())
-            job = self.service.submit(spec)
-        except ValueError as error:
-            self._send_error(400, "bad_request", str(error))
-            return
-        except QueueFull as error:
-            self._send_error(
-                429,
-                "backpressure",
-                str(error),
-                queue_depth=error.depth,
-                headers={"Retry-After": "1"},
-            )
-            return
-        self._send_json(202, job.snapshot())
+        traceparent = self.headers.get(TRACEPARENT_HEADER)
+        with TRACER.activate(traceparent) as remote:
+            try:
+                spec = JobSpec.from_dict(self._read_json())
+                if remote is not None:
+                    # Parent the job's spans at the request-handling span so
+                    # the queue wait and worker execution hang off it.
+                    with TRACER.span(
+                        "service.submit", attrs={"kind": spec.kind}
+                    ) as span:
+                        job = self.service.submit(
+                            spec, traceparent=span.traceparent()
+                        )
+                else:
+                    job = self.service.submit(spec)
+            except ValueError as error:
+                self._send_error(400, "bad_request", str(error))
+                return
+            except QueueFull as error:
+                self._send_error(
+                    429,
+                    "backpressure",
+                    str(error),
+                    queue_depth=error.depth,
+                    headers={"Retry-After": "1"},
+                )
+                return
+            self._send_json(202, job.snapshot())
 
     def handle_get(self, parts: List[str], query: Dict) -> None:
         try:
@@ -350,6 +392,8 @@ class _ServiceRequestHandler(JsonRequestHandler):
                 self._get_status(parts[1], query)
             elif len(parts) == 2 and parts[0] == "result":
                 self._get_result(parts[1], query)
+            elif len(parts) == 2 and parts[0] == "trace":
+                self._send_json(200, self.service.trace(parts[1]))
             else:
                 self._send_error(
                     404, "not_found", f"unknown endpoint {'/'.join(parts)!r}"

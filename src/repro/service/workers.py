@@ -28,11 +28,12 @@ inline on spawn failure, mirroring ``ProcessPoolEvaluator``'s
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as queue_module
 import threading
 import time
 import traceback
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.backend import (
     get_backend,
@@ -40,6 +41,8 @@ from repro.backend import (
     set_default_backend,
     use_backend,
 )
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER, parse_traceparent
 from repro.service import jobs as jobs_module
 from repro.service.jobs import Job, JobSpec, execute_spec
 from repro.service.scheduler import Scheduler
@@ -56,10 +59,14 @@ _POLL_SECONDS = 0.05
 def _worker_main(task_queue, result_queue, backend_name=None) -> None:
     """Entry point of a persistent worker process.
 
-    Prewarms the heavyweight imports once, then serves ``(job_id, spec)``
-    tasks until it receives ``None``.  Every outcome — success or exception —
-    is reported through the result queue; anything that escapes this loop is
-    a *crash* and is detected by the dispatcher via process death.
+    Prewarms the heavyweight imports once, then serves ``(job_id, spec,
+    traceparent)`` tasks until it receives ``None``.  Every outcome — success
+    or exception — is reported through the result queue as ``(job_id, status,
+    detail, extras)``; ``extras`` carries the worker's pid, its cumulative
+    metrics-registry snapshot and (for traced jobs) the spans it recorded, so
+    observability crosses the process boundary with the result.  Anything
+    that escapes this loop is a *crash* and is detected by the dispatcher via
+    process death.
     """
     jobs_module._IN_WORKER_PROCESS = True
     if backend_name is not None:
@@ -75,12 +82,22 @@ def _worker_main(task_queue, result_queue, backend_name=None) -> None:
         task = task_queue.get()
         if task is None:
             return
-        job_id, spec_payload = task
+        job_id, spec_payload, traceparent = task
+        parsed = parse_traceparent(traceparent)
+        status = "ok"
         try:
-            payload = execute_spec(JobSpec.from_dict(spec_payload))
-            result_queue.put((job_id, "ok", payload))
+            with TRACER.activate(traceparent) as remote:
+                if remote is not None:
+                    with TRACER.span("worker.execute", attrs={"job_id": job_id}):
+                        detail = execute_spec(JobSpec.from_dict(spec_payload))
+                else:
+                    detail = execute_spec(JobSpec.from_dict(spec_payload))
         except Exception:
-            result_queue.put((job_id, "error", traceback.format_exc(limit=8)))
+            status, detail = "error", traceback.format_exc(limit=8)
+        extras = {"pid": os.getpid(), "metrics": REGISTRY.snapshot()}
+        if parsed is not None:
+            extras["spans"] = TRACER.drain(parsed[0])
+        result_queue.put((job_id, status, detail, extras))
 
 
 class _WorkerProcess:
@@ -105,39 +122,42 @@ class _WorkerProcess:
         )
         self._process.start()
 
-    def run(self, job: Job, timeout: Optional[float]) -> Tuple[str, Optional[object]]:
-        """Execute ``job`` in the worker; return ``(status, detail)``.
+    def run(
+        self, job: Job, timeout: Optional[float]
+    ) -> Tuple[str, Optional[object], Optional[dict]]:
+        """Execute ``job`` in the worker; return ``(status, detail, extras)``.
 
         ``status`` is ``"ok"`` (detail: payload), ``"error"`` (detail:
         traceback text), ``"timeout"``, ``"crash"`` (detail: exit code) or
-        ``"cancelled"``.
+        ``"cancelled"``.  ``extras`` is the worker's observability dump (pid,
+        metrics snapshot, traced spans) when a result came back, else ``None``.
         """
         self._ensure()
-        self._tasks.put((job.job_id, job.spec.to_dict()))
+        self._tasks.put((job.job_id, job.spec.to_dict(), job.traceparent))
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             try:
-                job_id, status, detail = self._results.get(timeout=_POLL_SECONDS)
+                job_id, status, detail, extras = self._results.get(timeout=_POLL_SECONDS)
             except queue_module.Empty:
                 if job.cancel_requested:
                     self.terminate()
-                    return "cancelled", None
+                    return "cancelled", None, None
                 if not self._process.is_alive():
                     # Drain a result that raced with process death.
                     try:
-                        job_id, status, detail = self._results.get_nowait()
+                        job_id, status, detail, extras = self._results.get_nowait()
                     except queue_module.Empty:
                         exitcode = self._process.exitcode
                         self.terminate()
-                        return "crash", exitcode
+                        return "crash", exitcode, None
                 else:
                     if deadline is not None and time.monotonic() > deadline:
                         self.terminate()
-                        return "timeout", None
+                        return "timeout", None, None
                     continue
             if job_id != job.job_id:
                 continue  # stale result from an earlier abandoned execution
-            return status, detail
+            return status, detail, extras
 
     def terminate(self) -> None:
         """Kill the worker (a fresh one is spawned for the next job)."""
@@ -195,6 +215,11 @@ class WorkerPool:
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
         self._context = multiprocessing.get_context()
+        #: Latest metrics-registry dump per worker pid.  Dumps are cumulative
+        #: within one worker's lifetime, so keeping the latest per pid (and
+        #: summing across pids at read time) stays correct across respawns.
+        self._worker_dumps: Dict[int, dict] = {}
+        self._dumps_lock = threading.Lock()
 
     def backend_name(self) -> str:
         """The compute backend jobs execute under (reported in ``/metrics``)."""
@@ -226,6 +251,24 @@ class WorkerPool:
 
     def gauges(self) -> dict:
         return {"workers": self.num_workers}
+
+    def worker_series(self) -> List[dict]:
+        """Latest metrics-registry snapshot of every worker process seen."""
+        with self._dumps_lock:
+            return list(self._worker_dumps.values())
+
+    def _absorb_extras(self, extras: Optional[dict]) -> None:
+        """Fold one worker result's observability dump into pool state."""
+        if not isinstance(extras, dict):
+            return
+        pid = extras.get("pid")
+        metrics = extras.get("metrics")
+        if isinstance(pid, int) and isinstance(metrics, dict):
+            with self._dumps_lock:
+                self._worker_dumps[pid] = metrics
+        spans = extras.get("spans")
+        if spans:
+            TRACER.ingest(spans)
 
     # ------------------------------------------------------------------ #
     def _serve(self) -> None:
@@ -265,7 +308,17 @@ class WorkerPool:
     def _run_inline(self, job: Job) -> None:
         try:
             with use_backend(self.backend):
-                payload = execute_spec(job.spec)
+                # Inline workers share the process-global tracer, so spans
+                # land in the service's buffer directly — no shipping needed.
+                with TRACER.activate(job.traceparent) as remote:
+                    if remote is not None:
+                        with TRACER.span(
+                            "worker.execute",
+                            attrs={"job_id": job.job_id, "mode": "inline"},
+                        ):
+                            payload = execute_spec(job.spec)
+                    else:
+                        payload = execute_spec(job.spec)
         except Exception as error:
             self.scheduler.fail(job, f"{type(error).__name__}: {error}")
             return
@@ -275,10 +328,11 @@ class WorkerPool:
         self, worker: _WorkerProcess, job: Job, timeout: Optional[float]
     ) -> None:
         try:
-            status, detail = worker.run(job, timeout)
+            status, detail, extras = worker.run(job, timeout)
         except _SPAWN_ERRORS as error:  # pragma: no cover - spawn race
             self.scheduler.fail(job, f"worker unavailable: {error}")
             return
+        self._absorb_extras(extras)
         if status == "ok":
             self.scheduler.complete(job, detail)
         elif status == "error":

@@ -38,7 +38,14 @@ import numpy as np
 
 from repro.features.dataset import BoolGebraDataset, GraphSample
 from repro.features.encoding import GraphEncoding
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 from repro.orchestration.sampling import SampleRecord
+
+#: Process-wide store series (served via /v1/metrics alongside engine series).
+_STORE_LOOKUPS = REGISTRY.counter("store_lookups")
+_STORE_WRITES = REGISTRY.counter("store_writes")
+_STORE_BYTES = REGISTRY.counter("store_bytes")
 
 #: Artifact kinds and their on-disk file extension.
 KINDS = {
@@ -115,18 +122,29 @@ class ArtifactStore:
         writes must read as a miss, not as a hit that then fails).
         """
         path = self.path(kind, key)
-        if os.path.exists(path) and (
-            not sidecar or os.path.exists(path + sidecar)
-        ):
+        if TRACER.enabled:
+            with TRACER.span("store.get", attrs={"kind": kind}) as span:
+                hit = os.path.exists(path) and (
+                    not sidecar or os.path.exists(path + sidecar)
+                )
+                span.set("hit", hit)
+        else:
+            hit = os.path.exists(path) and (
+                not sidecar or os.path.exists(path + sidecar)
+            )
+        if hit:
             self.stats.record(self.stats.hits, kind)
+            _STORE_LOOKUPS.labels(kind=kind, outcome="hit").inc()
             return path
         self.stats.record(self.stats.misses, kind)
+        _STORE_LOOKUPS.labels(kind=kind, outcome="miss").inc()
         return None
 
     def _prepare(self, kind: str, key: str) -> str:
         path = self.path(kind, key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         self.stats.record(self.stats.writes, kind)
+        _STORE_WRITES.labels(kind=kind).inc()
         return path
 
     @staticmethod
@@ -202,6 +220,7 @@ class ArtifactStore:
         payload = {"records": [record.to_dict() for record in records]}
         text = json.dumps(payload, sort_keys=True).encode("ascii")
         self._replace_into(path, lambda stream: stream.write(text))
+        _STORE_BYTES.labels(kind="samples", direction="write").inc(len(text))
         return path
 
     def load_samples(self, key: str) -> Optional[List[SampleRecord]]:
@@ -210,11 +229,14 @@ class ArtifactStore:
         if path is None:
             return None
         try:
-            with open(path, "r", encoding="ascii") as handle:
-                payload = json.load(handle)
-            return [SampleRecord.from_dict(entry) for entry in payload["records"]]
+            with open(path, "rb") as handle:
+                raw = handle.read()
+            payload = json.loads(raw.decode("ascii"))
+            records = [SampleRecord.from_dict(entry) for entry in payload["records"]]
         except self._LOAD_ERRORS:
             return None
+        _STORE_BYTES.labels(kind="samples", direction="read").inc(len(raw))
+        return records
 
     # ------------------------------------------------------------------ #
     # Built datasets
@@ -369,6 +391,7 @@ class ArtifactStore:
         path = self._prepare("results", key)
         text = json.dumps(payload, sort_keys=True).encode("ascii")
         self._replace_into(path, lambda stream: stream.write(text))
+        _STORE_BYTES.labels(kind="results", direction="write").inc(len(text))
         return path
 
     def load_result(self, key: str) -> Optional[Dict]:
@@ -377,7 +400,10 @@ class ArtifactStore:
         if path is None:
             return None
         try:
-            with open(path, "r", encoding="ascii") as handle:
-                return json.load(handle)
+            with open(path, "rb") as handle:
+                raw = handle.read()
+            payload = json.loads(raw.decode("ascii"))
         except self._LOAD_ERRORS:
             return None
+        _STORE_BYTES.labels(kind="results", direction="read").inc(len(raw))
+        return payload

@@ -44,10 +44,15 @@ import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Union
 
-from repro.store.artifacts import KINDS, ArtifactStore
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
+from repro.store.artifacts import _STORE_BYTES, _STORE_LOOKUPS, KINDS, ArtifactStore
 
 #: Connection-level failures treated as "L2 unavailable" (degrade, don't die).
 _REMOTE_ERRORS = (urllib.error.URLError, ConnectionError, TimeoutError, OSError)
+
+#: Process-wide mirror of every ``tier_stats`` increment, labeled by event.
+_TIER_EVENTS = REGISTRY.counter("store_tier_events")
 
 
 class _StoreHTTPServer(ThreadingHTTPServer):
@@ -152,6 +157,11 @@ class TieredStore(ArtifactStore):
     # ------------------------------------------------------------------ #
     # Tier plumbing
     # ------------------------------------------------------------------ #
+    def _tier(self, event: str) -> None:
+        """Count one tier event, locally and in the process-wide registry."""
+        self.tier_stats[event] += 1
+        _TIER_EVENTS.labels(event=event).inc()
+
     def _relative(self, path: str) -> List[str]:
         """``[kind, filename]`` of an absolute artifact path under the root."""
         relative = os.path.relpath(path, self.root)
@@ -163,13 +173,22 @@ class TieredStore(ArtifactStore):
     def _fetch_into(self, path: str) -> bool:
         """Read-through: materialize ``path`` from L2 (atomically) if it has it."""
         kind, filename = self._relative(path)
+        if not TRACER.enabled:
+            return self._fetch_into_inner(path, kind, filename)
+        with TRACER.span("store.l2_fetch", attrs={"kind": kind}) as span:
+            fetched = self._fetch_into_inner(path, kind, filename)
+            span.set("fetched", fetched)
+        return fetched
+
+    def _fetch_into_inner(self, path: str, kind: str, filename: str) -> bool:
         try:
             data = self.remote.get(kind, filename)
         except _REMOTE_ERRORS:
-            self.tier_stats["l2_unavailable"] += 1
+            self._tier("l2_unavailable")
             return False
         if data is None:
             return False
+        _STORE_BYTES.labels(kind=kind, direction="l2_read").inc(len(data))
         os.makedirs(os.path.dirname(path), exist_ok=True)
         ArtifactStore._replace_into(path, lambda stream: stream.write(data))
         return True
@@ -179,14 +198,17 @@ class TieredStore(ArtifactStore):
         needed = [path] + ([path + sidecar] if sidecar else [])
         if all(os.path.exists(entry) for entry in needed):
             self.stats.record(self.stats.hits, kind)
-            self.tier_stats["l1_hits"] += 1
+            self._tier("l1_hits")
+            _STORE_LOOKUPS.labels(kind=kind, outcome="hit").inc()
             return path
         if all(os.path.exists(entry) or self._fetch_into(entry) for entry in needed):
             self.stats.record(self.stats.hits, kind)
-            self.tier_stats["l2_hits"] += 1
+            self._tier("l2_hits")
+            _STORE_LOOKUPS.labels(kind=kind, outcome="hit").inc()
             return path
         self.stats.record(self.stats.misses, kind)
-        self.tier_stats["misses"] += 1
+        self._tier("misses")
+        _STORE_LOOKUPS.labels(kind=kind, outcome="miss").inc()
         return None
 
     def _replace_into(self, path: str, write) -> None:  # type: ignore[override]
@@ -199,10 +221,12 @@ class TieredStore(ArtifactStore):
         kind, filename = self._relative(path)
         try:
             with open(path, "rb") as handle:
-                self.remote.put(kind, filename, handle.read())
-            self.tier_stats["l2_writes"] += 1
+                data = handle.read()
+            self.remote.put(kind, filename, data)
+            self._tier("l2_writes")
+            _STORE_BYTES.labels(kind=kind, direction="l2_write").inc(len(data))
         except _REMOTE_ERRORS:
-            self.tier_stats["l2_unavailable"] += 1
+            self._tier("l2_unavailable")
 
     # ------------------------------------------------------------------ #
     # Invalidation
@@ -219,7 +243,7 @@ class TieredStore(ArtifactStore):
             try:
                 removed = self.remote.delete(kind, filename) or removed
             except _REMOTE_ERRORS:
-                self.tier_stats["l2_unavailable"] += 1
+                self._tier("l2_unavailable")
         return removed
 
     def clear(self, kind: Optional[str] = None) -> int:
@@ -232,7 +256,7 @@ class TieredStore(ArtifactStore):
                     for filename in info.get(name, {}).get("files", []):
                         self.remote.delete(name, filename)
             except _REMOTE_ERRORS:
-                self.tier_stats["l2_unavailable"] += 1
+                self._tier("l2_unavailable")
         return removed
 
 

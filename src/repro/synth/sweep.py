@@ -55,6 +55,7 @@ from repro.aig.cuts import CutEnumerator
 from repro.aig.kernels import LevelizedAig, cached_topological_order, expand_region, levelized
 from repro.aig.simulate import random_patterns
 from repro.backend import get_backend
+from repro.obs.trace import TRACER
 from repro.synth.candidates import TransformCandidate
 from repro.synth.refactor import RefactorParams, find_refactor_candidate
 from repro.synth.resub import ResubParams, find_resub_candidate
@@ -130,6 +131,11 @@ def batched_cut_tables(
     result is bit-identical to the canonical numpy implementation in
     :class:`repro.backend.reference.ReferenceBackend`.
     """
+    if TRACER.enabled:
+        with TRACER.span("sweep.snapshot", attrs={"cuts": len(work)}):
+            return get_backend().cut_truth_tables(
+                aig, view, work, num_patterns=num_patterns, seed=seed, chunk=chunk
+            )
     return get_backend().cut_truth_tables(
         aig, view, work, num_patterns=num_patterns, seed=seed, chunk=chunk
     )
@@ -353,6 +359,21 @@ def commit_candidates(
 # --------------------------------------------------------------------------- #
 # The sweep loop
 # --------------------------------------------------------------------------- #
+def _scored(
+    aig: Aig,
+    scorer: Scorer,
+    nodes: Optional[Set[int]],
+    region: str,
+) -> Dict[int, TransformCandidate]:
+    """Run one scoring phase, under a ``sweep.score`` span when tracing."""
+    if not TRACER.enabled:
+        return scorer(aig, nodes)
+    with TRACER.span("sweep.score", attrs={"region": region}) as span:
+        candidates = scorer(aig, nodes)
+        span.set("candidates", len(candidates))
+    return candidates
+
+
 def run_sweeps(
     aig: Aig,
     scorer: Scorer,
@@ -367,12 +388,20 @@ def run_sweeps(
     """
     sweep_params = sweep_params or SweepParams()
     report = SweepReport()
-    candidates = scorer(aig, None)
+    candidates = _scored(aig, scorer, None, "full")
     while report.sweeps < sweep_params.max_sweeps:
         report.sweeps += 1
         if not candidates:
             break
-        applied, dirty, conflicts = commit_candidates(aig, candidates.values())
+        if TRACER.enabled:
+            with TRACER.span(
+                "sweep.commit", attrs={"sweep": report.sweeps, "candidates": len(candidates)}
+            ) as span:
+                applied, dirty, conflicts = commit_candidates(aig, candidates.values())
+                span.set("applied", len(applied))
+                span.set("conflicts", conflicts)
+        else:
+            applied, dirty, conflicts = commit_candidates(aig, candidates.values())
         report.applied += len(applied)
         report.conflicts += conflicts
         report.committed.extend(applied)
@@ -396,7 +425,7 @@ def run_sweeps(
             if aig.has_node(node) and aig.is_and(node)
         }
         candidates = dict(carried)
-        candidates.update(scorer(aig, rescore))
+        candidates.update(_scored(aig, scorer, rescore, "rescore"))
     return report
 
 

@@ -1,0 +1,17 @@
+"""Shared hygiene for the observability tests.
+
+The tracer and profiler are process-global singletons; every test in this
+package gets them reset afterwards so enabled-state or buffered spans never
+leak between tests (or into other packages' tests).
+"""
+
+import pytest
+
+from repro.obs import PROFILER, TRACER
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    yield
+    TRACER.reset()
+    PROFILER.enabled = False

@@ -1,0 +1,62 @@
+"""Trace exporters: Chrome-trace JSON shape and the indented text tree."""
+
+import json
+
+from repro.obs import TRACER, chrome_trace, text_tree
+
+
+def _sample_trace():
+    TRACER.enable()
+    with TRACER.span("root", attrs={"design": "b08"}) as root:
+        with TRACER.span("child-late"):
+            pass
+        with TRACER.span("child-early"):
+            pass
+    return root.trace_id, TRACER.spans_for(root.trace_id)
+
+
+def test_chrome_trace_is_valid_and_complete():
+    trace_id, spans = _sample_trace()
+    payload = chrome_trace(spans, trace_id)
+    text = json.dumps(payload)  # must serialize
+    parsed = json.loads(text)
+    events = parsed["traceEvents"]
+    assert len(events) == 3
+    assert {event["name"] for event in events} == {"root", "child-late", "child-early"}
+    assert all(event["ph"] == "X" for event in events)
+    assert all(event["dur"] >= 0.0 for event in events)
+    # Events are time-ordered and ids ride in args for tooling.
+    assert [event["ts"] for event in events] == sorted(event["ts"] for event in events)
+    assert all(event["args"]["trace_id"] == trace_id for event in events)
+    assert parsed["otherData"]["trace_id"] == trace_id
+    root_event = next(event for event in events if event["name"] == "root")
+    assert root_event["args"]["design"] == "b08"
+    assert "parent_id" not in root_event["args"]
+
+
+def test_chrome_trace_of_nothing():
+    payload = chrome_trace([])
+    assert payload["traceEvents"] == []
+    assert "otherData" not in payload
+
+
+def test_text_tree_indents_children_and_promotes_orphans():
+    _, spans = _sample_trace()
+    orphan = {
+        "name": "shipped-orphan",
+        "trace_id": spans[0]["trace_id"],
+        "span_id": "feedface00000001",
+        "parent_id": "0000000000000bad",  # parent never recorded
+        "start": 0.0,
+        "end": 0.001,
+        "attrs": {},
+    }
+    tree = text_tree(spans + [orphan])
+    lines = tree.splitlines()
+    assert lines[0].startswith("shipped-orphan")  # orphan promoted to a root
+    root_index = next(i for i, line in enumerate(lines) if line.startswith("root"))
+    assert "[design=b08]" in lines[root_index]
+    # Children indent under the root, earliest first.
+    assert lines[root_index + 1].startswith("  child-late")
+    assert lines[root_index + 2].startswith("  child-early")
+    assert text_tree([]) == "(no spans)"

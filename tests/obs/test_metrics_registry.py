@@ -1,0 +1,99 @@
+"""The process-wide metrics registry: families, labels, snapshots, merging."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+
+
+def test_counter_families_are_idempotent_and_labeled():
+    registry = MetricsRegistry()
+    calls = registry.counter("backend_op_calls")
+    assert registry.counter("backend_op_calls") is calls
+    calls.labels(op="simulate").inc()
+    calls.labels(op="simulate").inc(2)
+    calls.labels(op="cut_table").inc()
+    snapshot = registry.snapshot()["backend_op_calls"]
+    assert snapshot["type"] == "counter"
+    by_op = {row["labels"]["op"]: row["value"] for row in snapshot["series"]}
+    assert by_op == {"simulate": 3.0, "cut_table": 1.0}
+
+
+def test_family_kind_conflicts_are_rejected():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+
+
+def test_gauge_last_write_wins():
+    registry = MetricsRegistry()
+    depth = registry.gauge("queue_depth")
+    depth.set(4)
+    depth.set(2)
+    depth.inc()
+    (row,) = registry.snapshot()["queue_depth"]["series"]
+    assert row["value"] == 3.0
+
+
+def test_histogram_buckets_use_le_semantics():
+    registry = MetricsRegistry()
+    runtime = registry.histogram("pass_runtime_seconds")
+    child = runtime.labels(**{"pass": "rewrite"})
+    child.observe(0.001)   # == first bound -> first bucket (le semantics)
+    child.observe(0.0005)
+    child.observe(0.03)
+    child.observe(1e9)     # beyond the last finite bound -> +Inf bucket
+    (row,) = registry.snapshot()["pass_runtime_seconds"]["series"]
+    assert row["count"] == 4
+    assert row["sum"] == pytest.approx(1e9 + 0.0315)
+    by_bound = dict((upper, count) for upper, count in row["buckets"])
+    assert by_bound[0.001] == 2
+    assert by_bound[0.05] == 1
+    assert by_bound[float("inf")] == 1
+    assert [upper for upper, _ in row["buckets"]] == list(DEFAULT_TIME_BUCKETS)
+
+
+def test_snapshot_is_json_serializable_and_concurrent_safe():
+    registry = MetricsRegistry()
+    counter = registry.counter("hits").labels(kind="samples")
+
+    def bump():
+        for _ in range(500):
+            counter.inc()
+
+    threads = [threading.Thread(target=bump) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    snapshot = registry.snapshot()
+    assert snapshot["hits"]["series"][0]["value"] == 2000.0
+    json.dumps(snapshot)
+
+
+def test_merge_snapshots_sums_counters_and_histograms():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for registry, amount in ((a, 2), (b, 3)):
+        registry.counter("ops").labels(op="simulate").inc(amount)
+        registry.gauge("workers").set(amount)
+        registry.histogram("runtime").labels().observe(0.01 * amount)
+    merged = MetricsRegistry.merge_snapshots([a.snapshot(), b.snapshot()])
+    assert merged["ops"]["series"][0]["value"] == 5.0
+    assert merged["workers"]["series"][0]["value"] == 3.0  # last write wins
+    histogram = merged["runtime"]["series"][0]
+    assert histogram["count"] == 2
+    assert histogram["sum"] == pytest.approx(0.05)
+    assert sum(count for _, count in histogram["buckets"]) == 2
+
+
+def test_merge_snapshots_survives_json_round_trip_and_junk():
+    registry = MetricsRegistry()
+    registry.counter("ok").inc()
+    round_tripped = json.loads(json.dumps(registry.snapshot()))
+    merged = MetricsRegistry.merge_snapshots(
+        [round_tripped, None, 42, {"bad": "shape"}, {"worse": {"no_series": 1}}]
+    )
+    assert merged["ok"]["series"][0]["value"] == 1.0

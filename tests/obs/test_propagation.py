@@ -1,0 +1,208 @@
+"""End-to-end trace propagation: one job, one coherent trace tree.
+
+These tests drive real jobs through the real wiring — in-process client,
+HTTP client through a 2-shard router, process-mode workers, failover —
+and assert that every hop's spans share a single trace id and parent onto
+each other, which is the whole point of ``repro.obs``.
+"""
+
+import os
+
+import pytest
+
+from repro.obs import TRACER
+from repro.service import (
+    HttpServiceClient,
+    InProcessClient,
+    Router,
+    RouterServer,
+    ServiceServer,
+    SynthesisService,
+)
+
+OPTIMIZE = {"kind": "optimize", "design": "b08", "options": {"script": "rw"}}
+
+
+def _names(spans):
+    return {span["name"] for span in spans}
+
+
+def _assert_one_trace(trace):
+    """Every span of the payload belongs to the payload's (non-null) trace id."""
+    assert trace["trace_id"]
+    assert trace["spans"]
+    assert {span["trace_id"] for span in trace["spans"]} == {trace["trace_id"]}
+
+
+def _by_unique_name(spans, *names):
+    picked = {}
+    for name in names:
+        matches = [span for span in spans if span["name"] == name]
+        assert len(matches) == 1, f"expected exactly one {name!r} span, got {len(matches)}"
+        picked[name] = matches[0]
+    return picked
+
+
+def test_in_process_job_yields_one_trace_tree():
+    service = SynthesisService(num_workers=1, max_depth=8, mode="inline")
+    with InProcessClient(service, own_service=True) as client:
+        TRACER.enable()
+        snapshot = client.submit(OPTIMIZE)
+        assert client.wait(snapshot["job_id"], timeout=120.0)["state"] == "done"
+        trace = client.trace(snapshot["job_id"])
+    _assert_one_trace(trace)
+    names = _names(trace["spans"])
+    assert {"client.submit", "scheduler.queue_wait", "worker.execute", "pipeline.run"} <= names
+    assert any(name.startswith("pass.") for name in names)
+    assert any(name.startswith("backend.") for name in names)
+    # The spans form one tree: a single root (the client), every other
+    # parent id resolving to a recorded span.
+    by_id = {span["span_id"]: span for span in trace["spans"]}
+    roots = [span for span in trace["spans"] if span["parent_id"] is None]
+    assert [root["name"] for root in roots] == ["client.submit"]
+    for span in trace["spans"]:
+        if span["parent_id"] is not None:
+            assert span["parent_id"] in by_id, f"orphan span {span['name']}"
+    picked = _by_unique_name(
+        trace["spans"], "client.submit", "scheduler.queue_wait", "worker.execute", "pipeline.run"
+    )
+    assert picked["scheduler.queue_wait"]["parent_id"] == picked["client.submit"]["span_id"]
+    assert picked["worker.execute"]["parent_id"] == picked["client.submit"]["span_id"]
+    assert picked["pipeline.run"]["parent_id"] == picked["worker.execute"]["span_id"]
+
+
+@pytest.fixture
+def http_fleet():
+    """Two inline-mode shards behind a started router front end."""
+    servers = [
+        ServiceServer(SynthesisService(num_workers=1, max_depth=64, mode="inline"))
+        for _ in range(2)
+    ]
+    for server in servers:
+        server.start()
+    router = Router(
+        {f"s{index}": server.url for index, server in enumerate(servers)},
+        health_interval=30.0,
+    )
+    front = RouterServer(router)
+    front.start()
+    try:
+        yield front, servers
+    finally:
+        front.stop()  # closes the router too
+        for server in servers:
+            try:
+                server.stop()
+            except OSError:  # pragma: no cover - already stopped by the test
+                pass
+
+
+def test_http_hops_through_router_share_one_trace_id(http_fleet):
+    front, _ = http_fleet
+    TRACER.enable()
+    with HttpServiceClient(front.url) as client:
+        snapshot = client.submit(OPTIMIZE)
+        assert client.wait(snapshot["job_id"], timeout=120.0)["state"] == "done"
+        trace = client.trace(snapshot["job_id"])
+    _assert_one_trace(trace)
+    names = _names(trace["spans"])
+    assert {
+        "client.submit",
+        "router.submit",
+        "service.submit",
+        "scheduler.queue_wait",
+        "worker.execute",
+        "pipeline.run",
+    } <= names
+    # The cross-hop parent chain: client -> router -> (router's shard-side
+    # client hop) -> shard -> scheduler/worker.  The router fronts the shard
+    # with its own HttpServiceClient, so there are exactly two client.submit
+    # spans: the test client's (the root) and the router's onward hop.
+    picked = _by_unique_name(
+        trace["spans"],
+        "router.submit",
+        "service.submit",
+        "scheduler.queue_wait",
+        "worker.execute",
+    )
+    submits = [span for span in trace["spans"] if span["name"] == "client.submit"]
+    assert len(submits) == 2
+    (root,) = [span for span in submits if span["parent_id"] is None]
+    (shard_hop,) = [span for span in submits if span["parent_id"] is not None]
+    assert picked["router.submit"]["parent_id"] == root["span_id"]
+    assert shard_hop["parent_id"] == picked["router.submit"]["span_id"]
+    assert picked["service.submit"]["parent_id"] == shard_hop["span_id"]
+    assert picked["scheduler.queue_wait"]["parent_id"] == picked["service.submit"]["span_id"]
+    assert picked["worker.execute"]["parent_id"] == picked["service.submit"]["span_id"]
+    assert picked["router.submit"]["attrs"]["shard"] in ("s0", "s1")
+
+
+def test_process_mode_worker_ships_its_spans_back():
+    service = SynthesisService(num_workers=1, max_depth=8, mode="process")
+    with InProcessClient(service, own_service=True) as client:
+        TRACER.enable()
+        snapshot = client.submit({"kind": "selftest", "options": {"payload": "shipped"}})
+        assert client.wait(snapshot["job_id"], timeout=60.0)["state"] == "done"
+        trace = client.trace(snapshot["job_id"])
+    _assert_one_trace(trace)
+    (worker_span,) = [span for span in trace["spans"] if span["name"] == "worker.execute"]
+    # The span was recorded in the worker process and shipped back with the
+    # result — its pid proves it crossed the process boundary.
+    assert worker_span["pid"] != os.getpid()
+    assert worker_span["attrs"]["job_id"] == snapshot["job_id"]
+
+
+def test_failed_job_records_a_failure_span_in_its_trace():
+    service = SynthesisService(num_workers=1, max_depth=8, mode="inline")
+    with InProcessClient(service, own_service=True) as client:
+        TRACER.enable()
+        snapshot = client.submit({"kind": "selftest", "options": {"action": "crash"}})
+        assert client.wait(snapshot["job_id"], timeout=60.0)["state"] == "failed"
+        trace = client.trace(snapshot["job_id"])
+    _assert_one_trace(trace)
+    (failed,) = [span for span in trace["spans"] if span["name"] == "job.failed"]
+    assert failed["attrs"]["job_id"] == snapshot["job_id"]
+    assert failed["attrs"]["failure_kind"] in ("error", "crash")
+
+
+def test_failover_rerun_is_recorded_in_the_job_trace():
+    servers = [
+        ServiceServer(SynthesisService(num_workers=1, max_depth=64, mode="inline"))
+        for _ in range(2)
+    ]
+    for server in servers:
+        server.start()
+    router = Router(
+        {f"s{index}": server.url for index, server in enumerate(servers)},
+        health_interval=30.0,
+    )
+    router.start()
+    try:
+        TRACER.enable()
+        with TRACER.span("client.job") as root:
+            snapshot = router.submit({"kind": "selftest", "options": {"payload": "move-me"}})
+            router.wait(snapshot["job_id"], timeout=60.0)
+            owner = int(snapshot["shard"][1:])
+            servers[owner].stop()
+            # The next read hits the dead shard, fails over and re-runs the
+            # spec elsewhere — all inside the same trace.
+            payload = router.result(snapshot["job_id"], timeout=120.0)
+        assert payload["payload"] == "move-me"
+        spans = TRACER.spans_for(root.trace_id)
+        names = _names(spans)
+        assert {"router.submit", "router.failover"} <= names
+        (failover,) = [span for span in spans if span["name"] == "router.failover"]
+        assert failover["attrs"]["job_id"] == snapshot["job_id"]
+        assert failover["attrs"]["from"] == f"s{owner}"
+        assert failover["attrs"]["to"] == f"s{1 - owner}"
+        # The job's served trace is the same trace and includes the failover.
+        trace = router.trace(snapshot["job_id"])
+        assert trace["trace_id"] == root.trace_id
+        assert "router.failover" in _names(trace["spans"])
+    finally:
+        router.close()
+        for server in servers:
+            try:
+                server.stop()
+            except OSError:  # pragma: no cover - already stopped by the test
+                pass

@@ -1,0 +1,165 @@
+"""The span tracer: traceparent parsing, context nesting, buffering."""
+
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    TRACER,
+    Tracer,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
+
+
+def test_traceparent_round_trip():
+    trace_id, span_id = new_trace_id(), new_span_id()
+    header = format_traceparent(trace_id, span_id)
+    assert parse_traceparent(header) == (trace_id, span_id)
+    assert len(trace_id) == 32 and len(span_id) == 16
+
+
+@pytest.mark.parametrize(
+    "header",
+    [
+        None,
+        "",
+        "garbage",
+        "00-zzzz-0011223344556677-01",                        # non-hex trace id
+        "00-" + "0" * 32 + "-0011223344556677-01",            # all-zero trace id
+        "00-" + "a" * 32 + "-" + "0" * 16 + "-01",            # all-zero span id
+        "00-" + "a" * 31 + "-0011223344556677-01",            # short trace id
+        "00-" + "a" * 32 + "-0011223344556677",               # missing flags
+        "ff-" + "a" * 32 + "-0011223344556677-01",            # reserved version
+    ],
+)
+def test_malformed_traceparent_returns_none(header):
+    assert parse_traceparent(header) is None
+
+
+def test_disabled_tracer_hands_out_free_null_spans():
+    tracer = Tracer()
+    span = tracer.span("anything")
+    with span as active:
+        active.set("key", "value")  # absorbed, never recorded
+    assert active.traceparent() is None
+    assert tracer.spans_for("deadbeef" * 4) == []
+
+
+def test_spans_nest_through_the_context_stack():
+    tracer = Tracer()
+    tracer.enable()
+    with tracer.span("outer", attrs={"a": 1}) as outer:
+        with tracer.span("inner") as inner:
+            assert inner.trace_id == outer.trace_id
+            assert inner.parent_id == outer.span_id
+            assert tracer.current() is inner
+        assert tracer.current() is outer
+    assert tracer.current() is None
+    spans = tracer.spans_for(outer.trace_id)
+    assert [span["name"] for span in spans] == ["inner", "outer"]
+    assert spans[1]["attrs"] == {"a": 1}
+
+
+def test_span_records_error_attribute_on_exception():
+    tracer = Tracer()
+    tracer.enable()
+    with pytest.raises(RuntimeError):
+        with tracer.span("will-fail") as span:
+            raise RuntimeError("boom")
+    (recorded,) = tracer.spans_for(span.trace_id)
+    assert recorded["attrs"]["error"] == "RuntimeError"
+
+
+def test_activate_adopts_a_remote_parent_per_request():
+    tracer = Tracer()
+    header = format_traceparent(new_trace_id(), new_span_id())
+    assert not tracer.enabled
+    with tracer.activate(header) as remote:
+        assert remote is not None and tracer.enabled
+        with tracer.span("handled") as span:
+            assert span.trace_id == remote.trace_id
+            assert span.parent_id == remote.span_id
+    assert not tracer.enabled  # per-request activation unwinds
+
+
+def test_activate_with_malformed_header_is_a_noop():
+    tracer = Tracer()
+    with tracer.activate("not-a-traceparent") as remote:
+        assert remote is None
+        assert not tracer.enabled
+
+
+def test_adopt_installs_a_permanent_remote_parent():
+    tracer = Tracer()
+    header = format_traceparent(new_trace_id(), new_span_id())
+    assert tracer.adopt(header)
+    assert tracer.enabled
+    assert tracer.current_traceparent() == header
+    assert not Tracer().adopt("garbage")
+
+
+def test_record_with_explicit_traceparent_works_while_disabled():
+    # Retroactive spans (queue wait, job failure) carry the job's own
+    # traceparent, so a per-request-traced job records on an otherwise
+    # untraced server.
+    tracer = Tracer()
+    trace_id, span_id = new_trace_id(), new_span_id()
+    header = format_traceparent(trace_id, span_id)
+    now = time.time()
+    tracer.record("queue.wait", start=now - 0.5, end=now, attrs={"job_id": "j1"}, traceparent=header)
+    (span,) = tracer.spans_for(trace_id)
+    assert span["name"] == "queue.wait"
+    assert span["parent_id"] == span_id
+    assert span["attrs"] == {"job_id": "j1"}
+    # Without an explicit traceparent and with the tracer disabled: dropped.
+    tracer.record("ambient", start=now, end=now)
+    assert len(tracer.spans_for(trace_id)) == 1
+
+
+def test_drain_and_ingest_ship_spans_across_tracers():
+    worker = Tracer()
+    header = format_traceparent(new_trace_id(), new_span_id())
+    with worker.activate(header) as remote:
+        with worker.span("worker.execute"):
+            pass
+    shipped = worker.drain(remote.trace_id)
+    assert [span["name"] for span in shipped] == ["worker.execute"]
+    assert worker.spans_for(remote.trace_id) == []  # drain pops
+
+    parent = Tracer()
+    assert parent.ingest(shipped) == 1
+    assert parent.spans_for(remote.trace_id)[0]["name"] == "worker.execute"
+    assert parent.ingest(None) == 0
+    assert parent.ingest([{"nonsense": True}, 42]) >= 0  # malformed tolerated
+
+
+def test_span_buffer_is_bounded_per_trace_and_across_traces():
+    tracer = Tracer(max_traces=2, max_spans_per_trace=3)
+    tracer.enable()
+    with tracer.span("root") as root:
+        for index in range(5):
+            with tracer.span(f"child-{index}"):
+                pass
+    assert len(tracer.spans_for(root.trace_id)) == 3
+    assert tracer.dropped > 0
+    # New traces evict the oldest once max_traces is exceeded.
+    ids = [root.trace_id]
+    for _ in range(2):
+        with tracer.span("other") as other:
+            pass
+        ids.append(other.trace_id)
+    assert tracer.spans_for(ids[0]) == []
+    assert tracer.spans_for(ids[-1])
+
+
+def test_global_tracer_reset_clears_state():
+    TRACER.enable()
+    with TRACER.span("something") as span:
+        pass
+    assert TRACER.spans_for(span.trace_id)
+    TRACER.reset()
+    assert not TRACER.enabled
+    assert TRACER.spans_for(span.trace_id) == []

@@ -42,14 +42,34 @@ def test_latency_series_percentiles():
 
 
 def test_empty_latency_summary_is_zeroed():
-    assert LatencySeries().summary() == {
+    summary = LatencySeries().summary()
+    buckets = summary.pop("buckets")
+    assert summary == {
         "count": 0,
         "window": 0,
+        "sum": 0.0,
         "mean": 0.0,
         "p50": 0.0,
         "p90": 0.0,
         "p99": 0.0,
     }
+    assert all(count == 0 for _, count in buckets)
+    assert buckets[-1][0] == float("inf")
+
+
+def test_latency_buckets_are_cumulative_and_monotone():
+    series = LatencySeries(maxlen=4)  # buckets must outlive the window
+    for value in (0.0005, 0.003, 0.003, 0.07, 0.07, 0.07, 2.0, 45.0):
+        series.observe(value)
+    summary = series.summary()
+    buckets = summary["buckets"]
+    counts = [count for _, count in buckets]
+    assert counts == sorted(counts)  # cumulative => monotonically non-decreasing
+    assert buckets[-1][0] == float("inf")
+    assert buckets[-1][1] == summary["count"] == 8  # +Inf bucket equals lifetime count
+    assert summary["sum"] == pytest.approx(47.2165)
+    # le semantics: the 0.001 bucket holds exactly the one 0.0005 observation.
+    assert buckets[0] == [0.001, 1]
 
 
 def test_latency_series_windowed_mean_with_lifetime_count():

@@ -133,6 +133,67 @@ def test_prometheus_metrics_variant(server):
     assert text.count("# TYPE boolgebra_submitted_total counter") == 1
 
 
+def test_legacy_prometheus_metrics_variant_is_deprecated_alias(server):
+    # The unversioned alias honors ?format=prometheus too (version-prefix
+    # stripping happens before the format switch) and flags its deprecation.
+    request = urllib.request.Request(server.url + "/metrics?format=prometheus")
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        assert response.headers.get(DEPRECATION_HEADER) == "true"
+        legacy_text = response.read().decode("utf-8")
+    assert "# TYPE boolgebra_submitted_total counter" in legacy_text
+    # Same exposition format as the canonical /v1 route (values may move
+    # between the two scrapes, the family set must not).
+    request = urllib.request.Request(server.url + "/v1/metrics?format=prometheus")
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        v1_families = {
+            line.split()[2] for line in response.read().decode("utf-8").splitlines()
+            if line.startswith("# TYPE")
+        }
+    legacy_families = {
+        line.split()[2] for line in legacy_text.splitlines() if line.startswith("# TYPE")
+    }
+    assert legacy_families == v1_families
+
+
+def test_prometheus_latency_histograms_have_real_buckets(server):
+    client = HttpServiceClient(server.url)
+    job_id = client.submit(SPEC)["job_id"]
+    client.result(job_id, timeout=30.0)
+    text = client.metrics_prometheus()
+    bucket_counts = []
+    for line in text.splitlines():
+        if line.startswith("boolgebra_total_seconds_bucket{"):
+            bucket_counts.append(float(line.rsplit(None, 1)[1]))
+    assert bucket_counts, "latency families must export _bucket series"
+    assert bucket_counts == sorted(bucket_counts)  # cumulative le buckets
+    assert 'le="+Inf"' in text
+    assert "boolgebra_total_seconds_sum" in text
+    # Engine registry series ride along under the same scrape: an optimize
+    # job runs the pass pipeline, whose runtime histogram registers into the
+    # process-wide registry the snapshot's ``series`` key exports.
+    job_id = client.submit(
+        {"kind": "optimize", "design": "b08", "options": {"script": "rw"}}
+    )["job_id"]
+    client.result(job_id, timeout=60.0)
+    text = client.metrics_prometheus()
+    assert "boolgebra_pass_runtime_seconds_bucket" in text
+    assert 'boolgebra_pass_runtime_seconds_count{pass="rewrite"}' in text
+
+
+def test_trace_endpoint_answers_for_untraced_jobs(server):
+    client = HttpServiceClient(server.url)
+    job_id = client.submit(SPEC)["job_id"]
+    client.result(job_id, timeout=30.0)
+    status, _, body = _get(server, f"/v1/trace/{job_id}")
+    assert status == 200
+    assert body["job_id"] == job_id
+    assert body["trace_id"] is None and body["spans"] == []
+    status, _, body = _get(server, "/v1/trace/selftest-0000000000000000")
+    assert status == 404 and body["error"]["code"] == "not_found"
+
+
 def test_error_payload_and_fields_round_trip():
     payload = error_payload("backpressure", "queue full", "job-1", queue_depth=3)
     assert payload["queue_depth"] == 3
